@@ -1,0 +1,12 @@
+"""Central scale knobs for the benchmark suite.
+
+The paper's testbed is 10 M observations on 1000 KB pages; pure-Python
+benchmarks run at reduced scale and assert shapes, not absolute counts.
+Raise these numbers to approach paper scale.
+"""
+
+N_OBSERVATIONS = 40_000
+N_QUERIES = 25
+PAGE_SIZE = 16_384
+N_VEHICLES = 20
+CELLS_PER_SIDE = 32

@@ -1,0 +1,47 @@
+"""Shared benchmark fixtures.
+
+Benchmark scale is deliberately smaller than the paper's testbed (10 M
+observations, 1000 KB pages) so the whole suite runs in minutes of pure
+Python; every assertion targets the *shape* of the paper's results, not the
+absolute counts. Scale knobs live in bench_config.py.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_config import (
+    CELLS_PER_SIDE,
+    N_OBSERVATIONS,
+    N_QUERIES,
+    N_VEHICLES,
+    PAGE_SIZE,
+)
+
+
+@pytest.fixture(scope="session")
+def figure2_result():
+    """One shared Figure-2 run for every benchmark that reads its numbers."""
+    from repro.experiments import run_figure2
+
+    return run_figure2(
+        n_observations=N_OBSERVATIONS,
+        n_queries=N_QUERIES,
+        page_size=PAGE_SIZE,
+        n_vehicles=N_VEHICLES,
+        cells_per_side=CELLS_PER_SIDE,
+    )
+
+
+@pytest.fixture(scope="session")
+def trace_records():
+    from repro.workloads import generate_traces
+
+    return generate_traces(N_OBSERVATIONS, n_vehicles=N_VEHICLES)
+
+
+@pytest.fixture(scope="session")
+def trace_queries():
+    from repro.workloads import random_region_queries
+
+    return random_region_queries(N_QUERIES)

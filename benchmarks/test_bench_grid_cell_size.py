@@ -1,0 +1,65 @@
+"""Ablation A: grid cell size sweep.
+
+The case study picks cells "about 400 m^2" without justification; this
+ablation sweeps cellWidth x cellHeight (via cells-per-side) and shows the
+U-shape the advisor's stride heuristic targets: too-coarse cells read excess
+data, too-fine cells bloat seeks and the directory.
+"""
+
+import pytest
+
+from repro.engine.database import RodentStore
+from repro.experiments.figure2 import n3_expr
+from repro.workloads import (
+    BOSTON,
+    TRACE_SCHEMA,
+    generate_traces,
+    grid_strides_for,
+    random_region_queries,
+)
+
+PAGE_SIZE = 8_192
+SWEEP = (4, 8, 16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return (
+        generate_traces(25_000, n_vehicles=15),
+        random_region_queries(15),
+    )
+
+
+def pages_per_query(records, queries, cells_per_side):
+    lat_stride, lon_stride = grid_strides_for(BOSTON, cells_per_side)
+    store = RodentStore(page_size=PAGE_SIZE, pool_capacity=64)
+    store.create_table(
+        "Traces", TRACE_SCHEMA, layout=n3_expr(lat_stride, lon_stride)
+    )
+    table = store.load("Traces", records)
+    pages = seeks = 0
+    for q in queries:
+        _, io = store.run_cold(lambda q=q: list(table.scan(predicate=q)))
+        pages += io.page_reads
+        seeks += io.read_seeks
+    return pages / len(queries), seeks / len(queries)
+
+
+def test_bench_grid_cell_size_sweep(data, benchmark):
+    records, queries = data
+    series = {}
+    for cells in SWEEP:
+        series[cells] = pages_per_query(records, queries, cells)
+
+    print("\n=== grid cell-size sweep (1%-area queries) ===")
+    print(f"{'cells/side':>10}{'pages/query':>13}{'seeks/query':>13}")
+    for cells, (pages, seeks) in series.items():
+        print(f"{cells:>10}{pages:>13.1f}{seeks:>13.1f}")
+
+    # Coarse grids read more data than the sweet spot.
+    best_pages = min(p for p, _ in series.values())
+    assert series[4][0] > best_pages
+    # Fine grids cost more seeks than coarse ones.
+    assert series[64][1] >= series[4][1]
+
+    benchmark(lambda: pages_per_query(records, queries[:3], 32))

@@ -1,0 +1,102 @@
+"""§5: the storage design optimizer and its search strategies.
+
+The paper: "if there are n columns in a table, there are 2^n ways to
+co-locate that table's columns ... we anticipate heavy reliance on heuristic
+search algorithms. For example, to find the best gridding, we could use
+gradient descent or simulated annealing."
+
+The benchmark prints the design-space size against what each strategy
+actually costs, and checks that (a) heuristics evaluate a vanishing fraction
+of the space, (b) the spatial workload ends up on a gridded design, and
+(c) stride descent never worsens the seed design.
+"""
+
+import pytest
+
+from repro.algebra import ast
+from repro.algebra.parser import parse
+from repro.engine.cost import CostModel
+from repro.engine.stats import TableStats
+from repro.optimizer import (
+    PlanCostEstimator,
+    Query,
+    Workload,
+    enumerate_candidates,
+    exhaustive_search,
+    greedy_stride_descent,
+    simulated_annealing,
+)
+from repro.query.expressions import Rect
+from repro.workloads import TRACE_SCHEMA, generate_traces, random_region_queries
+
+PAGE_SIZE = 8_192
+
+
+@pytest.fixture(scope="module")
+def setup():
+    records = generate_traces(20_000, n_vehicles=10)
+    stats = TableStats.collect(TRACE_SCHEMA, records)
+    model = CostModel(page_size=PAGE_SIZE)
+    estimator = PlanCostEstimator(stats, model, PAGE_SIZE)
+    workload = Workload("Traces")
+    for i, q in enumerate(random_region_queries(10)):
+        workload.add(Query(name=f"q{i}", fieldlist=("lat", "lon"), predicate=q))
+    candidates = enumerate_candidates(TRACE_SCHEMA, stats, workload)
+    return estimator, workload, candidates
+
+
+def test_bench_exhaustive_search(setup, benchmark):
+    estimator, workload, candidates = setup
+    n_fields = len(TRACE_SCHEMA)
+    space = 2 ** n_fields
+
+    result = benchmark(
+        lambda: exhaustive_search(candidates, TRACE_SCHEMA, estimator, workload)
+    )
+
+    print("\n=== design space vs evaluated ===")
+    print(f"column-grouping space (2^n):     {space}")
+    print(f"candidates enumerated:           {len(candidates)}")
+    print(f"designs costed (exhaustive):     {result.evaluated}")
+    print(f"winner: {result.expression.to_text()[:100]}")
+    assert result.evaluated < space
+    assert any(isinstance(n, ast.Grid) for n in result.expression.walk())
+
+
+def test_bench_stride_descent(setup, benchmark):
+    estimator, workload, _ = setup
+    seed = parse(
+        "grid[lat, lon],[60000, 80000](project[lat, lon](Traces))"
+    )
+
+    result = benchmark(
+        lambda: greedy_stride_descent(seed, TRACE_SCHEMA, estimator, workload)
+    )
+    start_cost = result.trace[0][1]
+    print("\n=== gradient descent on grid strides ===")
+    for text, ms in result.trace:
+        print(f"  {ms:10.2f} ms  {text[:80]}")
+    assert result.best.total_ms <= start_cost
+
+
+def test_bench_simulated_annealing(setup, benchmark):
+    estimator, workload, candidates = setup
+
+    result = benchmark.pedantic(
+        lambda: simulated_annealing(
+            candidates, TRACE_SCHEMA, estimator, workload,
+            iterations=120, seed=1,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    exhaustive = exhaustive_search(
+        candidates, TRACE_SCHEMA, estimator, workload
+    )
+    print("\n=== annealing vs exhaustive ===")
+    print(f"annealing best:  {result.best.total_ms:.2f} ms "
+          f"({result.evaluated} designs)")
+    print(f"exhaustive best: {exhaustive.best.total_ms:.2f} ms "
+          f"({exhaustive.evaluated} designs)")
+    # Annealing must land within 2x of the exhaustive optimum.
+    assert result.best.total_ms <= exhaustive.best.total_ms * 2

@@ -1,0 +1,74 @@
+"""Ablation B: page size sweep.
+
+§4.2 lists "What is the appropriate disk page size to use?" among the layout
+engine's open questions. The sweep shows the trade-off on the case-study
+query: large pages amortize seeks on scans but read excess bytes on selective
+grid queries.
+"""
+
+import pytest
+
+from repro.engine.cost import CostModel
+from repro.engine.database import RodentStore
+from repro.experiments.figure2 import n3_expr
+from repro.workloads import (
+    BOSTON,
+    TRACE_SCHEMA,
+    generate_traces,
+    grid_strides_for,
+    random_region_queries,
+)
+
+SWEEP = (2_048, 8_192, 32_768, 131_072)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return (
+        generate_traces(25_000, n_vehicles=15),
+        random_region_queries(10),
+    )
+
+
+def run_at_page_size(records, queries, page_size):
+    lat_stride, lon_stride = grid_strides_for(BOSTON, 32)
+    model = CostModel(page_size=page_size)
+    store = RodentStore(
+        page_size=page_size, pool_capacity=64, cost_model=model
+    )
+    store.create_table(
+        "Traces", TRACE_SCHEMA, layout=n3_expr(lat_stride, lon_stride)
+    )
+    table = store.load("Traces", records)
+    pages = seeks = 0
+    for q in queries:
+        _, io = store.run_cold(lambda q=q: list(table.scan(predicate=q)))
+        pages += io.page_reads
+        seeks += io.read_seeks
+    n = len(queries)
+    bytes_per_query = pages / n * page_size
+    return {
+        "pages": pages / n,
+        "seeks": seeks / n,
+        "kb": bytes_per_query / 1024,
+        "ms": model.cost_ms(pages / n, seeks / n),
+    }
+
+
+def test_bench_page_size_sweep(data, benchmark):
+    records, queries = data
+    series = {size: run_at_page_size(records, queries, size) for size in SWEEP}
+
+    print("\n=== page size sweep (grid layout, 1%-area queries) ===")
+    print(f"{'page KB':>8}{'pages/q':>10}{'seeks/q':>10}{'KB/q':>10}{'est ms':>9}")
+    for size, row in series.items():
+        print(
+            f"{size // 1024:>8}{row['pages']:>10.1f}{row['seeks']:>10.1f}"
+            f"{row['kb']:>10.1f}{row['ms']:>9.2f}"
+        )
+
+    # Bigger pages => fewer page reads but more bytes moved per query.
+    assert series[SWEEP[0]]["pages"] > series[SWEEP[-1]]["pages"]
+    assert series[SWEEP[0]]["kb"] <= series[SWEEP[-1]]["kb"] * 1.5
+
+    benchmark(lambda: run_at_page_size(records, queries[:2], 8_192))

@@ -1,0 +1,95 @@
+"""The paper's introduction example: ``zorder(grid[y, z](N))`` on sales data.
+
+    "given a database of sales records of the form
+         N = (zipcode:z, year:y, month:m, day:d, customerid:c, productid:p ...)
+     the algebraic expression zorder(grid[y, z](N)) would repartition the
+     tuples into a matrix where years are on the X axis and zipcodes on the
+     Y axis. Cells would be stored on disk using a space filling curve, so
+     that nearby zipcodes or years are co-located."
+
+Run with::
+
+    python examples/sales_analytics.py
+"""
+
+from repro import Q, Range, RodentStore
+from repro.workloads import (
+    SALES_SCHEMA,
+    generate_sales,
+    narrow_column_queries,
+    year_zip_queries,
+)
+
+ZORDER_GRID = (
+    "zorder(grid[year, zipcode],[1, 10]"
+    "(project[year, zipcode, productid, quantity, price](Sales)))"
+)
+
+
+def main() -> None:
+    records = generate_sales(40_000)
+    queries = year_zip_queries(25)
+
+    # Three designs for the same logical table.
+    designs = {
+        "rows": "Sales",
+        "columns (DSM)": "columns(Sales)",
+        "zorder(grid[y, z](N))": ZORDER_GRID,
+    }
+
+    print("=== year x zipcode slice queries (the intro's OLAP shape) ===")
+    print(f"{'design':<24}{'pages/query':>12}{'est ms':>9}")
+    for name, layout in designs.items():
+        store = RodentStore(page_size=8192, pool_capacity=96)
+        store.create_table("Sales", SALES_SCHEMA, layout=layout)
+        table = store.load("Sales", records)
+        pages = seeks = 0
+        for q in queries:
+            _, io = store.run_cold(
+                lambda q=q: list(
+                    table.scan(fieldlist=["quantity", "price"], predicate=q)
+                )
+            )
+            pages += io.page_reads
+            seeks += io.read_seeks
+        n = len(queries)
+        ms = store.cost_model.cost_ms(pages / n, seeks / n)
+        print(f"{name:<24}{pages / n:>12.1f}{ms:>9.2f}")
+
+    # Column-store shape: narrow projections, full-table aggregates.
+    print("\n=== narrow aggregate queries over the column layout ===")
+    store = RodentStore(page_size=8192, pool_capacity=96)
+    store.create_table("Sales", SALES_SCHEMA, layout="columns(Sales)")
+    store.load("Sales", records)
+    for fields, predicate in narrow_column_queries()[:3]:
+        _, io = store.run_cold(
+            lambda f=fields, p=predicate: list(
+                store.table("Sales").scan(fieldlist=f, predicate=p)
+            )
+        )
+        print(f"  select {', '.join(fields):<22} "
+              f"where {predicate.field} in "
+              f"[{predicate.lo:g}, {predicate.hi:g}]: "
+              f"{io.page_reads} pages")
+
+    # The fluent front end over the gridded layout.
+    store = RodentStore(page_size=8192, pool_capacity=96)
+    store.create_table("Sales", SALES_SCHEMA, layout=ZORDER_GRID)
+    store.load("Sales", records)
+    top = (
+        Q(store, "Sales")
+        .where(Range("year", 2004, 2004))
+        .group_by("productid")
+        .agg(revenue="sum:price", units="sum:quantity")
+        .order_by(("revenue", False))
+        .limit(5)
+        .run()
+    )
+    print("\n=== top products of 2004 (gridded layout) ===")
+    for product, revenue, units in top:
+        print(f"  product {product:>4}: ${revenue / 100:>12,.2f} "
+              f"({units} units)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Legacy setup shim.
+
+The primary metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments that lack the ``wheel``
+package (pip falls back to ``setup.py develop`` when PEP 517 is disabled).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "RodentStore reproduction: an adaptive, declarative storage system "
+        "(CIDR 2009)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

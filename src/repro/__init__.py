@@ -1,0 +1,46 @@
+"""RodentStore reproduction: an adaptive, declarative storage system.
+
+Reproduces *The Case for RodentStore* (Cudre-Mauroux, Wu, Madden; CIDR 2009):
+a storage engine whose physical layout — rows, columns, grids, space-filling
+curve orders, folded nestings, compressed encodings — is declared with a
+storage algebra and rendered by a shared backend.
+
+Quickstart::
+
+    from repro import RodentStore, Schema, Rect
+
+    store = RodentStore(page_size=8192)
+    store.create_table(
+        "Traces",
+        Schema.of("t:int", "lat:int", "lon:int", "id:int"),
+        layout="zorder(grid[lat, lon],[1000, 1000](Traces))",
+    )
+    table = store.load("Traces", records)
+    hits = list(table.scan(predicate=Rect({"lat": (a, b), "lon": (c, d)})))
+"""
+
+from repro.algebra import AlgebraInterpreter, PhysicalPlan, parse
+from repro.engine import CostEstimate, CostModel, RodentStore, Table, TableStats
+from repro.errors import RodentStoreError
+from repro.query import Q, Range, Rect
+from repro.types import Field, Schema
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AlgebraInterpreter",
+    "CostEstimate",
+    "CostModel",
+    "Field",
+    "PhysicalPlan",
+    "Q",
+    "Range",
+    "Rect",
+    "RodentStore",
+    "RodentStoreError",
+    "Schema",
+    "Table",
+    "TableStats",
+    "parse",
+    "__version__",
+]

@@ -1,0 +1,542 @@
+"""Text syntax for the storage algebra.
+
+Parses the paper's notation into AST nodes, e.g.::
+
+    zorder(grid[y, z](N))
+    project[lat, lon](Traces)
+    delta[lat, lon](zorder(grid[lat, lon],[0.01, 0.01](Traces)))
+    fold[zip, addr; area](T)
+    select[r.area = 617 and r.zip > 2000](T)
+
+Grammar (recursive descent)::
+
+    expr      := call | NAME | literal
+    call      := NAME params* '(' expr (',' expr)* ')'
+    params    := '[' ... ']'               (operator-specific contents)
+    literal   := '[' (literal | scalar) (',' ...)* ']'
+
+``parse(text)`` is inverse to ``node.to_text()`` for every operator; the
+round-trip property is exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.algebra import ast
+from repro.errors import ParseError
+
+_PUNCT = ("(", ")", "[", "]", ",", ";")
+_TWO_CHAR_OPS = ("!=", "<=", ">=")
+_ONE_CHAR_OPS = ("=", "<", ">", "+", "-", "*", "/", "%")
+
+_OPERATORS = {
+    "project",
+    "append",
+    "select",
+    "partition",
+    "fold",
+    "unfold",
+    "prejoin",
+    "delta",
+    "orderby",
+    "groupby",
+    "limit",
+    "zorder",
+    "hilbert",
+    "transpose",
+    "grid",
+    "chunk",
+    "compress",
+    "rows",
+    "columns",
+    "mirror",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "value", "pos")
+
+    def __init__(self, kind: str, value: Any, pos: int):
+        self.kind = kind  # "name" | "number" | "string" | "punct" | "op" | "eof"
+        self.value = value
+        self.pos = pos
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text[i : i + 2] in _TWO_CHAR_OPS:
+            tokens.append(_Token("op", text[i : i + 2], i))
+            i += 2
+            continue
+        if ch in _PUNCT:
+            tokens.append(_Token("punct", ch, i))
+            i += 1
+            continue
+        if ch in _ONE_CHAR_OPS:
+            # A minus sign directly before a digit at value position is
+            # handled in the number branch of the parser, not here.
+            tokens.append(_Token("op", ch, i))
+            i += 1
+            continue
+        if ch == "'" or ch == '"':
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 1
+            if j >= n:
+                raise ParseError("unterminated string literal", i)
+            tokens.append(_Token("string", text[i + 1 : j], i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and text[j] in "+-":
+                        j += 1
+                else:
+                    break
+            raw = text[i:j]
+            value = float(raw) if ("." in raw or "e" in raw or "E" in raw) else int(raw)
+            tokens.append(_Token("number", value, i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "_."):
+                j += 1
+            tokens.append(_Token("name", text[i:j], i))
+            i = j
+            continue
+        raise ParseError(f"unexpected character {ch!r}", i)
+    tokens.append(_Token("eof", None, n))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.i = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.i]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.i]
+        self.i += 1
+        return token
+
+    def expect(self, kind: str, value: Any = None) -> _Token:
+        token = self.peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            wanted = value if value is not None else kind
+            raise ParseError(
+                f"expected {wanted!r}, found {token.value!r}", token.pos
+            )
+        return self.advance()
+
+    def accept(self, kind: str, value: Any = None) -> _Token | None:
+        token = self.peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self.advance()
+        return None
+
+    # -- entry point ----------------------------------------------------------
+
+    def parse(self) -> ast.Node:
+        node = self.parse_expr()
+        token = self.peek()
+        if token.kind != "eof":
+            raise ParseError(f"trailing input {token.value!r}", token.pos)
+        return node
+
+    def parse_expr(self) -> ast.Node:
+        token = self.peek()
+        if token.kind == "punct" and token.value == "[":
+            return ast.Literal.of(self.parse_literal())
+        if token.kind != "name":
+            raise ParseError(
+                f"expected expression, found {token.value!r}", token.pos
+            )
+        name = token.value
+        if name.lower() in _OPERATORS:
+            return self.parse_call(name.lower())
+        self.advance()
+        return ast.TableRef(name)
+
+    # -- operator calls ---------------------------------------------------
+
+    def parse_call(self, op: str) -> ast.Node:
+        self.advance()  # operator name
+        handler = getattr(self, f"_call_{op}")
+        return handler()
+
+    def _children(self, arity: int) -> list[ast.Node]:
+        self.expect("punct", "(")
+        children = [self.parse_expr()]
+        while self.accept("punct", ","):
+            children.append(self.parse_expr())
+        self.expect("punct", ")")
+        if len(children) != arity:
+            raise ParseError(
+                f"expected {arity} argument(s), found {len(children)}",
+                self.peek().pos,
+            )
+        return children
+
+    def _name_list(self) -> list[str]:
+        names = [self._field_name()]
+        while self.accept("punct", ","):
+            names.append(self._field_name())
+        return names
+
+    def _field_name(self) -> str:
+        token = self.expect("name")
+        name = token.value
+        return name[2:] if name.startswith("r.") else name
+
+    def _number_list(self) -> list[float]:
+        numbers = [self._signed_number()]
+        while self.accept("punct", ","):
+            numbers.append(self._signed_number())
+        return numbers
+
+    def _signed_number(self) -> float:
+        sign = -1.0 if self.accept("op", "-") else 1.0
+        token = self.expect("number")
+        return sign * token.value
+
+    # project[a, b](E)
+    def _call_project(self) -> ast.Node:
+        self.expect("punct", "[")
+        fields = self._name_list()
+        self.expect("punct", "]")
+        (child,) = self._children(1)
+        return ast.Project(child, tuple(fields))
+
+    # append[name=expr, ...](E)
+    def _call_append(self) -> ast.Node:
+        self.expect("punct", "[")
+        elements: list[tuple[str, ast.Scalar]] = []
+        while True:
+            name = self.expect("name").value
+            self.expect("op", "=")
+            expr = self.parse_condition()
+            elements.append((name, expr))
+            if not self.accept("punct", ","):
+                break
+        self.expect("punct", "]")
+        (child,) = self._children(1)
+        return ast.Append(child, tuple(elements))
+
+    # select[cond](E)
+    def _call_select(self) -> ast.Node:
+        self.expect("punct", "[")
+        condition = self.parse_condition()
+        self.expect("punct", "]")
+        (child,) = self._children(1)
+        return ast.Select(child, condition)
+
+    # partition[expr](E)
+    def _call_partition(self) -> ast.Node:
+        self.expect("punct", "[")
+        key = self.parse_condition()
+        self.expect("punct", "]")
+        (child,) = self._children(1)
+        return ast.Partition(child, key)
+
+    # fold[b1, b2; a1, a2](E)
+    def _call_fold(self) -> ast.Node:
+        self.expect("punct", "[")
+        nest_fields = self._name_list()
+        self.expect("punct", ";")
+        group_fields = self._name_list()
+        self.expect("punct", "]")
+        (child,) = self._children(1)
+        return ast.Fold(child, tuple(nest_fields), tuple(group_fields))
+
+    def _call_unfold(self) -> ast.Node:
+        (child,) = self._children(1)
+        return ast.Unfold(child)
+
+    # prejoin[attr](E1, E2)
+    def _call_prejoin(self) -> ast.Node:
+        self.expect("punct", "[")
+        attr = self._field_name()
+        self.expect("punct", "]")
+        left, right = self._children(2)
+        return ast.Prejoin(left, right, attr)
+
+    # delta(E) | delta[f1, f2](E)
+    def _call_delta(self) -> ast.Node:
+        fields: tuple[str, ...] = ()
+        if self.accept("punct", "["):
+            fields = tuple(self._name_list())
+            self.expect("punct", "]")
+        (child,) = self._children(1)
+        return ast.Delta(child, fields)
+
+    # orderby[f1 asc, f2 desc](E)
+    def _call_orderby(self) -> ast.Node:
+        self.expect("punct", "[")
+        keys: list[ast.SortKey] = []
+        while True:
+            name = self._field_name()
+            ascending = True
+            direction = self.accept("name")
+            if direction is not None:
+                lowered = direction.value.lower()
+                if lowered == "desc":
+                    ascending = False
+                elif lowered != "asc":
+                    raise ParseError(
+                        f"expected ASC or DESC, found {direction.value!r}",
+                        direction.pos,
+                    )
+            keys.append(ast.SortKey(name, ascending))
+            if not self.accept("punct", ","):
+                break
+        self.expect("punct", "]")
+        (child,) = self._children(1)
+        return ast.OrderBy(child, tuple(keys))
+
+    # groupby[f1, f2](E)
+    def _call_groupby(self) -> ast.Node:
+        self.expect("punct", "[")
+        fields = self._name_list()
+        self.expect("punct", "]")
+        (child,) = self._children(1)
+        return ast.GroupBy(child, tuple(fields))
+
+    # limit[n](E)
+    def _call_limit(self) -> ast.Node:
+        self.expect("punct", "[")
+        count = self.expect("number").value
+        if not isinstance(count, int):
+            raise ParseError("limit requires an integer", self.peek().pos)
+        self.expect("punct", "]")
+        (child,) = self._children(1)
+        return ast.Limit(child, count)
+
+    def _call_zorder(self) -> ast.Node:
+        (child,) = self._children(1)
+        return ast.ZOrder(child)
+
+    def _call_hilbert(self) -> ast.Node:
+        (child,) = self._children(1)
+        return ast.HilbertOrder(child)
+
+    def _call_transpose(self) -> ast.Node:
+        (child,) = self._children(1)
+        return ast.Transpose(child)
+
+    # grid[d1, d2](E) | grid[d1, d2],[s1, s2](E)
+    def _call_grid(self) -> ast.Node:
+        self.expect("punct", "[")
+        dims = self._name_list()
+        self.expect("punct", "]")
+        strides: list[float]
+        if self.accept("punct", ","):
+            self.expect("punct", "[")
+            strides = self._number_list()
+            self.expect("punct", "]")
+        else:
+            strides = [1.0] * len(dims)
+        (child,) = self._children(1)
+        return ast.Grid(child, tuple(dims), tuple(float(s) for s in strides))
+
+    # chunk[c1, c2](E)
+    def _call_chunk(self) -> ast.Node:
+        self.expect("punct", "[")
+        shape = self._number_list()
+        self.expect("punct", "]")
+        if any(not float(c).is_integer() or c < 1 for c in shape):
+            raise ParseError("chunk shape must be positive integers")
+        (child,) = self._children(1)
+        return ast.Chunk(child, tuple(int(c) for c in shape))
+
+    # compress[codec](E) | compress[codec; f1, f2](E)
+    def _call_compress(self) -> ast.Node:
+        self.expect("punct", "[")
+        codec = self.expect("name").value
+        fields: tuple[str, ...] = ()
+        if self.accept("punct", ";"):
+            fields = tuple(self._name_list())
+        self.expect("punct", "]")
+        (child,) = self._children(1)
+        return ast.Compress(child, codec, fields)
+
+    def _call_rows(self) -> ast.Node:
+        (child,) = self._children(1)
+        return ast.Rows(child)
+
+    # columns(E) | columns[[a, b], [c]](E)
+    def _call_columns(self) -> ast.Node:
+        groups: list[tuple[str, ...]] = []
+        if self.accept("punct", "["):
+            while True:
+                self.expect("punct", "[")
+                groups.append(tuple(self._name_list()))
+                self.expect("punct", "]")
+                if not self.accept("punct", ","):
+                    break
+            self.expect("punct", "]")
+        (child,) = self._children(1)
+        return ast.Columns(child, tuple(groups))
+
+    def _call_mirror(self) -> ast.Node:
+        left, right = self._children(2)
+        return ast.Mirror(left, right)
+
+    # -- literal nestings ----------------------------------------------------
+
+    def parse_literal(self) -> list:
+        self.expect("punct", "[")
+        items: list = []
+        if not self.accept("punct", "]"):
+            while True:
+                token = self.peek()
+                if token.kind == "punct" and token.value == "[":
+                    items.append(self.parse_literal())
+                elif token.kind == "number":
+                    items.append(self.advance().value)
+                elif token.kind == "op" and token.value == "-":
+                    items.append(self._signed_number())
+                elif token.kind == "string":
+                    items.append(self.advance().value)
+                elif token.kind == "name" and token.value in ("true", "false"):
+                    items.append(self.advance().value == "true")
+                else:
+                    raise ParseError(
+                        f"unexpected literal element {token.value!r}", token.pos
+                    )
+                if not self.accept("punct", ","):
+                    break
+            self.expect("punct", "]")
+        return items
+
+    # -- conditions ------------------------------------------------------------
+
+    def parse_condition(self) -> ast.Scalar:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Scalar:
+        operands = [self._and_expr()]
+        while self.accept("name", "or"):
+            operands.append(self._and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return ast.Logical("or", tuple(operands))
+
+    def _and_expr(self) -> ast.Scalar:
+        operands = [self._not_expr()]
+        while self.accept("name", "and"):
+            operands.append(self._not_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return ast.Logical("and", tuple(operands))
+
+    def _not_expr(self) -> ast.Scalar:
+        if self.accept("name", "not"):
+            return ast.Logical("not", (self._not_expr(),))
+        return self._comparison()
+
+    def _comparison(self) -> ast.Scalar:
+        left = self._sum()
+        token = self.peek()
+        if token.kind == "op" and token.value in ("=", "!=", "<", "<=", ">", ">="):
+            op = self.advance().value
+            right = self._sum()
+            return ast.Comparison(op, left, right)
+        return left
+
+    def _sum(self) -> ast.Scalar:
+        node = self._term()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.value in ("+", "-"):
+                op = self.advance().value
+                node = ast.Arith(op, node, self._term())
+            else:
+                return node
+
+    def _term(self) -> ast.Scalar:
+        node = self._factor()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.value in ("*", "/", "%"):
+                op = self.advance().value
+                node = ast.Arith(op, node, self._factor())
+            else:
+                return node
+
+    def _factor(self) -> ast.Scalar:
+        token = self.peek()
+        if token.kind == "number":
+            return ast.Const(self.advance().value)
+        if token.kind == "string":
+            return ast.Const(self.advance().value)
+        if token.kind == "op" and token.value == "-":
+            self.advance()
+            inner = self._factor()
+            if isinstance(inner, ast.Const) and isinstance(
+                inner.value, (int, float)
+            ):
+                return ast.Const(-inner.value)
+            return ast.Arith("-", ast.Const(0), inner)
+        if token.kind == "punct" and token.value == "(":
+            self.advance()
+            node = self._or_expr()
+            self.expect("punct", ")")
+            return node
+        if token.kind == "name":
+            name = self.advance().value
+            if name == "true":
+                return ast.Const(True)
+            if name == "false":
+                return ast.Const(False)
+            if name.startswith("r."):
+                return ast.FieldRef(name[2:])
+            return ast.FieldRef(name)
+        raise ParseError(
+            f"expected a value or field, found {token.value!r}", token.pos
+        )
+
+
+def parse(text: str) -> ast.Node:
+    """Parse a textual algebra expression into an AST."""
+    return _Parser(text).parse()
+
+
+def parse_condition(text: str) -> ast.Scalar:
+    """Parse a bare scalar condition such as ``"r.area = 617"``."""
+    parser = _Parser(text)
+    node = parser.parse_condition()
+    token = parser.peek()
+    if token.kind != "eof":
+        raise ParseError(f"trailing input {token.value!r}", token.pos)
+    return node

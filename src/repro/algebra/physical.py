@@ -1,0 +1,110 @@
+"""Physical storage plans.
+
+A :class:`PhysicalPlan` is the algebra interpreter's output (paper Figure 1:
+"Algebra Specification -> Algebra Interpreter -> Physical Design"): a
+declarative description of *how* a table's bytes are arranged, with every
+piece of metadata the layout renderer and the access methods need — storage
+kind, stored schema, column groups, grid geometry, cell ordering, delta
+fields, per-field codecs, and sort order.
+
+Plans carry no data and no page ids; rendering a plan against actual records
+produces a :class:`repro.layout.renderer.StoredLayout`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.algebra import ast
+from repro.types.schema import Schema
+
+# Storage kinds a plan can describe.
+LAYOUT_ROWS = "rows"
+LAYOUT_COLUMNS = "columns"
+LAYOUT_GRID = "grid"
+LAYOUT_FOLDED = "folded"
+LAYOUT_ARRAY = "array"
+LAYOUT_MIRROR = "mirror"
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Grid geometry of a gridded layout."""
+
+    dims: tuple[str, ...]
+    strides: tuple[float, ...]
+    cell_order: str = "rowmajor"  # rowmajor | zorder | hilbert
+
+    def describe(self) -> str:
+        geometry = ", ".join(
+            f"{d}/{s:g}" for d, s in zip(self.dims, self.strides)
+        )
+        return f"grid({geometry}; {self.cell_order})"
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """A compiled physical design for one table.
+
+    Attributes:
+        expr: the (normalized) algebra expression this plan realizes.
+        kind: one of the ``LAYOUT_*`` constants.
+        schema: schema of the records as stored (after project/append).
+        column_groups: vertical partitioning, for ``columns`` layouts.
+        grid: grid geometry, for ``grid`` layouts.
+        delta_fields: fields stored delta-encoded (values must be
+            reconstructed by prefix sums at scan time).
+        codecs: field name -> codec name (``"*"`` key = whole record/column
+            default).
+        sort_keys: (field, ascending) pairs the stored order satisfies.
+        group_fields / nest_fields: fold structure, for ``folded`` layouts.
+        mirror_plans: the two sub-plans, for ``mirror`` layouts.
+    """
+
+    expr: ast.Node
+    kind: str
+    schema: Schema
+    column_groups: tuple[tuple[str, ...], ...] | None = None
+    grid: GridSpec | None = None
+    delta_fields: tuple[str, ...] = ()
+    codecs: tuple[tuple[str, str], ...] = ()  # (field or "*", codec name)
+    sort_keys: tuple[tuple[str, bool], ...] = ()
+    group_fields: tuple[str, ...] = ()
+    nest_fields: tuple[str, ...] = ()
+    mirror_plans: tuple["PhysicalPlan", ...] = ()
+
+    def codec_for(self, field_name: str) -> str:
+        """Codec assigned to ``field_name`` (field-specific beats ``"*"``)."""
+        default = "none"
+        for key, codec in self.codecs:
+            if key == field_name:
+                return codec
+            if key == "*":
+                default = codec
+        return default
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used by the catalog and docs)."""
+        parts = [self.kind]
+        if self.grid is not None:
+            parts.append(self.grid.describe())
+        if self.column_groups:
+            groups = " ".join(
+                "(" + ",".join(g) + ")" for g in self.column_groups
+            )
+            parts.append(f"groups={groups}")
+        if self.delta_fields:
+            parts.append(f"delta={','.join(self.delta_fields)}")
+        if self.codecs:
+            rendered = ",".join(
+                f"{k if isinstance(k, str) else '+'.join(k)}:{c}"
+                for k, c in self.codecs
+            )
+            parts.append(f"codecs={rendered}")
+        if self.sort_keys:
+            keys = ",".join(
+                f"{name}{'' if asc else ' desc'}" for name, asc in self.sort_keys
+            )
+            parts.append(f"order={keys}")
+        return " ".join(parts)

@@ -1,0 +1,76 @@
+"""Algebraic rewrites: normalization and equivalence rules.
+
+The storage algebra is declarative, so many expressions denote the same
+physical layout. The rewriter canonicalizes expressions before costing or
+rendering them, which both deduplicates the optimizer's search space and
+removes no-op work from render plans. Rules (applied bottom-up to fixpoint):
+
+* ``transpose(transpose(X))        -> X``
+* ``zorder(zorder(X))              -> zorder(X)``   (idempotent)
+* ``rows(rows(X))                  -> rows(X)``
+* ``select_C1(select_C2(X))        -> select_{C2 and C1}(X)``
+* ``project_A(project_B(X))        -> project_A(X)``   when A ⊆ B
+* ``limit_m(limit_n(X))            -> limit_{min(m,n)}(X)``
+* ``orderby_K1(orderby_K2(X))      -> orderby_K1(X)``  (outer order wins)
+* ``unfold(fold_{B,A}(X))          -> project_{A+B}(X)``
+* ``select_C(orderby_K(X))         -> orderby_K(select_C(X))``  (filter early)
+* ``select_C(project_A(X))         -> project_A(select_C(X))``  when C only
+  reads fields in A (filter before narrowing never reads dropped fields)
+"""
+
+from __future__ import annotations
+
+from repro.algebra import ast
+
+
+def normalize(node: ast.Node, max_passes: int = 20) -> ast.Node:
+    """Apply the rewrite rules bottom-up until the expression is stable."""
+    current = node
+    for _ in range(max_passes):
+        rewritten = current.transform_bottom_up(_rewrite_one)
+        if rewritten == current:
+            return current
+        current = rewritten
+    return current
+
+
+def _rewrite_one(node: ast.Node) -> ast.Node:
+    if isinstance(node, ast.Transpose) and isinstance(node.child, ast.Transpose):
+        return node.child.child
+    if isinstance(node, ast.ZOrder) and isinstance(node.child, ast.ZOrder):
+        return node.child
+    if isinstance(node, ast.HilbertOrder) and isinstance(
+        node.child, ast.HilbertOrder
+    ):
+        return node.child
+    if isinstance(node, ast.Rows) and isinstance(node.child, ast.Rows):
+        return node.child
+    if isinstance(node, ast.Select) and isinstance(node.child, ast.Select):
+        merged = ast.conj(node.child.condition, node.condition)
+        return ast.Select(node.child.child, merged)
+    if isinstance(node, ast.Project) and isinstance(node.child, ast.Project):
+        if set(node.fields) <= set(node.child.fields):
+            return ast.Project(node.child.child, node.fields)
+    if isinstance(node, ast.Limit) and isinstance(node.child, ast.Limit):
+        return ast.Limit(node.child.child, min(node.count, node.child.count))
+    if isinstance(node, ast.OrderBy) and isinstance(node.child, ast.OrderBy):
+        return ast.OrderBy(node.child.child, node.keys)
+    if isinstance(node, ast.Unfold) and isinstance(node.child, ast.Fold):
+        fold = node.child
+        return ast.Project(
+            fold.child, tuple(fold.group_fields) + tuple(fold.nest_fields)
+        )
+    if isinstance(node, ast.Select) and isinstance(node.child, ast.OrderBy):
+        inner = ast.Select(node.child.child, node.condition)
+        return ast.OrderBy(inner, node.child.keys)
+    if isinstance(node, ast.Select) and isinstance(node.child, ast.Project):
+        project = node.child
+        if node.condition.fields_used() <= set(project.fields):
+            inner = ast.Select(project.child, node.condition)
+            return ast.Project(inner, project.fields)
+    return node
+
+
+def structurally_equal(a: ast.Node, b: ast.Node) -> bool:
+    """Equality after normalization (a cheap equivalence approximation)."""
+    return normalize(a) == normalize(b)

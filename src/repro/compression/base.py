@@ -1,0 +1,79 @@
+"""Codec interface and registry.
+
+The paper (§3.5.2) notes that "the storage algebra supports a wide range of
+compression schemes by producing nestings through user-defined functions".
+Codecs plug into the algebra through ``compress[codec](N)`` and into the
+layout renderer, which encodes column chunks / cell columns with the codec
+named in the physical plan.
+
+Every codec is value-level and lossless: ``decode(encode(values)) == values``
+for any list of values valid for the declared type class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import RodentStoreError
+from repro.storage.serializer import VectorSerializer
+from repro.types.types import DataType
+
+
+class CodecError(RodentStoreError):
+    """A codec cannot encode/decode the given values."""
+
+
+class Codec:
+    """Base class for value-vector codecs."""
+
+    name: str = "codec"
+
+    def encode(self, values: Sequence[Any], dtype: DataType) -> bytes:
+        raise NotImplementedError
+
+    def decode(self, data: bytes, dtype: DataType) -> list:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<codec {self.name}>"
+
+
+class NoneCodec(Codec):
+    """Identity codec: plain vector serialization."""
+
+    name = "none"
+
+    def encode(self, values: Sequence[Any], dtype: DataType) -> bytes:
+        return VectorSerializer(dtype).encode(values)
+
+    def decode(self, data: bytes, dtype: DataType) -> list:
+        return VectorSerializer(dtype).decode(data)
+
+
+_REGISTRY: dict[str, Codec] = {}
+
+
+def register(codec: Codec) -> Codec:
+    """Register a codec instance under its ``name``.
+
+    Re-registering a name replaces the previous codec, which lets user code
+    override built-ins (the paper's "user-defined functions").
+    """
+    _REGISTRY[codec.name] = codec
+    return codec
+
+
+def get_codec(name: str) -> Codec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise CodecError(
+            f"unknown codec {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def codec_names() -> set[str]:
+    return set(_REGISTRY)
+
+
+register(NoneCodec())

@@ -1,0 +1,109 @@
+"""Bit-packing and frame-of-reference coding.
+
+``pack_uints`` stores non-negative integers at the minimal fixed bit width;
+:class:`ForCodec` (frame of reference) subtracts the minimum first so that
+clustered values — e.g. timestamps within one grid cell — pack tightly.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Sequence
+
+from repro.compression.base import Codec, CodecError, register
+from repro.types.types import DataType, IntType
+
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+
+
+def pack_uints(values: Sequence[int]) -> bytes:
+    """Pack non-negative ints at the minimal per-vector fixed bit width."""
+    for v in values:
+        if v < 0:
+            raise CodecError(f"bit packing requires non-negative ints, got {v}")
+    width = max((v.bit_length() for v in values), default=0)
+    width = max(width, 1)
+    out = bytearray(_U32.pack(len(values)))
+    out.append(width)
+    acc = 0
+    bits = 0
+    for v in values:
+        acc |= v << bits
+        bits += width
+        while bits >= 8:
+            out.append(acc & 0xFF)
+            acc >>= 8
+            bits -= 8
+    if bits:
+        out.append(acc & 0xFF)
+    return bytes(out)
+
+
+def unpack_uints(data: bytes) -> list[int]:
+    """Invert :func:`pack_uints`."""
+    if len(data) < 5:
+        raise CodecError("truncated bit-packed vector")
+    (count,) = _U32.unpack_from(data, 0)
+    width = data[4]
+    if width == 0 or width > 64:
+        raise CodecError(f"invalid bit width {width}")
+    values: list[int] = []
+    acc = 0
+    bits = 0
+    offset = 5
+    mask = (1 << width) - 1
+    while len(values) < count:
+        while bits < width:
+            if offset >= len(data):
+                raise CodecError("truncated bit-packed payload")
+            acc |= data[offset] << bits
+            offset += 1
+            bits += 8
+        values.append(acc & mask)
+        acc >>= width
+        bits -= width
+    return values
+
+
+class BitpackCodec(Codec):
+    """Minimal-width bit packing of non-negative integer vectors."""
+
+    name = "bitpack"
+
+    def encode(self, values: Sequence[Any], dtype: DataType) -> bytes:
+        base = getattr(dtype, "base", dtype)
+        if not isinstance(base, IntType):
+            raise CodecError(
+                f"bitpack codec requires an integer type, got {dtype.name}"
+            )
+        return pack_uints(list(values))
+
+    def decode(self, data: bytes, dtype: DataType) -> list:
+        return unpack_uints(data)
+
+
+class ForCodec(Codec):
+    """Frame of reference: subtract the vector minimum, then bit-pack."""
+
+    name = "for"
+
+    def encode(self, values: Sequence[Any], dtype: DataType) -> bytes:
+        base = getattr(dtype, "base", dtype)
+        if not isinstance(base, IntType):
+            raise CodecError(
+                f"for codec requires an integer type, got {dtype.name}"
+            )
+        reference = min(values) if values else 0
+        packed = pack_uints([v - reference for v in values])
+        return _I64.pack(reference) + packed
+
+    def decode(self, data: bytes, dtype: DataType) -> list:
+        if len(data) < 8:
+            raise CodecError("truncated frame-of-reference vector")
+        (reference,) = _I64.unpack_from(data, 0)
+        return [v + reference for v in unpack_uints(data[8:])]
+
+
+register(BitpackCodec())
+register(ForCodec())

@@ -1,0 +1,27 @@
+"""Space-filling curves: Z-order (Morton) and Hilbert."""
+
+from repro.curves.hilbert import hilbert_d2xy, hilbert_sort_key, hilbert_xy2d
+from repro.curves.zorder import (
+    deinterleave_bits,
+    interleave_bits,
+    morton_decode,
+    morton_encode,
+    zorder_matrix,
+    zorder_positions,
+    zorder_range_covers,
+    zorder_sort_key,
+)
+
+__all__ = [
+    "deinterleave_bits",
+    "hilbert_d2xy",
+    "hilbert_sort_key",
+    "hilbert_xy2d",
+    "interleave_bits",
+    "morton_decode",
+    "morton_encode",
+    "zorder_matrix",
+    "zorder_positions",
+    "zorder_range_covers",
+    "zorder_sort_key",
+]

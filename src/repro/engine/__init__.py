@@ -1,0 +1,34 @@
+"""Engine: catalog, cost model, statistics, tables, and the RodentStore."""
+
+from repro.engine.catalog import Catalog, CatalogEntry
+from repro.engine.cost import CostEstimate, CostModel, estimate
+from repro.engine.database import RodentStore
+from repro.engine.indexes import (
+    FieldIndex,
+    SpatialIndex,
+    build_field_index,
+    build_spatial_index,
+)
+from repro.engine.persistence import load_catalog, save_catalog
+from repro.engine.stats import FieldStats, TableStats
+from repro.engine.table import Table, normalize_order, record_pipeline
+
+__all__ = [
+    "Catalog",
+    "CatalogEntry",
+    "CostEstimate",
+    "CostModel",
+    "FieldIndex",
+    "FieldStats",
+    "RodentStore",
+    "SpatialIndex",
+    "Table",
+    "TableStats",
+    "build_field_index",
+    "build_spatial_index",
+    "estimate",
+    "load_catalog",
+    "normalize_order",
+    "record_pipeline",
+    "save_catalog",
+]

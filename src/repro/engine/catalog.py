@@ -1,0 +1,73 @@
+"""Catalog: logical schemas, physical plans, and stored layouts per table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from repro.algebra.physical import PhysicalPlan
+from repro.errors import CatalogError
+from repro.types.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.engine.stats import TableStats
+    from repro.layout.renderer import StoredLayout
+
+
+@dataclass
+class CatalogEntry:
+    """Everything the engine knows about one table."""
+
+    name: str
+    logical_schema: Schema
+    plan: PhysicalPlan | None = None
+    layout: "StoredLayout | None" = None
+    stats: "TableStats | None" = None
+    # Row-major overflow regions holding data inserted after the last
+    # (re)organization — the paper's "reorganize only new data" state.
+    overflow: list = field(default_factory=list)
+    # Secondary access paths: field name -> FieldIndex, and
+    # (x_field, y_field) -> SpatialIndex.
+    indexes: dict = field(default_factory=dict)
+    spatial_indexes: dict = field(default_factory=dict)
+
+
+class Catalog:
+    """Name -> :class:`CatalogEntry` mapping with schema lookups."""
+
+    def __init__(self):
+        self._entries: dict[str, CatalogEntry] = {}
+
+    def create(self, name: str, schema: Schema) -> CatalogEntry:
+        if name in self._entries:
+            raise CatalogError(f"table {name!r} already exists")
+        entry = CatalogEntry(name=name, logical_schema=schema)
+        self._entries[name] = entry
+        return entry
+
+    def drop(self, name: str) -> None:
+        if name not in self._entries:
+            raise CatalogError(f"unknown table {name!r}")
+        del self._entries[name]
+
+    def entry(self, name: str) -> CatalogEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def has(self, name: str) -> bool:
+        return name in self._entries
+
+    def schemas(self) -> dict[str, Schema]:
+        """Logical schemas keyed by table name (the interpreter's input)."""
+        return {name: e.logical_schema for name, e in self._entries.items()}
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def __iter__(self) -> Iterator[CatalogEntry]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)

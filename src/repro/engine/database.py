@@ -1,0 +1,289 @@
+"""The RodentStore engine: wiring of Figure 1.
+
+``RodentStore`` owns the storage stack (disk manager, buffer pool, WAL,
+transactions), the catalog, the algebra interpreter, and the layout renderer.
+A front end (SQL engine, array system, ORM, or — here — the mini relational
+API in :mod:`repro.query.frontend`) creates tables, declares their physical
+design with a storage-algebra expression, loads data, and queries through the
+:class:`repro.engine.table.Table` access methods.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.algebra import ast
+from repro.algebra.interpreter import AlgebraInterpreter
+from repro.algebra.parser import parse
+from repro.algebra.physical import LAYOUT_ROWS, PhysicalPlan
+from repro.algebra.transforms import Evaluated, Evaluator
+from repro.engine.catalog import Catalog, CatalogEntry
+from repro.engine.cost import CostModel
+from repro.engine.stats import TableStats
+from repro.engine.table import Table, structural_residual
+from repro.errors import CatalogError, StorageError
+from repro.layout.renderer import LayoutRenderer, StoredLayout
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DEFAULT_PAGE_SIZE, DiskManager, IOStats
+from repro.storage.locks import LockManager
+from repro.storage.transactions import TransactionManager
+from repro.storage.wal import WriteAheadLog
+from repro.types.schema import Schema
+
+
+class RodentStore:
+    """An adaptive, declarative storage system (single node).
+
+    Args:
+        path: database file path, or ``None`` for an in-memory store.
+        page_size: disk page size in bytes (the paper's case study uses
+            1000 KB pages; benchmarks here default to smaller pages at
+            smaller data scale).
+        pool_capacity: buffer pool frames.
+        eviction: buffer pool policy (``"lru"`` or ``"clock"``).
+
+    Example::
+
+        store = RodentStore(page_size=8192)
+        store.create_table(
+            "Traces",
+            Schema.of("t:int", "lat:int", "lon:int", "id:int"),
+            layout="zorder(grid[lat, lon],[1000, 1000](Traces))",
+        )
+        store.load("Traces", records)
+        for r in store.table("Traces").scan(predicate=Rect(...)):
+            ...
+    """
+
+    def __init__(
+        self,
+        path: str | None = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        pool_capacity: int = 256,
+        eviction: str = "lru",
+        wal_path: str | None = None,
+        cost_model: CostModel | None = None,
+    ):
+        self.disk = DiskManager(path, page_size=page_size)
+        self.pool = BufferPool(self.disk, capacity=pool_capacity, policy=eviction)
+        self.wal = WriteAheadLog(wal_path)
+        self.locks = LockManager()
+        self.transactions = TransactionManager(self.wal, self.pool, self.locks)
+        self.catalog = Catalog()
+        self.renderer = LayoutRenderer(self.pool)
+        self.cost_model = cost_model or CostModel(page_size=page_size)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self.pool.flush_all()
+        self.wal.close()
+        self.disk.close()
+
+    def __enter__(self) -> "RodentStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- DDL ---------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        layout: str | ast.Node | None = None,
+    ) -> Table:
+        """Create a table with an optional declarative physical design.
+
+        ``layout`` is a storage-algebra expression (text or AST); omitted, it
+        defaults to the canonical row-major representation ``rows(name)``.
+        """
+        entry = self.catalog.create(name, schema)
+        expr = self._resolve_expr(name, layout)
+        entry.plan = self._interpreter().compile(expr)
+        return Table(self, entry)
+
+    def _resolve_expr(
+        self, name: str, layout: str | ast.Node | None
+    ) -> ast.Node:
+        if layout is None:
+            return ast.TableRef(name)
+        if isinstance(layout, str):
+            return parse(layout)
+        return layout
+
+    def _interpreter(self) -> AlgebraInterpreter:
+        return AlgebraInterpreter(self.catalog.schemas())
+
+    def drop_table(self, name: str) -> None:
+        entry = self.catalog.entry(name)
+        self._free_layout(entry.layout)
+        for overflow in entry.overflow:
+            self._free_layout(overflow)
+        self.catalog.drop(name)
+
+    def _free_layout(self, layout: StoredLayout | None) -> None:
+        if layout is None:
+            return
+        if layout.extent is not None:
+            for page_id in layout.extent.page_ids:
+                self.disk.free_page(page_id)
+        for group in layout.column_groups:
+            for page_id in group.extent.page_ids:
+                self.disk.free_page(page_id)
+        for mirror in layout.mirrors:
+            self._free_layout(mirror)
+
+    # -- data loading ----------------------------------------------------------
+
+    def load(self, name: str, records: Sequence[Sequence[Any]]) -> Table:
+        """Bulk-load logical records, rendering the table's physical design."""
+        entry = self.catalog.entry(name)
+        if entry.plan is None:
+            raise CatalogError(f"table {name!r} has no physical plan")
+        schema = entry.logical_schema
+        coerced = [schema.coerce_record(r) for r in records]
+        entry.stats = TableStats.collect(schema, coerced)
+        evaluated = self._evaluate(entry.plan, {name: (coerced, schema)})
+        old_layout = entry.layout
+        entry.layout = self.renderer.render(entry.plan, evaluated)
+        entry.indexes.clear()
+        entry.spatial_indexes.clear()
+        self._free_layout(old_layout)
+        return Table(self, entry)
+
+    def _evaluate(
+        self,
+        plan: PhysicalPlan,
+        tables: dict[str, tuple[list[tuple], Schema]],
+    ) -> Evaluated:
+        evaluator = Evaluator(
+            {
+                name: (records, tuple(schema.names()))
+                for name, (records, schema) in tables.items()
+            }
+        )
+        return evaluator.evaluate(plan.expr)
+
+    # -- adaptivity: change a table's physical design ------------------------
+
+    def relayout(
+        self,
+        name: str,
+        layout: str | ast.Node,
+        source_records: Sequence[Sequence[Any]] | None = None,
+    ) -> Table:
+        """Re-organize ``name`` under a new algebra expression.
+
+        When ``source_records`` is omitted the current representation must
+        retain every logical field (a design that projected fields away is
+        lossy, so the caller has to re-supply the data — the paper's design
+        tools would keep the base table for exactly this reason).
+        """
+        entry = self.catalog.entry(name)
+        expr = self._resolve_expr(name, layout)
+        new_plan = self._interpreter().compile(expr)
+        if source_records is None:
+            source_records = self._recover_logical_records(entry)
+        # Swap the plan, then reuse the bulk-load path.
+        entry.plan = new_plan
+        entry.overflow = []
+        return self.load(name, source_records)
+
+    def _recover_logical_records(self, entry: CatalogEntry) -> list[tuple]:
+        table = Table(self, entry)
+        stored_fields = table.scan_schema().names()
+        logical_fields = entry.logical_schema.names()
+        missing = [f for f in logical_fields if f not in stored_fields]
+        if missing:
+            raise StorageError(
+                f"cannot re-derive logical records: current layout dropped "
+                f"field(s) {missing}; pass source_records"
+            )
+        return list(table.scan(fieldlist=logical_fields))
+
+    def compact_table(self, name: str) -> None:
+        """Fold overflow regions back into the main representation."""
+        entry = self.catalog.entry(name)
+        if entry.plan is None or entry.layout is None:
+            raise StorageError(f"table {name!r} is not loaded")
+        table = Table(self, entry)
+        stored = list(table.scan())
+        residual = structural_residual(entry.plan.expr, "__stored__")
+        evaluator = Evaluator(
+            {"__stored__": (stored, tuple(table.scan_schema().names()))}
+        )
+        evaluated = evaluator.evaluate(residual)
+        old_layout = entry.layout
+        old_overflow = entry.overflow
+        entry.layout = self.renderer.render(entry.plan, evaluated)
+        entry.overflow = []
+        entry.indexes.clear()
+        entry.spatial_indexes.clear()
+        self._free_layout(old_layout)
+        for overflow in old_overflow:
+            self._free_layout(overflow)
+
+    def render_overflow_region(
+        self, schema: Schema, records: Sequence[tuple]
+    ) -> StoredLayout:
+        """Render a row-major overflow region (used by Table.flush_inserts)."""
+        plan = PhysicalPlan(
+            expr=ast.TableRef("__overflow__"),
+            kind=LAYOUT_ROWS,
+            schema=schema,
+        )
+        evaluated = Evaluated(list(records), tuple(schema.names()))
+        return self.renderer.render(plan, evaluated)
+
+    # -- persistence ---------------------------------------------------------
+
+    def save_catalog(self, path: str) -> None:
+        """Persist schemas, physical designs, and layout metadata as JSON.
+
+        Combined with a file-backed page store, this makes the database
+        reopenable: ``RodentStore.open(db_path, catalog_path)``.
+        """
+        from repro.engine.persistence import save_catalog
+
+        self.pool.flush_all()
+        save_catalog(self, path)
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        catalog_path: str,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        **kwargs: Any,
+    ) -> "RodentStore":
+        """Reopen a store from its page file and saved catalog."""
+        from repro.engine.persistence import load_catalog
+
+        store = cls(path=path, page_size=page_size, **kwargs)
+        load_catalog(store, catalog_path)
+        return store
+
+    # -- access ------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        return Table(self, self.catalog.entry(name))
+
+    def tables(self) -> list[str]:
+        return self.catalog.names()
+
+    # -- measurement ---------------------------------------------------------
+
+    def run_cold(self, query: Callable[[], Any]) -> tuple[Any, IOStats]:
+        """Run ``query`` against a cold cache, returning (result, I/O delta).
+
+        This is the measurement harness for the paper's "number of pages read
+        per query" metric: the buffer pool is emptied and the simulated disk
+        head reset so each query pays its true I/O.
+        """
+        self.pool.clear()
+        self.disk.reset_head()
+        with self.disk.measure() as io:
+            result = query()
+        return result, io

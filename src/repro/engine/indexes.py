@@ -1,0 +1,174 @@
+"""Secondary indexes over stored tables.
+
+The paper: "RodentStore will include both B+Trees as well as a variety of
+geo-spatial indices, but we don't anticipate innovating in this regard"
+(§1). This module wires the page-backed :mod:`repro.index` structures into
+the engine as *secondary* access paths over row layouts:
+
+* :class:`FieldIndex` — a B+Tree mapping one field's values to row positions;
+* :class:`SpatialIndex` — an R-Tree mapping (x, y) point fields to row
+  positions.
+
+Index probes return row positions; the scan path groups positions by page so
+each data page is fetched once, in storage order. Indexes are built against
+the current main layout and become *stale* when rows are inserted afterwards
+— a stale index is never used silently (scans fall back to the base path)
+until it is rebuilt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.algebra.physical import LAYOUT_ROWS
+from repro.errors import IndexError_, QueryError
+from repro.index.btree import BPlusTree
+from repro.index.rtree import MBR, RTree
+from repro.storage.page import SlottedPage
+from repro.storage.serializer import RecordSerializer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.table import Table
+
+
+@dataclass
+class FieldIndex:
+    """A B+Tree secondary index over one field of a rows-layout table."""
+
+    field_name: str
+    tree: BPlusTree
+    row_count: int  # rows in the layout when the index was built
+    stale: bool = False
+
+    def positions_in_range(self, lo, hi) -> list[int]:
+        if self.stale:
+            raise IndexError_(
+                f"index on {self.field_name!r} is stale; rebuild it"
+            )
+        return sorted(pos for _, pos in self.tree.range(lo, hi))
+
+
+@dataclass
+class SpatialIndex:
+    """An R-Tree secondary index over two point fields (x, y)."""
+
+    x_field: str
+    y_field: str
+    tree: RTree
+    row_count: int
+    stale: bool = False
+
+    def positions_in_box(
+        self, x_lo: float, x_hi: float, y_lo: float, y_hi: float
+    ) -> list[int]:
+        if self.stale:
+            raise IndexError_(
+                f"spatial index on ({self.x_field}, {self.y_field}) is "
+                "stale; rebuild it"
+            )
+        query = MBR(x_lo, y_lo, x_hi, y_hi)
+        return sorted(pos for _, pos in self.tree.iter_search(query))
+
+
+def build_field_index(table: "Table", field_name: str) -> FieldIndex:
+    """Build a B+Tree over ``field_name`` of a rows-layout table."""
+    _require_rows_layout(table, "field index")
+    schema = table.plan.schema
+    if not schema.has_field(field_name):
+        raise QueryError(f"unknown index field {field_name!r}")
+    key_type = schema.field(field_name).dtype
+    tree = BPlusTree(table._db.pool, key_type=key_type)
+    position_of = schema.index_of(field_name)
+    pairs = [
+        (record[position_of], row)
+        for row, record in enumerate(table._db.renderer.iter_rows(table.layout))
+    ]
+    tree.bulk_load(pairs)
+    return FieldIndex(field_name, tree, row_count=len(pairs))
+
+
+def build_spatial_index(
+    table: "Table", x_field: str, y_field: str
+) -> SpatialIndex:
+    """Build an R-Tree over two numeric point fields of a rows layout."""
+    _require_rows_layout(table, "spatial index")
+    schema = table.plan.schema
+    xi = schema.index_of(x_field)
+    yi = schema.index_of(y_field)
+    tree = RTree(table._db.pool)
+    entries = [
+        (MBR(record[xi], record[yi], record[xi], record[yi]), row)
+        for row, record in enumerate(table._db.renderer.iter_rows(table.layout))
+    ]
+    tree.bulk_load(entries)
+    return SpatialIndex(x_field, y_field, tree, row_count=len(entries))
+
+
+def _require_rows_layout(table: "Table", what: str) -> None:
+    if table.plan.kind != LAYOUT_ROWS:
+        raise IndexError_(
+            f"{what} requires a rows layout (table {table.name!r} is "
+            f"{table.plan.kind}); secondary indexes address rows by position"
+        )
+    if not table.layout.page_row_counts:
+        raise IndexError_("rows layout lacks per-page row counts")
+
+
+def fetch_rows_by_position(
+    table: "Table", positions: Sequence[int]
+) -> Iterator[tuple]:
+    """Fetch records at sorted ``positions``, one page fetch per data page.
+
+    Positions are translated to (page, slot) through the layout's per-page
+    row counts; consecutive positions on the same page share one pool fetch.
+    """
+    layout = table.layout
+    renderer = table._db.renderer
+    serializer = RecordSerializer(table.plan.schema)
+    page_starts: list[int] = []
+    acc = 0
+    for count in layout.page_row_counts:
+        page_starts.append(acc)
+        acc += count
+
+    current_page = -1
+    page = None
+    page_id = None
+    for position in positions:
+        if position < 0 or position >= acc:
+            raise QueryError(f"row position {position} out of range")
+        page_index = _page_of(page_starts, position)
+        if page_index != current_page:
+            if page_id is not None:
+                renderer.pool.unpin(page_id)
+            page_id = layout.extent.page_ids[page_index]
+            frame = renderer.pool.fetch(page_id)
+            page = SlottedPage(renderer.page_size, frame.data)
+            current_page = page_index
+        slot = position - page_starts[page_index]
+        yield serializer.decode(page.get(slot))
+    if page_id is not None:
+        renderer.pool.unpin(page_id)
+
+
+def _page_of(page_starts: list[int], position: int) -> int:
+    lo, hi = 0, len(page_starts) - 1
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if page_starts[mid] <= position:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def pages_for_positions(table: "Table", positions: Sequence[int]) -> int:
+    """Distinct data pages covering ``positions`` (for cost estimation)."""
+    layout = table.layout
+    page_starts: list[int] = []
+    acc = 0
+    for count in layout.page_row_counts:
+        page_starts.append(acc)
+        acc += count
+    return len({_page_of(page_starts, p) for p in positions})

@@ -1,0 +1,241 @@
+"""Catalog persistence: save/reopen a store across processes.
+
+The page file already persists (``RodentStore(path=...)``); this module
+persists the *catalog* — logical schemas, the algebra expression of each
+table's physical design, and the layout metadata (extents, cell directories,
+chunk maps) — as JSON. Reopening compiles each expression back into a
+physical plan through the normal interpreter path, so the stored layout
+metadata is always interpreted against a freshly type-checked plan.
+
+Secondary indexes are rebuilt on demand rather than persisted (they are
+derived data; `Table.create_index` reconstructs them from the base layout).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.algebra.physical import PhysicalPlan
+from repro.engine.stats import FieldStats, TableStats
+from repro.errors import CatalogError
+from repro.layout.renderer import (
+    CellEntry,
+    ColumnGroupStore,
+    Extent,
+    StoredLayout,
+)
+from repro.types.schema import Schema
+from repro.types.types import type_from_name
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.database import RodentStore
+
+FORMAT_VERSION = 1
+
+
+# -- layout (de)serialization -------------------------------------------------
+
+
+def layout_to_dict(layout: StoredLayout) -> dict:
+    return {
+        "row_count": layout.row_count,
+        "extent": layout.extent.page_ids if layout.extent else None,
+        "column_groups": [
+            {
+                "fields": list(g.fields),
+                "extent": g.extent.page_ids,
+                "chunks": g.chunks,
+            }
+            for g in layout.column_groups
+        ],
+        "cell_directory": [
+            {
+                "coord": list(e.coord),
+                "bounds": [list(b) for b in e.bounds],
+                "offset": e.offset,
+                "length": e.length,
+                "row_count": e.row_count,
+            }
+            for e in layout.cell_directory
+        ],
+        "array_shape": list(layout.array_shape)
+        if layout.array_shape is not None
+        else None,
+        "array_values_per_page": layout.array_values_per_page,
+        "array_dtype": layout.array_dtype.name if layout.array_dtype else None,
+        "mirrors": [layout_to_dict(m) for m in layout.mirrors],
+        "grid_origin": list(layout.grid_origin),
+        "folded_directory": layout.folded_directory,
+        "folded_keys": [list(k) for k in layout.folded_keys],
+        "page_row_counts": layout.page_row_counts,
+    }
+
+
+def layout_from_dict(data: dict, plan: PhysicalPlan) -> StoredLayout:
+    mirrors = []
+    for sub_data, sub_plan in zip(data.get("mirrors", []), plan.mirror_plans):
+        mirrors.append(layout_from_dict(sub_data, sub_plan))
+    return StoredLayout(
+        plan=plan,
+        row_count=data["row_count"],
+        extent=Extent(list(data["extent"])) if data["extent"] else None,
+        column_groups=[
+            ColumnGroupStore(
+                fields=tuple(g["fields"]),
+                extent=Extent(list(g["extent"])),
+                chunks=[tuple(c) for c in g["chunks"]],
+            )
+            for g in data.get("column_groups", [])
+        ],
+        cell_directory=[
+            CellEntry(
+                coord=tuple(e["coord"]),
+                bounds=tuple(tuple(b) for b in e["bounds"]),
+                offset=e["offset"],
+                length=e["length"],
+                row_count=e["row_count"],
+            )
+            for e in data.get("cell_directory", [])
+        ],
+        array_shape=tuple(data["array_shape"])
+        if data.get("array_shape") is not None
+        else None,
+        array_values_per_page=data.get("array_values_per_page", 0),
+        array_dtype=type_from_name(data["array_dtype"])
+        if data.get("array_dtype")
+        else None,
+        mirrors=mirrors,
+        grid_origin=tuple(data.get("grid_origin", [])),
+        folded_directory=[tuple(f) for f in data.get("folded_directory", [])],
+        folded_keys=[tuple(k) for k in data.get("folded_keys", [])],
+        page_row_counts=list(data.get("page_row_counts", [])),
+    )
+
+
+# -- stats (de)serialization ------------------------------------------------
+
+
+def stats_to_dict(stats: TableStats) -> dict:
+    return {
+        "row_count": stats.row_count,
+        "avg_record_width": stats.avg_record_width,
+        "fields": {
+            name: {
+                "count": f.count,
+                "nulls": f.nulls,
+                "min_value": f.min_value,
+                "max_value": f.max_value,
+                "distinct": f.distinct,
+                "histogram": f.histogram,
+                "avg_width": f.avg_width,
+            }
+            for name, f in stats.fields.items()
+        },
+    }
+
+
+def stats_from_dict(data: dict) -> TableStats:
+    fields = {}
+    for name, f in data["fields"].items():
+        fields[name] = FieldStats(
+            name=name,
+            count=f["count"],
+            nulls=f["nulls"],
+            min_value=f["min_value"],
+            max_value=f["max_value"],
+            distinct=f["distinct"],
+            histogram=list(f["histogram"]),
+            avg_width=f["avg_width"],
+        )
+    return TableStats(
+        row_count=data["row_count"],
+        fields=fields,
+        avg_record_width=data["avg_record_width"],
+    )
+
+
+# -- catalog save/load --------------------------------------------------------
+
+
+def save_catalog(store: "RodentStore", path: str) -> None:
+    """Write the catalog (schemas, designs, layout metadata) to ``path``."""
+    tables = []
+    for entry in store.catalog:
+        tables.append(
+            {
+                "name": entry.name,
+                "schema": [
+                    f"{f.name}:{f.dtype.name}"
+                    for f in entry.logical_schema.fields
+                ],
+                "expr": entry.plan.expr.to_text() if entry.plan else None,
+                "layout": layout_to_dict(entry.layout)
+                if entry.layout
+                else None,
+                "overflow": [layout_to_dict(o) for o in entry.overflow],
+                "stats": stats_to_dict(entry.stats) if entry.stats else None,
+            }
+        )
+    payload = {
+        "version": FORMAT_VERSION,
+        "page_size": store.disk.page_size,
+        "num_pages": store.disk.num_pages,
+        "tables": tables,
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=1)
+
+
+def load_catalog(store: "RodentStore", path: str) -> None:
+    """Restore a catalog previously written by :func:`save_catalog`.
+
+    The store must be backed by the same page file the catalog was saved
+    against (checked via page size; page contents are trusted).
+    """
+    from repro.algebra.interpreter import AlgebraInterpreter
+    from repro.algebra.physical import LAYOUT_ROWS, PhysicalPlan
+    from repro.algebra import ast
+
+    with open(path, "r", encoding="utf-8") as f:
+        payload = json.load(f)
+    if payload.get("version") != FORMAT_VERSION:
+        raise CatalogError(
+            f"unsupported catalog version {payload.get('version')!r}"
+        )
+    if payload["page_size"] != store.disk.page_size:
+        raise CatalogError(
+            f"catalog was saved with page size {payload['page_size']}, "
+            f"store uses {store.disk.page_size}"
+        )
+
+    # First pass: register schemas so expressions can be compiled.
+    for t in payload["tables"]:
+        schema = Schema.of(*t["schema"])
+        store.catalog.create(t["name"], schema)
+
+    interpreter = AlgebraInterpreter(store.catalog.schemas())
+    for t in payload["tables"]:
+        entry = store.catalog.entry(t["name"])
+        if t["expr"] is not None:
+            entry.plan = interpreter.compile(t["expr"])
+        if t["layout"] is not None:
+            entry.layout = layout_from_dict(t["layout"], entry.plan)
+        overflow_plan = PhysicalPlan(
+            expr=ast.TableRef("__overflow__"),
+            kind=LAYOUT_ROWS,
+            schema=_scan_schema_of(entry),
+        )
+        entry.overflow = [
+            layout_from_dict(o, overflow_plan) for o in t.get("overflow", [])
+        ]
+        if t.get("stats"):
+            entry.stats = stats_from_dict(t["stats"])
+
+
+def _scan_schema_of(entry) -> Schema:
+    from repro.engine.table import _scan_schema
+
+    if entry.plan is None:
+        return entry.logical_schema
+    return _scan_schema(entry.plan)

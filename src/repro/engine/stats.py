@@ -1,0 +1,140 @@
+"""Table statistics for selectivity estimation.
+
+The storage design optimizer costs candidate layouts without materializing
+them; it needs per-field minima/maxima, distinct-value estimates, and a
+small equi-width histogram to translate query predicates into expected
+record/cell counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.types.schema import Schema
+
+_HISTOGRAM_BUCKETS = 32
+
+
+@dataclass
+class FieldStats:
+    """Statistics of one (numeric or string) field."""
+
+    name: str
+    count: int = 0
+    nulls: int = 0
+    min_value: Any = None
+    max_value: Any = None
+    distinct: int = 0
+    histogram: list[int] = field(default_factory=list)  # numeric only
+    avg_width: float = 0.0
+
+    @property
+    def is_numeric(self) -> bool:
+        return isinstance(self.min_value, (int, float)) and not isinstance(
+            self.min_value, bool
+        )
+
+    def selectivity(self, lo: float, hi: float) -> float:
+        """Estimated fraction of records with value in [lo, hi]."""
+        if self.count == 0 or not self.is_numeric:
+            return 1.0
+        span_lo, span_hi = float(self.min_value), float(self.max_value)
+        if span_hi <= span_lo:
+            return 1.0 if lo <= span_lo <= hi else 0.0
+        if not self.histogram:
+            overlap = max(0.0, min(hi, span_hi) - max(lo, span_lo))
+            return min(1.0, overlap / (span_hi - span_lo))
+        width = (span_hi - span_lo) / len(self.histogram)
+        total = sum(self.histogram)
+        if total == 0 or width == 0:
+            return 1.0
+        covered = 0.0
+        for i, bucket in enumerate(self.histogram):
+            b_lo = span_lo + i * width
+            b_hi = b_lo + width
+            overlap = max(0.0, min(hi, b_hi) - max(lo, b_lo))
+            if overlap > 0:
+                covered += bucket * (overlap / width)
+        return min(1.0, covered / total)
+
+
+@dataclass
+class TableStats:
+    """Statistics over a whole table."""
+
+    row_count: int
+    fields: dict[str, FieldStats]
+    avg_record_width: float
+
+    @classmethod
+    def collect(
+        cls, schema: Schema, records: Sequence[Sequence[Any]]
+    ) -> "TableStats":
+        """Single pass over ``records`` computing all field statistics."""
+        field_stats = {f.name: FieldStats(f.name) for f in schema.fields}
+        distincts: dict[str, set] = {f.name: set() for f in schema.fields}
+        numeric_values: dict[str, list[float]] = {
+            f.name: [] for f in schema.fields
+        }
+        total_width = 0
+        for record in records:
+            total_width += schema.estimated_record_size(record)
+            for f, value in zip(schema.fields, record):
+                stats = field_stats[f.name]
+                stats.count += 1
+                if value is None:
+                    stats.nulls += 1
+                    continue
+                if stats.min_value is None or value < stats.min_value:
+                    stats.min_value = value
+                if stats.max_value is None or value > stats.max_value:
+                    stats.max_value = value
+                if len(distincts[f.name]) < 100_000:
+                    distincts[f.name].add(value)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    numeric_values[f.name].append(float(value))
+                stats.avg_width += f.dtype.estimated_size(value)
+
+        for name, stats in field_stats.items():
+            stats.distinct = len(distincts[name])
+            if stats.count:
+                stats.avg_width /= stats.count
+            values = numeric_values[name]
+            if values and stats.min_value != stats.max_value:
+                stats.histogram = _build_histogram(
+                    values, float(stats.min_value), float(stats.max_value)
+                )
+        n = len(records)
+        return cls(
+            row_count=n,
+            fields=field_stats,
+            avg_record_width=(total_width / n) if n else 0.0,
+        )
+
+    def field(self, name: str) -> FieldStats:
+        return self.fields[name]
+
+    def predicate_selectivity(
+        self, ranges: dict[str, tuple[float, float]]
+    ) -> float:
+        """Independence-assumption selectivity of conjunctive ranges."""
+        selectivity = 1.0
+        for name, (lo, hi) in ranges.items():
+            stats = self.fields.get(name)
+            if stats is not None:
+                selectivity *= stats.selectivity(lo, hi)
+        return selectivity
+
+
+def _build_histogram(
+    values: Sequence[float], lo: float, hi: float
+) -> list[int]:
+    buckets = [0] * _HISTOGRAM_BUCKETS
+    width = (hi - lo) / _HISTOGRAM_BUCKETS
+    if width <= 0:
+        return []
+    for v in values:
+        index = min(int((v - lo) / width), _HISTOGRAM_BUCKETS - 1)
+        buckets[index] += 1
+    return buckets

@@ -1,0 +1,995 @@
+"""The access-method API of the storage system (paper §4.1).
+
+A :class:`Table` exposes exactly the paper's interface:
+
+1. ``scan(fieldlist, predicate, order)`` — full-relation scan with optional
+   projection, range predicate, and sort order;
+2. ``get_element(index, fieldlist)`` — positional access; a multidimensional
+   index addresses a grid cell / array element;
+3. ``next(order)`` — the element after the last ``get_element``;
+4. ``scan_cost`` / ``get_element_cost`` — estimated milliseconds, computed
+   from layout geometry *without touching data pages*;
+5. ``order_list`` — sort orders the current organization serves "for free".
+
+Scans follow the paper's §4.1 implementation notes: constituent objects of a
+table are stored and walked in the same order (column groups merge
+positionally), nested attributes are un-nested by merging with the parent
+tuple, and when the requested order differs from the stored order the data is
+buffered and re-sorted on the fly.
+
+Inserted records accumulate in row-major *overflow regions* (the "reorganize
+only new data" state of §5); scans transparently merge the main layout with
+the overflow, and :meth:`Table.compact` folds the overflow back into the main
+representation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
+
+from repro.algebra import ast
+from repro.algebra.physical import (
+    LAYOUT_ARRAY,
+    LAYOUT_COLUMNS,
+    LAYOUT_FOLDED,
+    LAYOUT_GRID,
+    LAYOUT_MIRROR,
+    LAYOUT_ROWS,
+    PhysicalPlan,
+)
+from repro.algebra.transforms import (
+    append_records,
+    eval_scalar,
+    orderby_records,
+    project_records,
+    select_records,
+    undelta_records,
+)
+from repro.engine.catalog import CatalogEntry
+from repro.engine.cost import CostEstimate, CostModel, estimate
+from repro.errors import QueryError, StorageError
+from repro.layout.renderer import LayoutRenderer, StoredLayout
+from repro.query.expressions import Predicate
+from repro.types.schema import Schema
+from repro.types.values import multisort
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.database import RodentStore
+
+Order = Sequence[Any]  # field names or (field, ascending) pairs
+
+
+def normalize_order(order: Order | None) -> tuple[tuple[str, bool], ...]:
+    """Normalize an order spec to ((field, ascending), ...)."""
+    if not order:
+        return ()
+    normalized: list[tuple[str, bool]] = []
+    for key in order:
+        if isinstance(key, str):
+            normalized.append((key, True))
+        else:
+            name, ascending = key
+            normalized.append((name, bool(ascending)))
+    return tuple(normalized)
+
+
+def record_pipeline(expr: ast.Node) -> list[ast.Node]:
+    """Record-level operators of ``expr`` in application (inner-first) order.
+
+    Used to transform freshly inserted logical records into the stored
+    record shape without applying structural layout operators.
+    """
+    chain: list[ast.Node] = []
+    node = expr
+    while True:
+        if isinstance(node, (ast.TableRef, ast.Literal)):
+            return list(reversed(chain))
+        if isinstance(node, (ast.Project, ast.Select, ast.Append, ast.OrderBy,
+                             ast.Limit)):
+            chain.append(node)
+        if isinstance(node, ast.Mirror):
+            node = node.left
+            continue
+        if isinstance(node, ast.Prejoin):
+            raise StorageError(
+                "cannot derive an insert pipeline for prejoined tables"
+            )
+        (node,) = node.children()
+
+
+def structural_residual(expr: ast.Node, stored_ref: str) -> ast.Node:
+    """Rewrite ``expr`` so that its record-level prefix is replaced by a
+    reference to the stored records (used when compacting: stored records
+    already have the record-level transforms applied)."""
+
+    def rebuild(node: ast.Node) -> ast.Node:
+        if isinstance(node, (ast.TableRef, ast.Literal)):
+            return ast.TableRef(stored_ref)
+        if isinstance(node, (ast.Project, ast.Select, ast.Append, ast.OrderBy,
+                             ast.Limit)):
+            return rebuild(node.children()[0])
+        if isinstance(node, ast.Mirror):
+            return ast.Mirror(rebuild(node.left), rebuild(node.right))
+        if isinstance(node, ast.Prejoin):
+            return ast.TableRef(stored_ref)
+        (child,) = node.children()
+        return node.with_children([rebuild(child)])
+
+    return rebuild(expr)
+
+
+class Table:
+    """One stored table; created through :class:`repro.engine.database.RodentStore`."""
+
+    def __init__(self, db: "RodentStore", entry: CatalogEntry):
+        self._db = db
+        self._entry = entry
+        self._pending: list[tuple] = []
+        self._cursor: Iterator[tuple] | None = None
+        self._cursor_order: tuple[tuple[str, bool], ...] = ()
+        self._cursor_pos = -1
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._entry.name
+
+    @property
+    def logical_schema(self) -> Schema:
+        return self._entry.logical_schema
+
+    @property
+    def plan(self) -> PhysicalPlan:
+        if self._entry.plan is None:
+            raise StorageError(f"table {self.name!r} has no physical plan yet")
+        return self._entry.plan
+
+    @property
+    def layout(self) -> StoredLayout:
+        if self._entry.layout is None:
+            raise StorageError(f"table {self.name!r} has not been loaded yet")
+        return self._entry.layout
+
+    @property
+    def is_loaded(self) -> bool:
+        return self._entry.layout is not None
+
+    @property
+    def row_count(self) -> int:
+        count = self.layout.row_count if self.is_loaded else 0
+        count += sum(o.row_count for o in self._entry.overflow)
+        count += len(self._pending)
+        return count
+
+    def scan_schema(self) -> Schema:
+        """Schema of the tuples a scan produces (folded layouts un-nest)."""
+        return _scan_schema(self.plan)
+
+    # ==================================================================
+    # scan
+    # ==================================================================
+
+    def scan(
+        self,
+        fieldlist: Sequence[str] | None = None,
+        predicate: Predicate | None = None,
+        order: Order | None = None,
+    ) -> Iterator[tuple]:
+        """Scan the relation (paper §4.1 method 1).
+
+        Args:
+            fieldlist: optional projection (output tuple order follows it).
+            predicate: optional range predicate; grid layouts use its
+                per-field ranges to skip cells via the cell directory, column
+                layouts read only the groups the query touches, and row
+                layouts with a fresh secondary index probe it instead of
+                scanning when the predicate is selective.
+            order: optional sort order; when the stored order does not
+                satisfy it, the scan buffers and re-sorts.
+        """
+        order_keys = normalize_order(order)
+        needed = self._needed_fields(fieldlist, predicate, order_keys)
+        index_rows = self._index_path(predicate)
+        if index_rows is not None:
+            rows, avail = index_rows, self.plan.schema.names()
+        else:
+            rows, avail = self._iter_with_overflow(needed, predicate)
+        positions = {name: i for i, name in enumerate(avail)}
+
+        if predicate is not None:
+            missing = predicate.fields_used() - set(avail)
+            if missing:
+                raise QueryError(
+                    f"predicate references unavailable field(s) {sorted(missing)}"
+                )
+            rows = (r for r in rows if predicate.matches(r, positions))
+
+        if order_keys and not self._order_satisfied(order_keys):
+            idx = []
+            desc = []
+            for name, ascending in order_keys:
+                if name not in positions:
+                    raise QueryError(f"unknown order field {name!r}")
+                idx.append(positions[name])
+                desc.append(not ascending)
+            rows = iter(multisort(list(rows), idx, desc))
+
+        if fieldlist is not None:
+            try:
+                out_idx = [positions[f] for f in fieldlist]
+            except KeyError as exc:
+                raise QueryError(
+                    f"unknown projection field {exc.args[0]!r}"
+                ) from None
+            rows = (tuple(r[i] for i in out_idx) for r in rows)
+        elif tuple(avail) != tuple(self.scan_schema().names()):
+            full = self.scan_schema().names()
+            out_idx = [positions[f] for f in full if f in positions]
+            rows = (tuple(r[i] for i in out_idx) for r in rows)
+        return rows
+
+    def _needed_fields(
+        self,
+        fieldlist: Sequence[str] | None,
+        predicate: Predicate | None,
+        order_keys: tuple[tuple[str, bool], ...],
+    ) -> list[str] | None:
+        """Fields a scan must materialize, or None for 'all'."""
+        if fieldlist is None:
+            return None
+        needed = list(fieldlist)
+        seen = set(needed)
+        if predicate is not None:
+            for name in sorted(predicate.fields_used()):
+                if name not in seen:
+                    needed.append(name)
+                    seen.add(name)
+        for name, _ in order_keys:
+            if name not in seen:
+                needed.append(name)
+                seen.add(name)
+        return needed
+
+    def _iter_with_overflow(
+        self,
+        needed: Sequence[str] | None,
+        predicate: Predicate | None,
+    ) -> tuple[Iterator[tuple], list[str]]:
+        """Main-layout records chained with overflow + pending records."""
+        main_iter, avail = self._iter_stored(
+            self.layout, needed, predicate
+        )
+        extra_sources: list[Iterator[tuple]] = []
+        renderer = self._db.renderer
+        schema_names = self.scan_schema().names()
+        project_idx = [schema_names.index(f) for f in avail]
+        needs_projection = avail != schema_names
+        for overflow in self._entry.overflow:
+            it = renderer.iter_rows(overflow)
+            if needs_projection:
+                it = (tuple(r[i] for i in project_idx) for r in it)
+            extra_sources.append(it)
+        if self._pending:
+            pending = iter([tuple(r) for r in self._pending])
+            if needs_projection:
+                pending = (tuple(r[i] for i in project_idx) for r in pending)
+            extra_sources.append(pending)
+
+        def chained() -> Iterator[tuple]:
+            yield from main_iter
+            for source in extra_sources:
+                yield from source
+
+        return chained(), avail
+
+    def _iter_stored(
+        self,
+        layout: StoredLayout,
+        needed: Sequence[str] | None,
+        predicate: Predicate | None,
+    ) -> tuple[Iterator[tuple], list[str]]:
+        """Iterate one stored layout, returning (records, available fields)."""
+        plan = layout.plan
+        renderer = self._db.renderer
+        if plan.kind == LAYOUT_ROWS:
+            pruned = self._iter_sorted_rows_range(layout, predicate)
+            if pruned is not None:
+                return pruned, plan.schema.names()
+            rows = renderer.iter_rows(layout)
+            if plan.delta_fields:
+                positions = {n: i for i, n in enumerate(plan.schema.names())}
+                rows = iter(
+                    undelta_records(list(rows), positions, plan.delta_fields)
+                )
+            return rows, plan.schema.names()
+        if plan.kind == LAYOUT_COLUMNS:
+            return self._iter_columns(layout, needed)
+        if plan.kind == LAYOUT_GRID:
+            return self._iter_grid(layout, predicate), plan.schema.names()
+        if plan.kind == LAYOUT_FOLDED:
+            indices = self._folded_indices(layout, predicate)
+            return (
+                self._iter_unnested(layout, indices),
+                _scan_schema(plan).names(),
+            )
+        if plan.kind == LAYOUT_MIRROR:
+            chosen = self._cheaper_mirror(layout, needed, predicate)
+            return self._iter_stored(chosen, needed, predicate)
+        if plan.kind == LAYOUT_ARRAY:
+            leaves = renderer.iter_array_leaves(layout)
+            return ((v,) for v in leaves), ["value"]
+        raise StorageError(f"cannot scan layout kind {plan.kind!r}")
+
+    def _iter_columns(
+        self, layout: StoredLayout, needed: Sequence[str] | None
+    ) -> tuple[Iterator[tuple], list[str]]:
+        """Positional merge of the column groups a query touches."""
+        renderer = self._db.renderer
+        plan = layout.plan
+        groups = list(enumerate(layout.column_groups))
+        if needed is not None:
+            needed_set = set(needed)
+            groups = [
+                (i, g)
+                for i, g in groups
+                if needed_set & set(g.fields)
+            ]
+            if not groups:  # a count(*)-style scan still needs positions
+                groups = [(0, layout.column_groups[0])]
+        avail: list[str] = []
+        iterators: list[tuple[Iterator[Any], bool]] = []
+        for i, group in groups:
+            avail.extend(group.fields)
+            iterators.append(
+                (renderer.iter_column_group(layout, i), len(group.fields) > 1)
+            )
+
+        def merged() -> Iterator[tuple]:
+            while True:
+                row: list[Any] = []
+                try:
+                    for it, is_mini in iterators:
+                        value = next(it)
+                        if is_mini:
+                            row.extend(value)
+                        else:
+                            row.append(value)
+                except StopIteration:
+                    return
+                yield tuple(row)
+
+        rows: Iterator[tuple] = merged()
+        delta_here = [f for f in plan.delta_fields if f in avail]
+        if delta_here:
+            positions = {n: i for i, n in enumerate(avail)}
+            rows = iter(undelta_records(list(rows), positions, delta_here))
+        return rows, avail
+
+    def _iter_grid(
+        self, layout: StoredLayout, predicate: Predicate | None
+    ) -> Iterator[tuple]:
+        """Cells overlapping the predicate ranges, in stored cell order."""
+        renderer = self._db.renderer
+        entries = layout.cell_directory
+        if predicate is not None:
+            ranges = predicate.ranges()
+            dims = layout.plan.grid.dims if layout.plan.grid else ()
+            usable = {d: ranges[d] for d in dims if d in ranges}
+            if usable:
+                entries = layout.cells_overlapping(usable)
+        for entry in entries:
+            yield from renderer.read_cell(layout, entry)
+
+    def _iter_unnested(
+        self, layout: StoredLayout, indices: Sequence[int] | None = None
+    ) -> Iterator[tuple]:
+        """Fold layouts un-nest on scan: merge inner values with the parent."""
+        renderer = self._db.renderer
+        n_nest = len(layout.plan.nest_fields)
+        for row in renderer.iter_folded(layout, indices):
+            key = row[:-1]
+            for item in row[-1]:
+                if n_nest == 1:
+                    yield key + (item,)
+                else:
+                    yield key + tuple(item)
+
+    def _folded_indices(
+        self, layout: StoredLayout, predicate: Predicate | None
+    ) -> list[int] | None:
+        """Folded-record indices surviving group-key range pruning."""
+        if predicate is None or not layout.folded_keys:
+            return None
+        ranges = predicate.ranges()
+        constrained = [
+            (position, ranges[name])
+            for position, name in enumerate(layout.plan.group_fields)
+            if name in ranges
+        ]
+        if not constrained:
+            return None
+        out = []
+        for i, key in enumerate(layout.folded_keys):
+            keep = True
+            for position, (lo, hi) in constrained:
+                value = key[position]
+                if not (
+                    isinstance(value, (int, float))
+                    and lo <= value <= hi
+                ):
+                    keep = False
+                    break
+            if keep:
+                out.append(i)
+        return out
+
+    def _iter_sorted_rows_range(
+        self, layout: StoredLayout, predicate: Predicate | None
+    ) -> Iterator[tuple] | None:
+        """Page-pruned scan of a sorted rows layout.
+
+        When the stored order's leading key is range-constrained, binary
+        search over page boundaries finds the first page that can contain a
+        match and the scan stops once the key passes the upper bound —
+        touching O(log n + matching) pages instead of all of them.
+        """
+        plan = layout.plan
+        if (
+            not plan.sort_keys
+            or plan.delta_fields
+            or predicate is None
+            or not layout.page_row_counts
+            or layout.extent is None
+        ):
+            return None
+        lead, ascending = plan.sort_keys[0]
+        if not ascending:
+            return None  # descending pruning omitted for clarity
+        ranges = predicate.ranges()
+        if lead not in ranges:
+            return None
+        lo, hi = ranges[lead]
+        if lo == float("-inf") and hi == float("inf"):
+            return None
+        lead_pos = plan.schema.index_of(lead)
+        renderer = self._db.renderer
+
+        def first_key_of_page(page_index: int):
+            from repro.storage.page import SlottedPage
+            from repro.storage.serializer import RecordSerializer
+
+            page_id = layout.extent.page_ids[page_index]
+            frame = renderer.pool.fetch(page_id)
+            try:
+                page = SlottedPage(renderer.page_size, frame.data)
+                blob = page.get(0)
+            finally:
+                renderer.pool.unpin(page_id)
+            return RecordSerializer(plan.schema).decode(blob)[lead_pos]
+
+        n_pages = len(layout.extent.page_ids)
+        # Binary search: last page whose first key is <= lo (a match could
+        # start inside it); empty pages cannot occur mid-extent.
+        left, right = 0, n_pages - 1
+        start = 0
+        while left <= right:
+            mid = (left + right) // 2
+            if first_key_of_page(mid) <= lo:
+                start = mid
+                left = mid + 1
+            else:
+                right = mid - 1
+
+        def generate() -> Iterator[tuple]:
+            from repro.storage.page import SlottedPage
+            from repro.storage.serializer import RecordSerializer
+
+            serializer = RecordSerializer(plan.schema)
+            for page_index in range(start, n_pages):
+                page_id = layout.extent.page_ids[page_index]
+                frame = renderer.pool.fetch(page_id)
+                try:
+                    page = SlottedPage(renderer.page_size, frame.data)
+                    blobs = [blob for _, blob in page.records()]
+                finally:
+                    renderer.pool.unpin(page_id)
+                for blob in blobs:
+                    record = serializer.decode(blob)
+                    key = record[lead_pos]
+                    if key > hi:
+                        return
+                    yield record
+
+        return generate()
+
+    def _cheaper_mirror(
+        self,
+        layout: StoredLayout,
+        needed: Sequence[str] | None,
+        predicate: Predicate | None,
+    ) -> StoredLayout:
+        """Fractured-mirrors read path: pick the cheaper replica."""
+        best = None
+        best_cost = None
+        for mirror in layout.mirrors:
+            cost = self._layout_scan_cost(mirror, needed, predicate)
+            if best_cost is None or cost.ms < best_cost.ms:
+                best, best_cost = mirror, cost
+        assert best is not None
+        return best
+
+    def _order_satisfied(self, order_keys: tuple[tuple[str, bool], ...]) -> bool:
+        if self._entry.overflow or self._pending:
+            return False  # overflow regions are unordered relative to main
+        stored = tuple(self.plan.sort_keys)
+        if len(order_keys) > len(stored):
+            return False
+        return stored[: len(order_keys)] == order_keys
+
+    # ==================================================================
+    # secondary indexes (paper §1: "B+Trees as well as a variety of
+    # geo-spatial indices")
+    # ==================================================================
+
+    #: Use an index only when the estimated matching fraction is below this.
+    INDEX_SELECTIVITY_THRESHOLD = 0.3
+
+    def create_index(self, field_name: str):
+        """Build (or rebuild) a B+Tree secondary index over ``field_name``."""
+        from repro.engine.indexes import build_field_index
+
+        index = build_field_index(self, field_name)
+        self._entry.indexes[field_name] = index
+        return index
+
+    def create_spatial_index(self, x_field: str, y_field: str):
+        """Build (or rebuild) an R-Tree over two numeric point fields."""
+        from repro.engine.indexes import build_spatial_index
+
+        index = build_spatial_index(self, x_field, y_field)
+        self._entry.spatial_indexes[(x_field, y_field)] = index
+        return index
+
+    def drop_index(self, field_name: str) -> None:
+        self._entry.indexes.pop(field_name, None)
+
+    def _mark_indexes_stale(self) -> None:
+        for index in self._entry.indexes.values():
+            index.stale = True
+        for index in self._entry.spatial_indexes.values():
+            index.stale = True
+
+    def _index_path(
+        self, predicate: Predicate | None
+    ) -> Iterator[tuple] | None:
+        """Probe a fresh secondary index when it would beat the full scan."""
+        positions = self._index_positions(predicate)
+        if positions is None:
+            return None
+        from repro.engine.indexes import fetch_rows_by_position
+
+        return fetch_rows_by_position(self, positions)
+
+    def _index_positions(
+        self, predicate: Predicate | None
+    ) -> list[int] | None:
+        if (
+            predicate is None
+            or self.plan.kind != LAYOUT_ROWS
+            or self._entry.overflow
+            or self._pending
+            or not self.layout.page_row_counts
+        ):
+            return None
+        ranges = predicate.ranges()
+        stats = self._entry.stats
+
+        best: list[int] | None = None
+        for (x_field, y_field), index in self._entry.spatial_indexes.items():
+            if index.stale or x_field not in ranges or y_field not in ranges:
+                continue
+            if not self._selective_enough(stats, ranges, (x_field, y_field)):
+                continue
+            x_lo, x_hi = ranges[x_field]
+            y_lo, y_hi = ranges[y_field]
+            best = index.positions_in_box(x_lo, x_hi, y_lo, y_hi)
+            break
+        if best is None:
+            for field_name, index in self._entry.indexes.items():
+                if index.stale or field_name not in ranges:
+                    continue
+                lo, hi = ranges[field_name]
+                if lo == float("-inf") or hi == float("inf"):
+                    continue
+                if not self._selective_enough(stats, ranges, (field_name,)):
+                    continue
+                best = index.positions_in_range(lo, hi)
+                break
+        return best
+
+    def _selective_enough(
+        self, stats, ranges: dict, fields: tuple[str, ...]
+    ) -> bool:
+        if stats is None:
+            return True
+        fraction = 1.0
+        for name in fields:
+            field_stats = stats.fields.get(name)
+            if field_stats is not None:
+                lo, hi = ranges[name]
+                fraction *= field_stats.selectivity(lo, hi)
+        return fraction <= self.INDEX_SELECTIVITY_THRESHOLD
+
+    # ==================================================================
+    # get_element / next
+    # ==================================================================
+
+    def get_element(
+        self,
+        index: int | Sequence[int],
+        fieldlist: Sequence[str] | None = None,
+    ):
+        """Positional access (paper §4.1 method 2).
+
+        For array layouts a multidimensional ``index`` addresses one element;
+        for grid layouts it addresses a cell (returning the cell's records);
+        otherwise ``index`` is a flat position in storage order.
+        """
+        plan = self.plan
+        renderer = self._db.renderer
+        if plan.kind == LAYOUT_ARRAY:
+            return renderer.get_array_element(self.layout, index)
+        if plan.kind == LAYOUT_GRID and not isinstance(index, int):
+            entry = self._cell_at(tuple(index))
+            records = renderer.read_cell(self.layout, entry)
+            return self._project_records(records, fieldlist)
+        if not isinstance(index, int):
+            raise QueryError(
+                f"layout {plan.kind} requires a flat integer index"
+            )
+        record = self._element_at(index)
+        self._cursor = None
+        self._cursor_pos = index
+        if fieldlist is None:
+            return record
+        projected = self._project_records([record], fieldlist)
+        return projected[0]
+
+    def _cell_at(self, coord: tuple[int, ...]):
+        for entry in self.layout.cell_directory:
+            if entry.coord == coord:
+                return entry
+        raise QueryError(f"no grid cell at coordinate {coord}")
+
+    def _element_at(self, index: int) -> tuple:
+        if index < 0:
+            raise QueryError("element index must be non-negative")
+        plan = self.plan
+        renderer = self._db.renderer
+        if plan.kind == LAYOUT_ROWS and self.layout.page_row_counts:
+            remaining = index
+            for page_pos, count in enumerate(self.layout.page_row_counts):
+                if remaining < count:
+                    page_id = self.layout.extent.page_ids[page_pos]
+                    frame = renderer.pool.fetch(page_id)
+                    try:
+                        from repro.storage.page import SlottedPage
+                        from repro.storage.serializer import RecordSerializer
+
+                        page = SlottedPage(renderer.page_size, frame.data)
+                        blob = page.get(remaining)
+                        record = RecordSerializer(plan.schema).decode(blob)
+                    finally:
+                        renderer.pool.unpin(page_id)
+                    if plan.delta_fields:
+                        # Delta rows need the running prefix; fall back to
+                        # a sequential walk for correctness.
+                        break
+                    return record
+                remaining -= count
+            else:
+                # fell through all pages; check overflow/pending below
+                pass
+        for position, record in enumerate(self.scan()):
+            if position == index:
+                return record
+        raise QueryError(
+            f"element index {index} out of range (table has "
+            f"{self.row_count} rows)"
+        )
+
+    def next(self, order: Order | None = None):
+        """The element after the previous ``get_element`` (§4.1 method 3)."""
+        order_keys = normalize_order(order)
+        if self._cursor is None or order_keys != self._cursor_order:
+            start = getattr(self, "_cursor_pos", -1) + 1
+            iterator = self.scan(order=order)
+            for _ in range(start):
+                next(iterator, None)
+            self._cursor = iterator
+            self._cursor_order = order_keys
+        try:
+            value = next(self._cursor)
+        except StopIteration:
+            self._cursor = None
+            raise QueryError("next() past the end of the table") from None
+        self._cursor_pos = getattr(self, "_cursor_pos", -1) + 1
+        return value
+
+    def _project_records(
+        self, records: list[tuple], fieldlist: Sequence[str] | None
+    ) -> list[tuple]:
+        if fieldlist is None:
+            return records
+        positions = {n: i for i, n in enumerate(self.scan_schema().names())}
+        return project_records(records, positions, fieldlist)
+
+    # ==================================================================
+    # cost API
+    # ==================================================================
+
+    def scan_cost(
+        self,
+        fieldlist: Sequence[str] | None = None,
+        predicate: Predicate | None = None,
+        order: Order | None = None,
+    ) -> CostEstimate:
+        """Estimated cost of the scan, in milliseconds (§4.1 method 4)."""
+        order_keys = normalize_order(order)
+        needed = self._needed_fields(fieldlist, predicate, order_keys)
+        total = self._layout_scan_cost(self.layout, needed, predicate)
+        model = self._db.cost_model
+        for overflow in self._entry.overflow:
+            total = total + estimate(
+                model, overflow.total_pages(), 1
+            )
+        via_index = self._index_cost(predicate)
+        if via_index is not None and via_index.ms < total.ms:
+            return via_index
+        return total
+
+    def _index_cost(self, predicate: Predicate | None) -> CostEstimate | None:
+        """Estimated cost of the secondary-index path, from statistics."""
+        if (
+            predicate is None
+            or self.plan.kind != LAYOUT_ROWS
+            or self._entry.overflow
+            or self._pending
+        ):
+            return None
+        stats = self._entry.stats
+        ranges = predicate.ranges()
+        model = self._db.cost_model
+        data_pages = self.layout.total_pages()
+        best: CostEstimate | None = None
+        candidates: list[tuple[tuple[str, ...], int]] = []
+        for (x, y), index in self._entry.spatial_indexes.items():
+            if not index.stale and x in ranges and y in ranges:
+                candidates.append(((x, y), index.tree.height))
+        for name, index in self._entry.indexes.items():
+            if not index.stale and name in ranges:
+                lo, hi = ranges[name]
+                if lo != float("-inf") and hi != float("inf"):
+                    candidates.append(((name,), index.tree.height))
+        for fields, height in candidates:
+            fraction = 1.0
+            if stats is not None:
+                for name in fields:
+                    field_stats = stats.fields.get(name)
+                    if field_stats is not None:
+                        lo, hi = ranges[name]
+                        fraction *= field_stats.selectivity(lo, hi)
+            pages = height + max(1.0, fraction * data_pages)
+            # Matching rows scatter across pages: roughly one seek per page.
+            cost = estimate(model, pages, pages)
+            if best is None or cost.ms < best.ms:
+                best = cost
+        return best
+
+    def _layout_scan_cost(
+        self,
+        layout: StoredLayout,
+        needed: Sequence[str] | None,
+        predicate: Predicate | None,
+    ) -> CostEstimate:
+        model = self._db.cost_model
+        plan = layout.plan
+        if plan.kind == LAYOUT_ROWS:
+            pages = layout.total_pages()
+            if predicate is not None and plan.sort_keys and not plan.delta_fields:
+                lead, ascending = plan.sort_keys[0]
+                ranges = predicate.ranges()
+                if ascending and lead in ranges and self._entry.stats:
+                    field_stats = self._entry.stats.fields.get(lead)
+                    if field_stats is not None:
+                        lo, hi = ranges[lead]
+                        fraction = field_stats.selectivity(lo, hi)
+                        import math
+
+                        pages = min(
+                            pages,
+                            math.ceil(math.log2(pages + 1))
+                            + max(1, math.ceil(pages * fraction)),
+                        )
+            return estimate(model, pages, 1)
+        if plan.kind == LAYOUT_FOLDED:
+            indices = self._folded_indices(layout, predicate)
+            if indices is not None and layout.extent is not None:
+                from repro.storage.page import BYTES_HEADER_SIZE
+
+                capacity = self._db.renderer.page_size - BYTES_HEADER_SIZE
+                touched: set[int] = set()
+                for i in indices:
+                    offset, length = layout.folded_directory[i]
+                    first = offset // capacity
+                    last = (offset + max(length, 1) - 1) // capacity
+                    touched.update(range(first, last + 1))
+                pages = sorted(touched)
+                return estimate(model, len(pages), _count_runs(pages))
+            return estimate(model, layout.total_pages(), 1)
+        if plan.kind == LAYOUT_ARRAY:
+            return estimate(model, layout.total_pages(), 1)
+        if plan.kind == LAYOUT_COLUMNS:
+            groups = layout.column_groups
+            if needed is not None:
+                needed_set = set(needed)
+                groups = [g for g in groups if needed_set & set(g.fields)]
+                if not groups:
+                    groups = layout.column_groups[:1]
+            pages = sum(len(g.extent.page_ids) for g in groups)
+            return estimate(model, pages, max(1, len(groups)))
+        if plan.kind == LAYOUT_GRID:
+            entries = layout.cell_directory
+            if predicate is not None and plan.grid is not None:
+                ranges = predicate.ranges()
+                usable = {
+                    d: ranges[d] for d in plan.grid.dims if d in ranges
+                }
+                if usable:
+                    entries = layout.cells_overlapping(usable)
+            pages = self._db.renderer.pages_for_cells(layout, entries)
+            return estimate(model, len(pages), _count_runs(pages))
+        if plan.kind == LAYOUT_MIRROR:
+            costs = [
+                self._layout_scan_cost(m, needed, predicate)
+                for m in layout.mirrors
+            ]
+            return min(costs, key=lambda c: c.ms)
+        raise StorageError(f"cannot cost layout kind {plan.kind!r}")
+
+    def get_element_cost(
+        self,
+        index: int | Sequence[int],
+        fieldlist: Sequence[str] | None = None,
+    ) -> CostEstimate:
+        """Estimated cost of ``get_element`` (§4.1 method 5)."""
+        model = self._db.cost_model
+        plan = self.plan
+        if plan.kind == LAYOUT_ROWS:
+            return estimate(model, 1, 1)
+        if plan.kind == LAYOUT_ARRAY:
+            return estimate(model, 1, 1)
+        if plan.kind == LAYOUT_GRID and not isinstance(index, int):
+            try:
+                entry = self._cell_at(tuple(index))
+            except QueryError:
+                return estimate(model, 0, 0)
+            pages = self._db.renderer.pages_for_cells(self.layout, [entry])
+            return estimate(model, len(pages), _count_runs(pages))
+        if plan.kind == LAYOUT_COLUMNS:
+            needed = fieldlist if fieldlist is not None else plan.schema.names()
+            needed_set = set(needed)
+            groups = [
+                g
+                for g in self.layout.column_groups
+                if needed_set & set(g.fields)
+            ]
+            return estimate(model, max(1, len(groups)), max(1, len(groups)))
+        # Folded/mirror and exotic cases: one pass over the layout, bounded by
+        # a full scan.
+        return self._layout_scan_cost(self.layout, None, None)
+
+    def order_list(self) -> list[tuple[tuple[str, bool], ...]]:
+        """Sort orders the current organization serves efficiently (§4.1
+        method 6): every prefix of the stored sort keys."""
+        stored = tuple(self.plan.sort_keys)
+        return [stored[: i + 1] for i in range(len(stored))]
+
+    # ==================================================================
+    # inserts, overflow, compaction (paper §5 reorganization states)
+    # ==================================================================
+
+    def insert(self, records: Sequence[Sequence[Any]]) -> int:
+        """Insert logical records; they land in the pending buffer.
+
+        Returns the number of records that survive the plan's record-level
+        pipeline (a plan with a ``select`` drops non-matching records).
+        """
+        coerced = [self.logical_schema.coerce_record(r) for r in records]
+        transformed = self._apply_record_pipeline(coerced)
+        self._pending.extend(transformed)
+        if transformed:
+            self._mark_indexes_stale()
+        return len(transformed)
+
+    def _apply_record_pipeline(
+        self, records: list[tuple]
+    ) -> list[tuple]:
+        fields = list(self.logical_schema.names())
+        current = records
+        for op in record_pipeline(self.plan.expr):
+            positions = {n: i for i, n in enumerate(fields)}
+            if isinstance(op, ast.Project):
+                current = project_records(current, positions, op.fields)
+                fields = list(op.fields)
+            elif isinstance(op, ast.Select):
+                current = select_records(current, positions, op.condition)
+            elif isinstance(op, ast.Append):
+                current = append_records(current, positions, op.elements)
+                fields = fields + [name for name, _ in op.elements]
+            elif isinstance(op, ast.OrderBy):
+                current = orderby_records(current, positions, op.keys)
+            elif isinstance(op, ast.Limit):
+                current = current[: op.count]
+        target = self.scan_schema().names()
+        if fields != target:
+            positions = {n: i for i, n in enumerate(fields)}
+            current = project_records(current, positions, target)
+        return current
+
+    def flush_inserts(self) -> StoredLayout | None:
+        """Render pending records into a new on-disk overflow region."""
+        if not self._pending:
+            return None
+        overflow = self._db.render_overflow_region(
+            self.scan_schema(), self._pending
+        )
+        self._entry.overflow.append(overflow)
+        self._pending = []
+        return overflow
+
+    @property
+    def overflow_row_count(self) -> int:
+        return sum(o.row_count for o in self._entry.overflow) + len(
+            self._pending
+        )
+
+    def compact(self) -> None:
+        """Merge overflow regions back into the main representation."""
+        self._db.compact_table(self.name)
+
+    # -- misc ---------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        plan = self._entry.plan.describe() if self._entry.plan else "unplanned"
+        return f"<Table {self.name} rows={self.row_count} [{plan}]>"
+
+
+def _scan_schema(plan: PhysicalPlan) -> Schema:
+    """Schema of scan results: folded layouts un-nest to group+nest fields."""
+    if plan.kind != LAYOUT_FOLDED:
+        return plan.schema
+    from repro.layout.renderer import _nest_types
+    from repro.types.schema import Field
+
+    nest_types = _nest_types(
+        plan.schema.field("__folded__").dtype, len(plan.nest_fields)
+    )
+    fields = [plan.schema.field(f) for f in plan.group_fields]
+    fields += [
+        Field(name, dtype)
+        for name, dtype in zip(plan.nest_fields, nest_types)
+    ]
+    return Schema(fields)
+
+
+def _count_runs(page_ids: Sequence[int]) -> int:
+    """Number of contiguous runs in a sorted page-id list (seek count)."""
+    if not page_ids:
+        return 0
+    runs = 1
+    for prev, current in zip(page_ids, page_ids[1:]):
+        if current != prev + 1:
+            runs += 1
+    return runs

@@ -1,0 +1,82 @@
+"""Exception hierarchy for the RodentStore reproduction.
+
+Every error raised by the library derives from :class:`RodentStoreError` so
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class RodentStoreError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(RodentStoreError):
+    """A schema is malformed or a field reference cannot be resolved."""
+
+
+class TypeCheckError(RodentStoreError):
+    """A storage-algebra expression does not type-check against its schema."""
+
+
+class ParseError(RodentStoreError):
+    """A textual storage-algebra expression could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class AlgebraError(RodentStoreError):
+    """An algebra expression is structurally invalid or cannot be evaluated."""
+
+
+class StorageError(RodentStoreError):
+    """Low-level storage failure (pages, disk manager, buffer pool)."""
+
+
+class PageError(StorageError):
+    """A page is full, corrupt, or a slot reference is invalid."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool cannot satisfy a request (e.g. all frames pinned)."""
+
+
+class WALError(StorageError):
+    """The write-ahead log is corrupt or used incorrectly."""
+
+
+class TransactionError(RodentStoreError):
+    """Transaction misuse: operating on a finished transaction, etc."""
+
+
+class DeadlockError(TransactionError):
+    """A lock request would create a cycle in the wait-for graph."""
+
+
+class SerializationError(RodentStoreError):
+    """A value cannot be encoded/decoded with the table's record format."""
+
+
+class CatalogError(RodentStoreError):
+    """Catalog misuse: duplicate table names, unknown tables, etc."""
+
+
+class IndexError_(RodentStoreError):
+    """An index (B+Tree / R-Tree) is corrupt or misused.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class OptimizerError(RodentStoreError):
+    """The storage design optimizer received an unusable workload or design."""
+
+
+class QueryError(RodentStoreError):
+    """A front-end query is malformed (unknown field, bad predicate, ...)."""

@@ -1,0 +1,19 @@
+"""Paper experiments, reusable by benchmarks, examples, and tests."""
+
+from repro.experiments.figure2 import (
+    Figure2Result,
+    LayoutResult,
+    N2_EXPR,
+    n3_expr,
+    n4_expr,
+    run_figure2,
+)
+
+__all__ = [
+    "Figure2Result",
+    "LayoutResult",
+    "N2_EXPR",
+    "n3_expr",
+    "n4_expr",
+    "run_figure2",
+]

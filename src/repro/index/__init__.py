@@ -1,0 +1,6 @@
+"""Indexes: page-backed B+Tree and 2-D R-Tree."""
+
+from repro.index.btree import BPlusTree
+from repro.index.rtree import MBR, RTree
+
+__all__ = ["BPlusTree", "MBR", "RTree"]

@@ -1,0 +1,17 @@
+"""Layout engine: the physical-plan renderer and stored-layout structures."""
+
+from repro.layout.renderer import (
+    CellEntry,
+    ColumnGroupStore,
+    Extent,
+    LayoutRenderer,
+    StoredLayout,
+)
+
+__all__ = [
+    "CellEntry",
+    "ColumnGroupStore",
+    "Extent",
+    "LayoutRenderer",
+    "StoredLayout",
+]

@@ -1,0 +1,660 @@
+"""Render physical plans onto disk pages, and read them back.
+
+The renderer is the paper's "storage backend" write path (§4.2): it takes the
+evaluated nesting (an :class:`repro.algebra.transforms.Evaluated`) plus the
+compiled :class:`repro.algebra.physical.PhysicalPlan` and lays bytes onto
+pages. Each storage object (row heap, column group, grid cell stream, folded
+heap, array vector) occupies one *contiguous extent* of pages, chained with
+``next_page_id``, so that scans are sequential and the paper's "store and
+walk each object in the same order" rule holds.
+
+Encodings:
+
+* rows / folded — slotted pages of serialized records;
+* column group (single field) — byte pages, each holding one codec-encoded
+  value chunk;
+* column group (multiple fields) — slotted pages of mini-records (a PAX-like
+  hybrid);
+* grid — one continuous byte stream of cell blobs (per-cell, per-field
+  codec-encoded columns) packed across byte pages, plus an in-memory cell
+  directory mapping cell coordinate -> (bounds, byte range) — the case
+  study's "hash table that tracks the spatial boundaries of each cell";
+* array — fixed-width value vector with direct offsetting (supports
+  multidimensional ``getElement``).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+from repro.algebra.physical import (
+    LAYOUT_ARRAY,
+    LAYOUT_COLUMNS,
+    LAYOUT_FOLDED,
+    LAYOUT_GRID,
+    LAYOUT_MIRROR,
+    LAYOUT_ROWS,
+    PhysicalPlan,
+)
+from repro.algebra.transforms import (
+    Evaluated,
+    GridResult,
+    undelta_records,
+)
+from repro.compression import get_codec
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.page import (
+    BYTES_HEADER_SIZE,
+    NO_PAGE,
+    BytePage,
+    SlottedPage,
+)
+from repro.storage.serializer import RecordSerializer, VectorSerializer
+from repro.types.schema import Schema
+from repro.types.values import flatten, shape as nesting_shape
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+
+
+@dataclass
+class Extent:
+    """A contiguous run of page ids belonging to one storage object."""
+
+    page_ids: list[int]
+
+    @property
+    def first(self) -> int:
+        return self.page_ids[0] if self.page_ids else NO_PAGE
+
+    def __len__(self) -> int:
+        return len(self.page_ids)
+
+
+@dataclass
+class CellEntry:
+    """Directory entry for one grid cell."""
+
+    coord: tuple[int, ...]
+    bounds: tuple[tuple[float, float], ...]  # [lo, hi) per dimension
+    offset: int  # byte offset in the cell stream
+    length: int  # blob length in bytes
+    row_count: int
+
+
+@dataclass
+class ColumnGroupStore:
+    """Stored form of one vertical partition."""
+
+    fields: tuple[str, ...]
+    extent: Extent
+    # For single-field groups: (page index in extent, row count) per chunk.
+    chunks: list[tuple[int, int]] = field(default_factory=list)
+
+
+@dataclass
+class StoredLayout:
+    """A rendered table: page extents plus directories, per layout kind."""
+
+    plan: PhysicalPlan
+    row_count: int
+    extent: Extent | None = None  # rows / folded / grid stream / array
+    column_groups: list[ColumnGroupStore] = field(default_factory=list)
+    cell_directory: list[CellEntry] = field(default_factory=list)
+    array_shape: tuple[int, ...] | None = None
+    array_values_per_page: int = 0
+    array_dtype: Any = None
+    mirrors: list["StoredLayout"] = field(default_factory=list)
+    grid_origin: tuple[float, ...] = ()
+    # (byte offset, byte length) per folded record, for folded layouts.
+    folded_directory: list[tuple[int, int]] = field(default_factory=list)
+    # Group-key tuple per folded record (parallel to folded_directory),
+    # enabling key-range pruning without touching the stream.
+    folded_keys: list[tuple] = field(default_factory=list)
+    # Records per page, for rows layouts (enables direct get_element).
+    page_row_counts: list[int] = field(default_factory=list)
+
+    def total_pages(self) -> int:
+        """Number of pages this layout occupies on disk."""
+        pages = len(self.extent.page_ids) if self.extent else 0
+        pages += sum(len(g.extent.page_ids) for g in self.column_groups)
+        pages += sum(m.total_pages() for m in self.mirrors)
+        return pages
+
+    def cells_overlapping(
+        self, ranges: dict[str, tuple[float, float]]
+    ) -> list[CellEntry]:
+        """Directory lookup: cells whose bounds intersect the query ranges.
+
+        ``ranges`` maps dimension name to an inclusive [lo, hi] interval;
+        dimensions absent from ``ranges`` are unconstrained.
+        """
+        if self.plan.grid is None:
+            raise StorageError("layout is not gridded")
+        dims = self.plan.grid.dims
+        out: list[CellEntry] = []
+        for entry in self.cell_directory:
+            keep = True
+            for dim, (lo, hi) in zip(dims, entry.bounds):
+                query = ranges.get(dim)
+                if query is None:
+                    continue
+                qlo, qhi = query
+                if hi <= qlo or lo > qhi:
+                    keep = False
+                    break
+            if keep:
+                out.append(entry)
+        return out
+
+
+class LayoutRenderer:
+    """Write evaluated nestings to pages and read them back.
+
+    Args:
+        pool: buffer pool fronting the disk manager; reads go through the
+            pool (so repeated traversals can hit memory), writes go straight
+            to the disk manager (rendering is a bulk operation).
+    """
+
+    def __init__(self, pool: BufferPool):
+        self.pool = pool
+        self.disk = pool.disk
+        self.page_size = pool.disk.page_size
+
+    # ==================================================================
+    # Rendering (write path)
+    # ==================================================================
+
+    def render(self, plan: PhysicalPlan, evaluated: Evaluated) -> StoredLayout:
+        """Materialize ``evaluated`` on disk according to ``plan``."""
+        if plan.kind == LAYOUT_ROWS:
+            return self._render_rows(plan, evaluated)
+        if plan.kind == LAYOUT_COLUMNS:
+            return self._render_columns(plan, evaluated)
+        if plan.kind == LAYOUT_GRID:
+            return self._render_grid(plan, evaluated)
+        if plan.kind == LAYOUT_FOLDED:
+            return self._render_folded(plan, evaluated)
+        if plan.kind == LAYOUT_ARRAY:
+            return self._render_array(plan, evaluated)
+        if plan.kind == LAYOUT_MIRROR:
+            return self._render_mirror(plan, evaluated)
+        raise StorageError(f"cannot render layout kind {plan.kind!r}")
+
+    # -- rows ---------------------------------------------------------------
+
+    def _render_rows(self, plan: PhysicalPlan, evaluated: Evaluated) -> StoredLayout:
+        records = evaluated.records()
+        serializer = RecordSerializer(plan.schema)
+        pages = self._pack_slotted(serializer.encode(r) for r in records)
+        extent = self._write_pages(pages)
+        return StoredLayout(
+            plan=plan,
+            row_count=len(records),
+            extent=extent,
+            page_row_counts=[p.slot_count for p in pages],
+        )
+
+    def _pack_slotted(self, blobs: Iterator[bytes]) -> list[SlottedPage]:
+        pages: list[SlottedPage] = []
+        current = SlottedPage(self.page_size)
+        for blob in blobs:
+            if not current.can_fit(len(blob)):
+                pages.append(current)
+                current = SlottedPage(self.page_size)
+                if not current.can_fit(len(blob)):
+                    raise StorageError(
+                        f"record of {len(blob)} bytes exceeds page capacity"
+                    )
+            current.insert(blob)
+        pages.append(current)
+        return pages
+
+    def _write_pages(
+        self, pages: Sequence[SlottedPage | BytePage]
+    ) -> Extent:
+        page_ids = self.disk.allocate_contiguous(len(pages))
+        for i, page in enumerate(pages):
+            next_id = page_ids[i + 1] if i + 1 < len(page_ids) else NO_PAGE
+            page.set_next_page_id(next_id)
+            self.disk.write_page(page_ids[i], page.buffer)
+        return Extent(page_ids)
+
+    # -- columns -----------------------------------------------------------
+
+    def _render_columns(
+        self, plan: PhysicalPlan, evaluated: Evaluated
+    ) -> StoredLayout:
+        groups = plan.column_groups or tuple(
+            (f,) for f in plan.schema.names()
+        )
+        values_by_group = evaluated.value  # parallel to groups
+        layout = StoredLayout(plan=plan, row_count=0)
+        row_count = None
+        for group_fields, values in zip(groups, values_by_group):
+            if row_count is None:
+                row_count = len(values)
+            elif row_count != len(values):
+                raise StorageError("column groups disagree on row count")
+            if len(group_fields) == 1:
+                store = self._render_value_column(
+                    plan, group_fields[0], values
+                )
+            else:
+                store = self._render_minirecord_group(
+                    plan, group_fields, values
+                )
+            layout.column_groups.append(store)
+        layout.row_count = row_count or 0
+        return layout
+
+    def _render_value_column(
+        self, plan: PhysicalPlan, field_name: str, values: list
+    ) -> ColumnGroupStore:
+        dtype = plan.schema.field(field_name).dtype
+        codec = get_codec(plan.codec_for(field_name))
+        capacity = self.page_size - BYTES_HEADER_SIZE
+        target_rows = self._target_rows(dtype, capacity)
+        pages: list[BytePage] = []
+        chunks: list[tuple[int, int]] = []
+        start = 0
+        while start < len(values):
+            rows = min(target_rows, len(values) - start)
+            encoded = codec.encode(values[start : start + rows], dtype)
+            while len(encoded) > capacity and rows > 1:
+                rows = max(1, rows // 2)
+                encoded = codec.encode(values[start : start + rows], dtype)
+            if len(encoded) > capacity:
+                raise StorageError(
+                    f"a single {field_name} value exceeds page capacity"
+                )
+            page = BytePage(self.page_size)
+            page.write(encoded)
+            chunks.append((len(pages), rows))
+            pages.append(page)
+            start += rows
+        if not pages:  # empty column still owns one (empty) page
+            page = BytePage(self.page_size)
+            page.write(codec.encode([], dtype))
+            chunks.append((0, 0))
+            pages.append(page)
+        extent = self._write_pages(pages)
+        return ColumnGroupStore((field_name,), extent, chunks)
+
+    def _target_rows(self, dtype: Any, capacity: int) -> int:
+        width = dtype.fixed_size if dtype.fixed_size else dtype.estimated_size()
+        return max(1, (capacity - 16) // max(1, width))
+
+    def _render_minirecord_group(
+        self, plan: PhysicalPlan, group_fields: tuple[str, ...], values: list
+    ) -> ColumnGroupStore:
+        sub_schema = plan.schema.project(group_fields)
+        serializer = RecordSerializer(sub_schema)
+        pages = self._pack_slotted(serializer.encode(v) for v in values)
+        extent = self._write_pages(pages)
+        return ColumnGroupStore(tuple(group_fields), extent)
+
+    # -- grid -------------------------------------------------------------
+
+    def _render_grid(self, plan: PhysicalPlan, evaluated: Evaluated) -> StoredLayout:
+        grid: GridResult = evaluated.meta["grid"]
+        schema = plan.schema
+        positions = {name: i for i, name in enumerate(schema.names())}
+        stream = bytearray()
+        directory: list[CellEntry] = []
+        total_rows = 0
+        for coord, cell in zip(grid.coords, grid.cells):
+            blob = self._encode_cell(plan, schema, cell)
+            directory.append(
+                CellEntry(
+                    coord=tuple(coord),
+                    bounds=tuple(grid.cell_bounds(coord)),
+                    offset=len(stream),
+                    length=len(blob),
+                    row_count=len(cell),
+                )
+            )
+            stream += blob
+            total_rows += len(cell)
+        extent = self._write_stream(bytes(stream))
+        return StoredLayout(
+            plan=plan,
+            row_count=total_rows,
+            extent=extent,
+            cell_directory=directory,
+            grid_origin=tuple(grid.origin),
+        )
+
+    def _encode_cell(
+        self, plan: PhysicalPlan, schema: Schema, cell: list
+    ) -> bytes:
+        parts = [_U32.pack(len(cell)), _U16.pack(len(schema.fields))]
+        for i, f in enumerate(schema.fields):
+            codec = get_codec(plan.codec_for(f.name))
+            column = [record[i] for record in cell]
+            encoded = codec.encode(column, f.dtype)
+            parts.append(_U32.pack(len(encoded)))
+            parts.append(encoded)
+        return b"".join(parts)
+
+    def _decode_cell(self, plan: PhysicalPlan, blob: bytes) -> list[tuple]:
+        schema = plan.schema
+        (row_count,) = _U32.unpack_from(blob, 0)
+        (n_fields,) = _U16.unpack_from(blob, 4)
+        if n_fields != len(schema.fields):
+            raise StorageError(
+                f"cell has {n_fields} fields, schema expects "
+                f"{len(schema.fields)}"
+            )
+        offset = 6
+        columns: list[list] = []
+        for f in schema.fields:
+            (length,) = _U32.unpack_from(blob, offset)
+            offset += 4
+            codec = get_codec(plan.codec_for(f.name))
+            columns.append(codec.decode(blob[offset : offset + length], f.dtype))
+            offset += length
+        records = [tuple(col[i] for col in columns) for i in range(row_count)]
+        if plan.delta_fields:
+            positions = {name: i for i, name in enumerate(schema.names())}
+            records = undelta_records(records, positions, plan.delta_fields)
+        return records
+
+    def _write_stream(self, stream: bytes) -> Extent:
+        capacity = self.page_size - BYTES_HEADER_SIZE
+        pages: list[BytePage] = []
+        for start in range(0, max(len(stream), 1), capacity):
+            page = BytePage(self.page_size)
+            page.write(stream[start : start + capacity])
+            pages.append(page)
+        return self._write_pages(pages)
+
+    # -- folded ------------------------------------------------------------
+
+    def _render_folded(self, plan: PhysicalPlan, evaluated: Evaluated) -> StoredLayout:
+        group_schema = plan.schema.project(plan.group_fields)
+        key_serializer = RecordSerializer(group_schema)
+        nest_types = _nest_types(
+            plan.schema.field("__folded__").dtype, len(plan.nest_fields)
+        )
+        nest_codecs = [
+            (get_codec(plan.codec_for(name)), dtype)
+            for name, dtype in zip(plan.nest_fields, nest_types)
+        ]
+        single = len(plan.nest_fields) == 1
+
+        stream = bytearray()
+        directory: list[tuple[int, int]] = []
+        keys: list[tuple] = []
+        for row in evaluated.value:
+            key = tuple(row[: len(plan.group_fields)])
+            nested = row[len(plan.group_fields)]
+            parts = [key_serializer.encode(key), _U32.pack(len(nested))]
+            for j, (codec, dtype) in enumerate(nest_codecs):
+                if single:
+                    vector = list(nested)
+                else:
+                    vector = [item[j] for item in nested]
+                encoded = codec.encode(vector, dtype)
+                parts.append(_U32.pack(len(encoded)))
+                parts.append(encoded)
+            blob = b"".join(parts)
+            directory.append((len(stream), len(blob)))
+            keys.append(key)
+            stream += blob
+        extent = self._write_stream(bytes(stream))
+        return StoredLayout(
+            plan=plan,
+            row_count=len(evaluated.value),
+            extent=extent,
+            folded_directory=directory,
+            folded_keys=keys,
+        )
+
+    # -- array -------------------------------------------------------------
+
+    def _render_array(self, plan: PhysicalPlan, evaluated: Evaluated) -> StoredLayout:
+        leaves = flatten(evaluated.value)
+        array_shape = nesting_shape(evaluated.value)
+        dtype = _leaf_dtype(leaves)
+        serializer = VectorSerializer(dtype)
+        capacity = self.page_size - BYTES_HEADER_SIZE
+        width = dtype.fixed_size or dtype.estimated_size()
+        per_page = max(1, (capacity - 8) // max(1, width))
+        pages: list[BytePage] = []
+        for start in range(0, max(len(leaves), 1), per_page):
+            page = BytePage(self.page_size)
+            page.write(serializer.encode(leaves[start : start + per_page]))
+            pages.append(page)
+        extent = self._write_pages(pages)
+        return StoredLayout(
+            plan=plan,
+            row_count=len(leaves),
+            extent=extent,
+            array_shape=array_shape,
+            array_values_per_page=per_page,
+            array_dtype=dtype,
+        )
+
+    # -- mirror ------------------------------------------------------------
+
+    def _render_mirror(self, plan: PhysicalPlan, evaluated: Evaluated) -> StoredLayout:
+        left_plan, right_plan = plan.mirror_plans
+        left = self.render(left_plan, evaluated.meta["left"])
+        right = self.render(right_plan, evaluated.meta["right"])
+        return StoredLayout(
+            plan=plan,
+            row_count=left.row_count,
+            mirrors=[left, right],
+        )
+
+    # ==================================================================
+    # Reading (scan path)
+    # ==================================================================
+
+    def iter_slotted_records(self, layout: StoredLayout) -> Iterator[bytes]:
+        """Raw record blobs of a rows/folded layout, in storage order."""
+        if layout.extent is None:
+            return
+        for page_id in layout.extent.page_ids:
+            frame = self.pool.fetch(page_id)
+            try:
+                page = SlottedPage(self.page_size, frame.data)
+                for _, blob in page.records():
+                    yield blob
+            finally:
+                self.pool.unpin(page_id)
+
+    def iter_rows(self, layout: StoredLayout) -> Iterator[tuple]:
+        """Decoded records of a rows layout, in storage order."""
+        serializer = RecordSerializer(layout.plan.schema)
+        for blob in self.iter_slotted_records(layout):
+            yield serializer.decode(blob)
+
+    def iter_column_group(
+        self, layout: StoredLayout, group_index: int
+    ) -> Iterator[Any]:
+        """Values (or mini-records) of one column group, in storage order."""
+        store = layout.column_groups[group_index]
+        plan = layout.plan
+        if len(store.fields) == 1:
+            dtype = plan.schema.field(store.fields[0]).dtype
+            codec = get_codec(plan.codec_for(store.fields[0]))
+            for page_index, _rows in store.chunks:
+                page_id = store.extent.page_ids[page_index]
+                frame = self.pool.fetch(page_id)
+                try:
+                    page = BytePage(self.page_size, frame.data)
+                    yield from codec.decode(page.read(), dtype)
+                finally:
+                    self.pool.unpin(page_id)
+        else:
+            serializer = RecordSerializer(plan.schema.project(store.fields))
+            for page_id in store.extent.page_ids:
+                frame = self.pool.fetch(page_id)
+                try:
+                    page = SlottedPage(self.page_size, frame.data)
+                    for _, blob in page.records():
+                        yield serializer.decode(blob)
+                finally:
+                    self.pool.unpin(page_id)
+
+    def read_cell(self, layout: StoredLayout, entry: CellEntry) -> list[tuple]:
+        """Fetch and decode one grid cell (delta reconstruction included)."""
+        blob = self._read_stream_range(layout, entry.offset, entry.length)
+        return self._decode_cell(layout.plan, blob)
+
+    def _read_stream_range(
+        self, layout: StoredLayout, offset: int, length: int
+    ) -> bytes:
+        if layout.extent is None:
+            raise StorageError("layout has no stream extent")
+        capacity = self.page_size - BYTES_HEADER_SIZE
+        first = offset // capacity
+        last = (offset + max(length, 1) - 1) // capacity
+        chunks: list[bytes] = []
+        for page_index in range(first, last + 1):
+            page_id = layout.extent.page_ids[page_index]
+            frame = self.pool.fetch(page_id)
+            try:
+                page = BytePage(self.page_size, frame.data)
+                chunks.append(page.read())
+            finally:
+                self.pool.unpin(page_id)
+        joined = b"".join(chunks)
+        start = offset - first * capacity
+        return joined[start : start + length]
+
+    def pages_for_cells(
+        self, layout: StoredLayout, entries: Sequence[CellEntry]
+    ) -> list[int]:
+        """Distinct page ids covering ``entries``, in storage order."""
+        capacity = self.page_size - BYTES_HEADER_SIZE
+        page_indexes: set[int] = set()
+        for entry in entries:
+            first = entry.offset // capacity
+            last = (entry.offset + max(entry.length, 1) - 1) // capacity
+            page_indexes.update(range(first, last + 1))
+        assert layout.extent is not None
+        return [
+            layout.extent.page_ids[i] for i in sorted(page_indexes)
+        ]
+
+    def iter_folded(
+        self,
+        layout: StoredLayout,
+        indices: Sequence[int] | None = None,
+    ) -> Iterator[tuple]:
+        """Folded records ``(key..., [nested...])`` in storage order.
+
+        ``indices`` restricts the iteration to specific folded records (by
+        directory position) — the key-range pruning path.
+        """
+        plan = layout.plan
+        group_schema = plan.schema.project(plan.group_fields)
+        key_serializer = RecordSerializer(group_schema)
+        folded_field = plan.schema.field("__folded__")
+        nest_types = _nest_types(folded_field.dtype, len(plan.nest_fields))
+        nest_codecs = [
+            (get_codec(plan.codec_for(name)), dtype)
+            for name, dtype in zip(plan.nest_fields, nest_types)
+        ]
+        single = len(plan.nest_fields) == 1
+        entries = layout.folded_directory
+        if indices is not None:
+            entries = [layout.folded_directory[i] for i in indices]
+        for blob_offset, blob_length in entries:
+            blob = self._read_stream_range(layout, blob_offset, blob_length)
+            key = key_serializer.decode(blob)
+            offset = key_serializer.encoded_size(key)
+            (count,) = _U32.unpack_from(blob, offset)
+            offset += 4
+            vectors: list[list] = []
+            for codec, dtype in nest_codecs:
+                (length,) = _U32.unpack_from(blob, offset)
+                offset += 4
+                vectors.append(codec.decode(blob[offset : offset + length], dtype))
+                offset += length
+            if single:
+                nested = list(vectors[0])
+            else:
+                nested = [
+                    tuple(vec[i] for vec in vectors) for i in range(count)
+                ]
+            yield tuple(key) + (nested,)
+
+    def iter_array_leaves(self, layout: StoredLayout) -> Iterator[Any]:
+        """All array leaves in physical (flattened) order."""
+        if layout.extent is None:
+            return
+        dtype = layout.array_dtype or layout.plan.schema.fields[0].dtype
+        serializer = VectorSerializer(dtype)
+        for page_id in layout.extent.page_ids:
+            frame = self.pool.fetch(page_id)
+            try:
+                page = BytePage(self.page_size, frame.data)
+                yield from serializer.decode(page.read())
+            finally:
+                self.pool.unpin(page_id)
+
+    def get_array_element(self, layout: StoredLayout, index: Sequence[int] | int) -> Any:
+        """Direct-offset lookup of one array element (multidim supported)."""
+        flat = self._flat_index(layout, index)
+        if not 0 <= flat < layout.row_count:
+            raise StorageError(f"array index {index!r} out of bounds")
+        page_index = flat // layout.array_values_per_page
+        within = flat % layout.array_values_per_page
+        assert layout.extent is not None
+        page_id = layout.extent.page_ids[page_index]
+        frame = self.pool.fetch(page_id)
+        try:
+            page = BytePage(self.page_size, frame.data)
+            dtype = layout.array_dtype or layout.plan.schema.fields[0].dtype
+            values = VectorSerializer(dtype).decode(page.read())
+            return values[within]
+        finally:
+            self.pool.unpin(page_id)
+
+    def _flat_index(self, layout: StoredLayout, index: Sequence[int] | int) -> int:
+        if isinstance(index, int):
+            return index
+        shape = layout.array_shape
+        if shape is None or len(shape) != len(index):
+            raise StorageError(
+                f"multidimensional index {index!r} does not match array "
+                f"shape {shape!r}"
+            )
+        flat = 0
+        for extent, i in zip(shape, index):
+            if not 0 <= i < extent:
+                raise StorageError(f"index {index!r} outside shape {shape!r}")
+            flat = flat * extent + i
+        return flat
+
+
+def _nest_types(folded_dtype: Any, n_nest_fields: int) -> list:
+    """Element types of the folded vectors, from the ListType schema entry."""
+    from repro.types.types import ListType, NestedType
+
+    if not isinstance(folded_dtype, ListType):
+        raise StorageError("__folded__ field is not a list type")
+    element = folded_dtype.element_type
+    if n_nest_fields == 1:
+        return [element]
+    if not isinstance(element, NestedType):
+        raise StorageError("multi-field fold requires nested element type")
+    return list(element.element_types)
+
+
+def _leaf_dtype(leaves: Sequence[Any]):
+    from repro.types.types import FLOAT, INT, STRING
+
+    if all(isinstance(v, int) and not isinstance(v, bool) for v in leaves):
+        return INT
+    if all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in leaves):
+        return FLOAT
+    return STRING

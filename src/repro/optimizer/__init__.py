@@ -1,0 +1,40 @@
+"""Storage design optimizer (paper §5): workloads, costing, search, advisor."""
+
+from repro.optimizer.advisor import (
+    Recommendation,
+    recommend,
+    recommend_for_table,
+)
+from repro.optimizer.candidates import (
+    affinity_column_groups,
+    enumerate_candidates,
+    suggest_stride,
+)
+from repro.optimizer.cost_model import DesignCost, PlanCostEstimator
+from repro.optimizer.reorganize import Policy, ReorganizationManager
+from repro.optimizer.search import (
+    SearchResult,
+    exhaustive_search,
+    greedy_stride_descent,
+    simulated_annealing,
+)
+from repro.optimizer.workload import Query, Workload
+
+__all__ = [
+    "DesignCost",
+    "PlanCostEstimator",
+    "Policy",
+    "Query",
+    "Recommendation",
+    "ReorganizationManager",
+    "SearchResult",
+    "Workload",
+    "affinity_column_groups",
+    "enumerate_candidates",
+    "exhaustive_search",
+    "greedy_stride_descent",
+    "recommend",
+    "recommend_for_table",
+    "simulated_annealing",
+    "suggest_stride",
+]

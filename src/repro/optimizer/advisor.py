@@ -1,0 +1,127 @@
+"""The storage design advisor: the public face of paper §5.
+
+``recommend()`` takes a schema, statistics, and a workload, enumerates
+candidate designs, searches them, and returns the recommended storage-algebra
+expression with its predicted cost and the runner-up alternatives — the
+"recommended storage representation" the paper's optimizer outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra import ast
+from repro.engine.cost import CostModel
+from repro.engine.database import RodentStore
+from repro.engine.stats import TableStats
+from repro.errors import OptimizerError
+from repro.optimizer.candidates import enumerate_candidates
+from repro.optimizer.cost_model import DesignCost, PlanCostEstimator
+from repro.optimizer.search import (
+    SearchResult,
+    exhaustive_search,
+    greedy_stride_descent,
+    simulated_annealing,
+)
+from repro.optimizer.workload import Workload
+from repro.types.schema import Schema
+
+
+@dataclass
+class Recommendation:
+    """The advisor's output."""
+
+    expression: ast.Node
+    predicted_ms: float
+    storage_pages: int
+    alternatives: list[tuple[str, float]]  # (expression text, predicted ms)
+    evaluated: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.expression.to_text()}  "
+            f"(predicted {self.predicted_ms:.2f} ms/workload, "
+            f"{self.storage_pages} pages, {self.evaluated} designs costed)"
+        )
+
+
+def recommend(
+    schema: Schema,
+    stats: TableStats,
+    workload: Workload,
+    cost_model: CostModel,
+    strategy: str = "exhaustive+descent",
+    include_mirrors: bool = False,
+) -> Recommendation:
+    """Recommend a physical design for ``workload``.
+
+    Strategies:
+        ``exhaustive`` — cost the whole candidate pool;
+        ``exhaustive+descent`` (default) — exhaustive, then refine grid
+        strides by coordinate descent;
+        ``annealing`` — simulated annealing over the pool and mutations.
+    """
+    candidates = enumerate_candidates(
+        schema, stats, workload, include_mirrors=include_mirrors
+    )
+    estimator = PlanCostEstimator(stats, cost_model, cost_model.page_size)
+
+    if strategy == "annealing":
+        result = simulated_annealing(candidates, schema, estimator, workload)
+    elif strategy in ("exhaustive", "exhaustive+descent"):
+        result = exhaustive_search(candidates, schema, estimator, workload)
+        if strategy == "exhaustive+descent":
+            result = _maybe_descend(result, schema, estimator, workload)
+    else:
+        raise OptimizerError(f"unknown search strategy {strategy!r}")
+
+    ranked = sorted(result.trace, key=lambda pair: pair[1])
+    return Recommendation(
+        expression=result.best.plan.expr,
+        predicted_ms=result.best.total_ms,
+        storage_pages=result.best.storage_pages,
+        alternatives=ranked[1:6],
+        evaluated=result.evaluated,
+    )
+
+
+def _maybe_descend(
+    result: SearchResult,
+    schema: Schema,
+    estimator: PlanCostEstimator,
+    workload: Workload,
+) -> SearchResult:
+    has_grid = any(
+        isinstance(node, ast.Grid) for node in result.expression.walk()
+    )
+    if not has_grid:
+        return result
+    refined = greedy_stride_descent(
+        result.expression, schema, estimator, workload
+    )
+    if refined.best.total_ms < result.best.total_ms:
+        refined.trace = result.trace + refined.trace
+        refined.evaluated += result.evaluated
+        return refined
+    result.evaluated += refined.evaluated
+    return result
+
+
+def recommend_for_table(
+    store: RodentStore,
+    workload: Workload,
+    strategy: str = "exhaustive+descent",
+) -> Recommendation:
+    """Recommend a design for a loaded table, using its collected stats."""
+    entry = store.catalog.entry(workload.table)
+    if entry.stats is None:
+        raise OptimizerError(
+            f"table {workload.table!r} has no statistics; load data first"
+        )
+    return recommend(
+        entry.logical_schema,
+        entry.stats,
+        workload,
+        store.cost_model,
+        strategy=strategy,
+    )

@@ -1,0 +1,235 @@
+"""Candidate physical-design enumeration.
+
+Paper §5: "Most of the above transformations lead to an exponential number of
+physical designs. For example, if there are n columns in a table, there are
+2^n ways to co-locate that table's columns. ... For this reason, we
+anticipate heavy reliance on heuristic search algorithms."
+
+This module generates a tractable candidate pool:
+
+* the canonical row layout, sorted variants for frequently-ranged fields;
+* pure DSM columns, plus affinity-derived column groups;
+* grids over pairs of range-queried numeric dimensions with strides sized
+  from the observed query extents, in row-major / z-order / Hilbert cell
+  orders, with optional delta+varint compression on the gridded dimensions;
+* folded layouts for low-cardinality grouping fields;
+* a fractured mirror of the two best pure designs (optional).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from repro.algebra import ast
+from repro.engine.stats import TableStats
+from repro.optimizer.workload import Workload
+from repro.types.schema import Schema
+from repro.types.types import FloatType, IntType
+
+
+def enumerate_candidates(
+    schema: Schema,
+    stats: TableStats,
+    workload: Workload,
+    include_mirrors: bool = False,
+    max_grid_dims: int = 2,
+) -> list[ast.Node]:
+    """Produce a deduplicated list of candidate expressions."""
+    table = ast.TableRef(workload.table)
+    out: list[ast.Node] = [table]
+    seen: set[str] = {table.to_text()}
+
+    def add(expr: ast.Node) -> None:
+        text = expr.to_text()
+        if text not in seen:
+            seen.add(text)
+            out.append(expr)
+
+    for expr in _sorted_rows(table, schema, workload):
+        add(expr)
+    for expr in _column_designs(table, schema, workload):
+        add(expr)
+    for expr in _grid_designs(table, schema, stats, workload, max_grid_dims):
+        add(expr)
+    for expr in _folded_designs(table, schema, stats, workload):
+        add(expr)
+    if include_mirrors and len(out) >= 3:
+        add(ast.Mirror(ast.Rows(table), ast.Columns(table, ())))
+    return out
+
+
+def _sorted_rows(
+    table: ast.TableRef, schema: Schema, workload: Workload
+) -> Iterator[ast.Node]:
+    dims = workload.range_dimensions()
+    ranked = sorted(dims, key=lambda d: -len(dims[d]))
+    for name in ranked[:2]:
+        if schema.has_field(name):
+            yield ast.OrderBy(table, (ast.SortKey(name),))
+
+
+def _column_designs(
+    table: ast.TableRef, schema: Schema, workload: Workload
+) -> Iterator[ast.Node]:
+    yield ast.Columns(table, ())  # pure DSM
+    groups = affinity_column_groups(schema, workload)
+    if groups and tuple(groups) != tuple((f,) for f in schema.names()):
+        yield ast.Columns(table, tuple(tuple(g) for g in groups))
+
+
+def affinity_column_groups(
+    schema: Schema, workload: Workload
+) -> list[list[str]]:
+    """Greedy attribute-affinity column grouping (after Agrawal et al. 2004).
+
+    Start from singleton groups; repeatedly merge the pair of groups with the
+    highest summed co-access weight until the strongest remaining affinity
+    falls below half the strongest seen.
+    """
+    fields = schema.names()
+    matrix = workload.co_access_matrix(fields)
+    if not matrix:
+        return [[f] for f in fields]
+    groups: list[list[str]] = [[f] for f in fields]
+    strongest = max(matrix.values())
+    threshold = strongest / 2
+
+    def group_affinity(a: list[str], b: list[str]) -> float:
+        total = 0.0
+        for x in a:
+            for y in b:
+                key = (x, y) if x < y else (y, x)
+                total += matrix.get(key, 0.0)
+        return total / (len(a) * len(b))
+
+    while len(groups) > 1:
+        best_pair = None
+        best_score = 0.0
+        for i in range(len(groups)):
+            for j in range(i + 1, len(groups)):
+                score = group_affinity(groups[i], groups[j])
+                if score > best_score:
+                    best_score = score
+                    best_pair = (i, j)
+        if best_pair is None or best_score < threshold:
+            break
+        i, j = best_pair
+        groups[i] = groups[i] + groups[j]
+        del groups[j]
+    return groups
+
+
+def _grid_designs(
+    table: ast.TableRef,
+    schema: Schema,
+    stats: TableStats,
+    workload: Workload,
+    max_grid_dims: int,
+) -> Iterator[ast.Node]:
+    dims = workload.range_dimensions()
+    numeric_dims = [
+        d
+        for d in dims
+        if schema.has_field(d) and _is_numeric(schema, d)
+        and stats.fields.get(d) is not None
+        and stats.fields[d].is_numeric
+    ]
+    projected = _projection_for(schema, workload, numeric_dims)
+    for k in range(2, max_grid_dims + 1):
+        for combo in itertools.combinations(numeric_dims, k):
+            strides = [suggest_stride(stats, dims, d) for d in combo]
+            if any(s is None for s in strides):
+                continue
+            base: ast.Node = table
+            if projected is not None:
+                base = ast.Project(table, projected)
+            gridded = ast.Grid(base, tuple(combo), tuple(strides))
+            yield gridded
+            z = ast.ZOrder(gridded)
+            yield z
+            if k == 2:
+                yield ast.HilbertOrder(gridded)
+            compressible = [
+                d for d in combo if isinstance(
+                    _base_type(schema, d), IntType
+                )
+            ]
+            if compressible:
+                yield ast.Compress(
+                    ast.Delta(z, tuple(compressible)),
+                    "varint",
+                    tuple(compressible),
+                )
+
+
+def suggest_stride(
+    stats: TableStats,
+    query_ranges: dict[str, list[tuple[float, float]]],
+    dim: str,
+    cells_per_query_side: float = 2.0,
+) -> float | None:
+    """Stride such that a typical query spans ~``cells_per_query_side`` cells.
+
+    The case study sizes cells comparably to the query footprint; far smaller
+    cells bloat the directory and seeks, far larger cells read excess data.
+    """
+    field_stats = stats.fields.get(dim)
+    if field_stats is None or not field_stats.is_numeric:
+        return None
+    spans = [
+        hi - lo
+        for lo, hi in query_ranges.get(dim, [])
+        if hi > lo and hi != float("inf") and lo != float("-inf")
+    ]
+    extent = float(field_stats.max_value) - float(field_stats.min_value)
+    if extent <= 0:
+        return None
+    if spans:
+        stride = (sum(spans) / len(spans)) / cells_per_query_side
+    else:
+        stride = extent / 32
+    stride = min(max(stride, extent / 4096), extent)
+    if isinstance(field_stats.min_value, int):
+        stride = max(1.0, round(stride))
+    return stride
+
+
+def _projection_for(
+    schema: Schema, workload: Workload, dims: list[str]
+) -> tuple[str, ...] | None:
+    """Drop never-touched fields before gridding (the case study's N2 step)."""
+    touched: set[str] = set(dims)
+    for query in workload.queries:
+        touched |= query.fields_touched(schema.names())
+    projected = tuple(f for f in schema.names() if f in touched)
+    if len(projected) == len(schema.names()):
+        return None
+    return projected
+
+
+def _folded_designs(
+    table: ast.TableRef,
+    schema: Schema,
+    stats: TableStats,
+    workload: Workload,
+) -> Iterator[ast.Node]:
+    weights = workload.field_access_weights(schema.names())
+    for f in schema.names():
+        field_stats = stats.fields.get(f)
+        if field_stats is None or field_stats.distinct == 0:
+            continue
+        rows = max(1, stats.row_count)
+        if field_stats.distinct <= rows // 20 and weights.get(f, 0) > 0:
+            rest = [n for n in schema.names() if n != f]
+            if rest:
+                yield ast.Fold(table, tuple(rest), (f,))
+
+
+def _is_numeric(schema: Schema, name: str) -> bool:
+    return isinstance(_base_type(schema, name), (IntType, FloatType))
+
+
+def _base_type(schema: Schema, name: str):
+    dtype = schema.field(name).dtype
+    return getattr(dtype, "base", dtype)

@@ -1,0 +1,87 @@
+"""Workload model for the storage design optimizer.
+
+The optimizer (paper §5) "takes as input a relational schema and a workload
+of SQL queries and outputs a recommended storage representation". Our
+front-end-agnostic equivalent of a query is the access-method call it
+compiles to: a (fieldlist, predicate, order) triple plus a frequency weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.query.expressions import Predicate
+
+
+@dataclass(frozen=True)
+class Query:
+    """One query template with an execution frequency."""
+
+    name: str
+    fieldlist: tuple[str, ...] | None = None
+    predicate: Predicate | None = None
+    order: tuple[tuple[str, bool], ...] = ()
+    weight: float = 1.0
+
+    def fields_touched(self, all_fields: Sequence[str]) -> set[str]:
+        """Fields this query reads (projection + predicate + order)."""
+        touched = set(self.fieldlist) if self.fieldlist else set(all_fields)
+        if self.predicate is not None:
+            touched |= self.predicate.fields_used()
+        touched |= {name for name, _ in self.order}
+        return touched
+
+    def ranges(self) -> dict[str, tuple[float, float]]:
+        return self.predicate.ranges() if self.predicate else {}
+
+
+@dataclass
+class Workload:
+    """A weighted bag of query templates against one table."""
+
+    table: str
+    queries: list[Query] = field(default_factory=list)
+
+    def add(self, query: Query) -> "Workload":
+        self.queries.append(query)
+        return self
+
+    @property
+    def total_weight(self) -> float:
+        return sum(q.weight for q in self.queries)
+
+    def co_access_matrix(
+        self, all_fields: Sequence[str]
+    ) -> dict[tuple[str, str], float]:
+        """Attribute-affinity matrix (Agrawal et al. style).
+
+        Entry (a, b) accumulates the weight of queries touching both a and b;
+        the column-grouping heuristic merges high-affinity fields.
+        """
+        matrix: dict[tuple[str, str], float] = {}
+        for query in self.queries:
+            touched = sorted(query.fields_touched(all_fields))
+            for i, a in enumerate(touched):
+                for b in touched[i + 1 :]:
+                    matrix[(a, b)] = matrix.get((a, b), 0.0) + query.weight
+        return matrix
+
+    def field_access_weights(
+        self, all_fields: Sequence[str]
+    ) -> dict[str, float]:
+        """Total query weight touching each field."""
+        weights = {f: 0.0 for f in all_fields}
+        for query in self.queries:
+            for name in query.fields_touched(all_fields):
+                if name in weights:
+                    weights[name] += query.weight
+        return weights
+
+    def range_dimensions(self) -> dict[str, list[tuple[float, float]]]:
+        """Fields constrained by range predicates, with the query ranges."""
+        dims: dict[str, list[tuple[float, float]]] = {}
+        for query in self.queries:
+            for name, bounds in query.ranges().items():
+                dims.setdefault(name, []).append(bounds)
+        return dims

@@ -1,0 +1,29 @@
+"""Query layer: predicates, executor, and the fluent front end."""
+
+from repro.query.executor import Aggregate, QuerySpec, execute
+from repro.query.expressions import (
+    And,
+    Not,
+    Or,
+    Predicate,
+    Range,
+    Rect,
+    ScalarPredicate,
+    from_scalar,
+)
+from repro.query.frontend import Q
+
+__all__ = [
+    "Aggregate",
+    "And",
+    "Not",
+    "Or",
+    "Predicate",
+    "Q",
+    "QuerySpec",
+    "Range",
+    "Rect",
+    "ScalarPredicate",
+    "execute",
+    "from_scalar",
+]

@@ -1,0 +1,130 @@
+"""A small scan-based query executor.
+
+The paper leaves the front end open ("it may be a SQL database, an array
+oriented system, or any other interface"). This executor is the minimal
+query-processing layer the examples and benchmarks need: projection,
+predicate, order, limit — all pushed into the access methods — plus
+client-side grouped aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import QueryError
+from repro.query.expressions import Predicate
+
+if TYPE_CHECKING:  # pragma: no cover - circular import guard
+    from repro.engine.table import Table
+
+_AGGREGATES: dict[str, Callable[[list], Any]] = {
+    "count": len,
+    "sum": sum,
+    "min": min,
+    "max": max,
+    "avg": lambda values: sum(values) / len(values) if values else None,
+}
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One aggregate column: function over an input field."""
+
+    func: str
+    source: str | None = None  # None for count(*)
+    alias: str | None = None
+
+    def __post_init__(self):
+        if self.func not in _AGGREGATES:
+            raise QueryError(
+                f"unknown aggregate {self.func!r}; "
+                f"available: {sorted(_AGGREGATES)}"
+            )
+        if self.func != "count" and self.source is None:
+            raise QueryError(f"aggregate {self.func} requires a source field")
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        return f"{self.func}({self.source or '*'})"
+
+
+@dataclass
+class QuerySpec:
+    """A declarative query against one table."""
+
+    table: str
+    fieldlist: tuple[str, ...] | None = None
+    predicate: Predicate | None = None
+    order: tuple[tuple[str, bool], ...] = ()
+    limit: int | None = None
+    group_by: tuple[str, ...] = ()
+    aggregates: tuple[Aggregate, ...] = ()
+
+
+def execute(table: "Table", spec: QuerySpec) -> list[tuple]:
+    """Run ``spec`` against ``table`` and materialize the result."""
+    if spec.aggregates:
+        return _execute_aggregation(table, spec)
+    rows = table.scan(
+        fieldlist=list(spec.fieldlist) if spec.fieldlist else None,
+        predicate=spec.predicate,
+        order=list(spec.order) if spec.order else None,
+    )
+    if spec.limit is not None:
+        out: list[tuple] = []
+        for row in rows:
+            out.append(row)
+            if len(out) >= spec.limit:
+                break
+        return out
+    return list(rows)
+
+
+def _execute_aggregation(table: "Table", spec: QuerySpec) -> list[tuple]:
+    needed: list[str] = list(spec.group_by)
+    for agg in spec.aggregates:
+        if agg.source is not None and agg.source not in needed:
+            needed.append(agg.source)
+    if not needed:
+        # count(*) with no grouping: scan the narrowest thing available.
+        needed = [table.scan_schema().names()[0]]
+    rows = list(
+        table.scan(fieldlist=needed, predicate=spec.predicate)
+    )
+    positions = {name: i for i, name in enumerate(needed)}
+    group_idx = [positions[g] for g in spec.group_by]
+
+    groups: dict[tuple, list[tuple]] = {}
+    order: list[tuple] = []
+    for row in rows:
+        key = tuple(row[i] for i in group_idx)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+
+    out: list[tuple] = []
+    for key in order:
+        members = groups[key]
+        result: list[Any] = list(key)
+        for agg in spec.aggregates:
+            fn = _AGGREGATES[agg.func]
+            if agg.source is None:
+                result.append(len(members))
+            else:
+                values = [m[positions[agg.source]] for m in members]
+                result.append(fn(values))
+        out.append(tuple(result))
+    if spec.order:
+        names = list(spec.group_by) + [a.output_name for a in spec.aggregates]
+        idx = {n: i for i, n in enumerate(names)}
+        for name, ascending in reversed(spec.order):
+            if name not in idx:
+                raise QueryError(f"cannot order aggregate result by {name!r}")
+            out.sort(key=lambda r: r[idx[name]], reverse=not ascending)
+    if spec.limit is not None:
+        out = out[: spec.limit]
+    return out

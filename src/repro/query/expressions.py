@@ -1,0 +1,257 @@
+"""Query predicates for the access-method API.
+
+``scan(table, [fieldlist, predicate, order])`` (paper §4.1) takes an optional
+*range predicate*. Predicates here are deliberately simple — conjunctions of
+per-field ranges plus arbitrary residual conditions — because that is what
+the storage layer can exploit: per-field ranges prune grid cells via the cell
+directory and drive index range scans; the residual is applied per record.
+
+A predicate can be built three ways:
+
+* :class:`Range` / :class:`Rect` constructors (used by the geospatial
+  case study: "queries retrieving square regions");
+* :func:`from_scalar` — converting a parsed algebra condition such as
+  ``r.lat >= 42.1 and r.lat < 42.3``;
+* any object implementing the small :class:`Predicate` protocol.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.algebra import ast
+from repro.algebra.transforms import eval_scalar
+from repro.errors import QueryError
+
+NEG_INF = -math.inf
+POS_INF = math.inf
+
+
+class Predicate:
+    """Protocol: record filter + prunable per-field ranges."""
+
+    def matches(self, record: Sequence[Any], positions: Mapping[str, int]) -> bool:
+        raise NotImplementedError
+
+    def ranges(self) -> dict[str, tuple[float, float]]:
+        """Per-field inclusive [lo, hi] bounds implied by this predicate.
+
+        Only bounds that are *necessary conditions* may be returned (pruning
+        with them must never drop a matching record). Fields without usable
+        bounds are simply absent.
+        """
+        return {}
+
+    def fields_used(self) -> set[str]:
+        return set(self.ranges())
+
+
+@dataclass(frozen=True)
+class Range(Predicate):
+    """``lo <= field <= hi`` (either bound may be infinite)."""
+
+    field: str
+    lo: float = NEG_INF
+    hi: float = POS_INF
+
+    def __post_init__(self):
+        if self.lo > self.hi:
+            raise QueryError(
+                f"empty range for {self.field}: [{self.lo}, {self.hi}]"
+            )
+
+    def matches(self, record: Sequence[Any], positions: Mapping[str, int]) -> bool:
+        try:
+            value = record[positions[self.field]]
+        except KeyError:
+            raise QueryError(f"unknown predicate field {self.field!r}") from None
+        return self.lo <= value <= self.hi
+
+    def ranges(self) -> dict[str, tuple[float, float]]:
+        return {self.field: (self.lo, self.hi)}
+
+    def fields_used(self) -> set[str]:
+        return {self.field}
+
+
+class Rect(Predicate):
+    """A conjunction of ranges — the case study's spatial rectangle."""
+
+    def __init__(self, bounds: Mapping[str, tuple[float, float]]):
+        if not bounds:
+            raise QueryError("a rectangle needs at least one bounded field")
+        self._ranges = {
+            name: Range(name, lo, hi) for name, (lo, hi) in bounds.items()
+        }
+
+    def matches(self, record: Sequence[Any], positions: Mapping[str, int]) -> bool:
+        return all(r.matches(record, positions) for r in self._ranges.values())
+
+    def ranges(self) -> dict[str, tuple[float, float]]:
+        return {name: (r.lo, r.hi) for name, r in self._ranges.items()}
+
+    def fields_used(self) -> set[str]:
+        return set(self._ranges)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}∈[{r.lo:g},{r.hi:g}]" for name, r in self._ranges.items()
+        )
+        return f"Rect({inner})"
+
+
+class And(Predicate):
+    """Conjunction of arbitrary predicates; ranges intersect."""
+
+    def __init__(self, *parts: Predicate):
+        if not parts:
+            raise QueryError("And requires at least one predicate")
+        self.parts = parts
+
+    def matches(self, record: Sequence[Any], positions: Mapping[str, int]) -> bool:
+        return all(p.matches(record, positions) for p in self.parts)
+
+    def ranges(self) -> dict[str, tuple[float, float]]:
+        merged: dict[str, tuple[float, float]] = {}
+        for part in self.parts:
+            for name, (lo, hi) in part.ranges().items():
+                if name in merged:
+                    old_lo, old_hi = merged[name]
+                    merged[name] = (max(old_lo, lo), min(old_hi, hi))
+                else:
+                    merged[name] = (lo, hi)
+        return merged
+
+    def fields_used(self) -> set[str]:
+        used: set[str] = set()
+        for part in self.parts:
+            used |= part.fields_used()
+        return used
+
+
+class Or(Predicate):
+    """Disjunction; per-field ranges are the union's bounding interval."""
+
+    def __init__(self, *parts: Predicate):
+        if len(parts) < 2:
+            raise QueryError("Or requires at least two predicates")
+        self.parts = parts
+
+    def matches(self, record: Sequence[Any], positions: Mapping[str, int]) -> bool:
+        return any(p.matches(record, positions) for p in self.parts)
+
+    def ranges(self) -> dict[str, tuple[float, float]]:
+        # Only fields bounded in *every* branch yield a usable range.
+        all_ranges = [p.ranges() for p in self.parts]
+        common = set(all_ranges[0])
+        for r in all_ranges[1:]:
+            common &= set(r)
+        out: dict[str, tuple[float, float]] = {}
+        for name in common:
+            out[name] = (
+                min(r[name][0] for r in all_ranges),
+                max(r[name][1] for r in all_ranges),
+            )
+        return out
+
+    def fields_used(self) -> set[str]:
+        used: set[str] = set()
+        for part in self.parts:
+            used |= part.fields_used()
+        return used
+
+
+class Not(Predicate):
+    """Negation; contributes no prunable ranges."""
+
+    def __init__(self, part: Predicate):
+        self.part = part
+
+    def matches(self, record: Sequence[Any], positions: Mapping[str, int]) -> bool:
+        return not self.part.matches(record, positions)
+
+    def fields_used(self) -> set[str]:
+        return self.part.fields_used()
+
+
+class ScalarPredicate(Predicate):
+    """Wrap an algebra scalar condition as a predicate.
+
+    Prunable ranges are extracted from top-level conjunctions of comparisons
+    between a field and a constant; everything else is evaluated per record.
+    """
+
+    def __init__(self, condition: ast.Scalar):
+        self.condition = condition
+        self._ranges = _extract_ranges(condition)
+
+    def matches(self, record: Sequence[Any], positions: Mapping[str, int]) -> bool:
+        return bool(eval_scalar(self.condition, record, dict(positions)))
+
+    def ranges(self) -> dict[str, tuple[float, float]]:
+        return dict(self._ranges)
+
+    def fields_used(self) -> set[str]:
+        return self.condition.fields_used()
+
+    def __repr__(self) -> str:
+        return f"ScalarPredicate({self.condition.to_text()})"
+
+
+def from_scalar(condition: ast.Scalar) -> ScalarPredicate:
+    """Convert a parsed algebra condition into a predicate."""
+    return ScalarPredicate(condition)
+
+
+def _extract_ranges(condition: ast.Scalar) -> dict[str, tuple[float, float]]:
+    out: dict[str, tuple[float, float]] = {}
+    for comparison in _conjuncts(condition):
+        bound = _bound_of(comparison)
+        if bound is None:
+            continue
+        name, lo, hi = bound
+        if name in out:
+            old_lo, old_hi = out[name]
+            out[name] = (max(old_lo, lo), min(old_hi, hi))
+        else:
+            out[name] = (lo, hi)
+    return out
+
+
+def _conjuncts(condition: ast.Scalar) -> list[ast.Scalar]:
+    if isinstance(condition, ast.Logical) and condition.op == "and":
+        parts: list[ast.Scalar] = []
+        for operand in condition.operands:
+            parts.extend(_conjuncts(operand))
+        return parts
+    return [condition]
+
+
+def _bound_of(
+    comparison: ast.Scalar,
+) -> tuple[str, float, float] | None:
+    if not isinstance(comparison, ast.Comparison):
+        return None
+    left, right, op = comparison.left, comparison.right, comparison.op
+    if isinstance(left, ast.Const) and isinstance(right, ast.FieldRef):
+        # Normalize "c op field" to "field op' c".
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+        left, right, op = right, left, flipped[op]
+    if not (isinstance(left, ast.FieldRef) and isinstance(right, ast.Const)):
+        return None
+    if not isinstance(right.value, (int, float)) or isinstance(right.value, bool):
+        return None
+    value = float(right.value)
+    if op == "=":
+        return left.name, value, value
+    if op == "<":
+        return left.name, NEG_INF, value
+    if op == "<=":
+        return left.name, NEG_INF, value
+    if op == ">":
+        return left.name, value, POS_INF
+    if op == ">=":
+        return left.name, value, POS_INF
+    return None  # "!=" prunes nothing

@@ -1,0 +1,108 @@
+"""Fluent query front end.
+
+A tiny, chainable interface standing in for the paper's "Traditional
+Database Front End" box (Figure 1)::
+
+    from repro.query import Q
+
+    rows = (
+        Q(store, "Traces")
+        .select("lat", "lon")
+        .where(Rect({"lat": (lo, hi), "lon": (lo2, hi2)}))
+        .order_by("t")
+        .limit(100)
+        .run()
+    )
+
+    per_taxi = Q(store, "Traces").group_by("id").agg(count="*").run()
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import QueryError
+from repro.query.executor import Aggregate, QuerySpec, execute
+from repro.query.expressions import And, Predicate
+
+if TYPE_CHECKING:  # pragma: no cover - circular import guard
+    from repro.engine.database import RodentStore
+
+
+class Q:
+    """Query builder bound to one table of a store."""
+
+    def __init__(self, store: "RodentStore", table: str):
+        self._store = store
+        self._table = table
+        self._spec = QuerySpec(table=table)
+
+    # -- builder steps ------------------------------------------------------
+
+    def select(self, *fields: str) -> "Q":
+        self._spec.fieldlist = tuple(fields) if fields else None
+        return self
+
+    def where(self, predicate: Predicate) -> "Q":
+        if self._spec.predicate is None:
+            self._spec.predicate = predicate
+        else:
+            self._spec.predicate = And(self._spec.predicate, predicate)
+        return self
+
+    def order_by(self, *keys: str | tuple[str, bool]) -> "Q":
+        normalized: list[tuple[str, bool]] = []
+        for key in keys:
+            if isinstance(key, str):
+                descending = key.startswith("-")
+                normalized.append((key.lstrip("-"), not descending))
+            else:
+                normalized.append((key[0], bool(key[1])))
+        self._spec.order = tuple(normalized)
+        return self
+
+    def limit(self, count: int) -> "Q":
+        if count < 0:
+            raise QueryError("limit must be non-negative")
+        self._spec.limit = count
+        return self
+
+    def group_by(self, *fields: str) -> "Q":
+        self._spec.group_by = tuple(fields)
+        return self
+
+    def agg(self, **aggregates: str) -> "Q":
+        """Aggregates as ``alias=func:field`` or ``alias="*"`` for count(*).
+
+        Examples: ``agg(n="*")``, ``agg(total="sum:amount", lo="min:lat")``.
+        """
+        specs = list(self._spec.aggregates)
+        for alias, spec in aggregates.items():
+            if spec == "*":
+                specs.append(Aggregate("count", None, alias))
+                continue
+            try:
+                func, source = spec.split(":")
+            except ValueError:
+                raise QueryError(
+                    f"aggregate spec {spec!r} must be 'func:field' or '*'"
+                ) from None
+            specs.append(Aggregate(func, source, alias))
+        self._spec.aggregates = tuple(specs)
+        return self
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self) -> list[tuple]:
+        return execute(self._store.table(self._table), self._spec)
+
+    def explain(self):
+        """The access-method cost estimate for this query."""
+        return self._store.table(self._table).scan_cost(
+            fieldlist=list(self._spec.fieldlist) if self._spec.fieldlist else None,
+            predicate=self._spec.predicate,
+            order=list(self._spec.order) if self._spec.order else None,
+        )
+
+    def spec(self) -> QuerySpec:
+        return self._spec

@@ -1,0 +1,51 @@
+"""Storage substrate: pages, disk manager, buffer pool, WAL, transactions."""
+
+from repro.storage.buffer import BufferPool, BufferPoolStats, Frame
+from repro.storage.disk import DEFAULT_PAGE_SIZE, DiskManager, IOStats
+from repro.storage.locks import LockManager, LockMode
+from repro.storage.page import (
+    NO_PAGE,
+    BytePage,
+    SlottedPage,
+    page_type_of,
+)
+from repro.storage.serializer import RecordSerializer, VectorSerializer
+from repro.storage.transactions import Transaction, TransactionManager, TxnStatus
+from repro.storage.wal import (
+    KIND_ABORT,
+    KIND_BEGIN,
+    KIND_CHECKPOINT,
+    KIND_COMMIT,
+    KIND_UPDATE,
+    LogRecord,
+    WriteAheadLog,
+    recover,
+)
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "NO_PAGE",
+    "KIND_ABORT",
+    "KIND_BEGIN",
+    "KIND_CHECKPOINT",
+    "KIND_COMMIT",
+    "KIND_UPDATE",
+    "BufferPool",
+    "BufferPoolStats",
+    "BytePage",
+    "DiskManager",
+    "Frame",
+    "IOStats",
+    "LockManager",
+    "LockMode",
+    "LogRecord",
+    "RecordSerializer",
+    "SlottedPage",
+    "Transaction",
+    "TransactionManager",
+    "TxnStatus",
+    "VectorSerializer",
+    "WriteAheadLog",
+    "page_type_of",
+    "recover",
+]

@@ -1,0 +1,239 @@
+"""Disk manager: a page store with I/O accounting.
+
+The paper's headline metric (Figure 2) is *pages read per query*; the second
+claim is that z-ordering "reduces the number of disk seeks". The disk manager
+therefore counts:
+
+* ``page_reads`` / ``page_writes`` — pages transferred;
+* ``read_seeks`` / ``write_seeks`` — accesses whose page id is not physically
+  adjacent to the previously accessed page (a simple single-head disk model).
+
+Two backends share the same interface: a real file (pages at
+``page_id * page_size`` offsets) and an in-memory dict (fast, used by tests
+and benchmarks — the counters behave identically).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import StorageError
+
+DEFAULT_PAGE_SIZE = 8192
+
+
+class IOStats:
+    """Mutable I/O counters with snapshot/delta helpers."""
+
+    __slots__ = ("page_reads", "page_writes", "read_seeks", "write_seeks")
+
+    def __init__(
+        self,
+        page_reads: int = 0,
+        page_writes: int = 0,
+        read_seeks: int = 0,
+        write_seeks: int = 0,
+    ):
+        self.page_reads = page_reads
+        self.page_writes = page_writes
+        self.read_seeks = read_seeks
+        self.write_seeks = write_seeks
+
+    def snapshot(self) -> "IOStats":
+        return IOStats(
+            self.page_reads, self.page_writes, self.read_seeks, self.write_seeks
+        )
+
+    def delta(self, since: "IOStats") -> "IOStats":
+        return IOStats(
+            self.page_reads - since.page_reads,
+            self.page_writes - since.page_writes,
+            self.read_seeks - since.read_seeks,
+            self.write_seeks - since.write_seeks,
+        )
+
+    def reset(self) -> None:
+        self.page_reads = 0
+        self.page_writes = 0
+        self.read_seeks = 0
+        self.write_seeks = 0
+
+    @property
+    def total_seeks(self) -> int:
+        return self.read_seeks + self.write_seeks
+
+    @property
+    def total_pages(self) -> int:
+        return self.page_reads + self.page_writes
+
+    def __repr__(self) -> str:
+        return (
+            f"IOStats(reads={self.page_reads}, writes={self.page_writes}, "
+            f"read_seeks={self.read_seeks}, write_seeks={self.write_seeks})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IOStats):
+            return NotImplemented
+        return (
+            self.page_reads == other.page_reads
+            and self.page_writes == other.page_writes
+            and self.read_seeks == other.read_seeks
+            and self.write_seeks == other.write_seeks
+        )
+
+
+class DiskManager:
+    """Allocate, read, and write fixed-size pages with I/O accounting.
+
+    Args:
+        path: backing file path, or ``None`` for an in-memory store.
+        page_size: page size in bytes; the paper's case study uses 1000 KB,
+            scaled-down runs use smaller pages.
+    """
+
+    def __init__(self, path: str | None = None, page_size: int = DEFAULT_PAGE_SIZE):
+        if page_size < 64:
+            raise StorageError(f"page size {page_size} is too small")
+        self.page_size = page_size
+        self.path = path
+        self.stats = IOStats()
+        self._last_page: int | None = None  # disk head position
+        self._free_list: list[int] = []
+        if path is None:
+            self._pages: dict[int, bytearray] | None = {}
+            self._file = None
+            self._num_pages = 0
+        else:
+            self._pages = None
+            exists = os.path.exists(path)
+            self._file = open(path, "r+b" if exists else "w+b")
+            self._file.seek(0, os.SEEK_END)
+            size = self._file.tell()
+            if size % page_size != 0:
+                raise StorageError(
+                    f"file size {size} is not a multiple of page size "
+                    f"{page_size}"
+                )
+            self._num_pages = size // page_size
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "DiskManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- allocation --------------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        """Number of allocated pages (including freed-then-reusable ones)."""
+        return self._num_pages
+
+    def allocate_page(self) -> int:
+        """Return a fresh (or recycled) page id, zero-filled."""
+        if self._free_list:
+            page_id = self._free_list.pop()
+            self._write_raw(page_id, bytearray(self.page_size), count=False)
+            return page_id
+        page_id = self._num_pages
+        self._num_pages += 1
+        self._write_raw(page_id, bytearray(self.page_size), count=False)
+        return page_id
+
+    def allocate_contiguous(self, count: int) -> list[int]:
+        """Allocate ``count`` physically adjacent pages (for extents)."""
+        if count < 1:
+            raise StorageError("cannot allocate fewer than 1 page")
+        start = self._num_pages
+        self._num_pages += count
+        for page_id in range(start, start + count):
+            self._write_raw(page_id, bytearray(self.page_size), count=False)
+        return list(range(start, start + count))
+
+    def free_page(self, page_id: int) -> None:
+        self._check(page_id)
+        self._free_list.append(page_id)
+
+    # -- I/O -----------------------------------------------------------------
+
+    def read_page(self, page_id: int) -> bytearray:
+        """Read one page, updating read and seek counters."""
+        self._check(page_id)
+        self.stats.page_reads += 1
+        if self._last_page is not None and page_id != self._last_page + 1:
+            self.stats.read_seeks += 1
+        elif self._last_page is None:
+            self.stats.read_seeks += 1
+        self._last_page = page_id
+        if self._pages is not None:
+            return bytearray(self._pages.get(page_id, bytearray(self.page_size)))
+        assert self._file is not None
+        self._file.seek(page_id * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) < self.page_size:
+            data = data.ljust(self.page_size, b"\x00")
+        return bytearray(data)
+
+    def write_page(self, page_id: int, data: bytes | bytearray) -> None:
+        """Write one page, updating write and seek counters."""
+        self._check(page_id)
+        if len(data) != self.page_size:
+            raise StorageError(
+                f"page write of {len(data)} bytes != page size {self.page_size}"
+            )
+        self.stats.page_writes += 1
+        if self._last_page is None or page_id != self._last_page + 1:
+            self.stats.write_seeks += 1
+        self._last_page = page_id
+        self._write_raw(page_id, data, count=False)
+
+    def _write_raw(self, page_id: int, data: bytes | bytearray, count: bool) -> None:
+        if self._pages is not None:
+            self._pages[page_id] = bytearray(data)
+            return
+        assert self._file is not None
+        self._file.seek(page_id * self.page_size)
+        self._file.write(bytes(data))
+
+    def _check(self, page_id: int) -> None:
+        if not 0 <= page_id < self._num_pages:
+            raise StorageError(
+                f"page id {page_id} out of range [0, {self._num_pages})"
+            )
+
+    # -- measurement ---------------------------------------------------------
+
+    @contextmanager
+    def measure(self) -> Iterator[IOStats]:
+        """Context manager yielding the I/O delta accumulated in the block.
+
+        Example::
+
+            with disk.measure() as io:
+                run_query()
+            print(io.page_reads)
+        """
+        before = self.stats.snapshot()
+        delta = IOStats()
+        try:
+            yield delta
+        finally:
+            after = self.stats.delta(before)
+            delta.page_reads = after.page_reads
+            delta.page_writes = after.page_writes
+            delta.read_seeks = after.read_seeks
+            delta.write_seeks = after.write_seeks
+
+    def reset_head(self) -> None:
+        """Forget the simulated head position (e.g. between queries)."""
+        self._last_page = None

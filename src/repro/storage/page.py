@@ -1,0 +1,270 @@
+"""On-disk page formats.
+
+Two page kinds are used by the layout renderers:
+
+* :class:`SlottedPage` — classic slotted page for variable-length records
+  (row layouts, nested layouts). Header, then record heap growing forward,
+  then a slot directory growing backward from the end of the page.
+* :class:`BytePage` — a raw byte container used for column chunks, compressed
+  blocks, and index nodes: a header plus a single payload.
+
+Both carry a small common header::
+
+    magic  u16 | page_type u8 | reserved u8 | next_page_id i64
+
+``next_page_id`` chains pages belonging to the same storage object, letting
+cursors walk an object without consulting the catalog.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.errors import PageError
+
+MAGIC = 0x5257  # "RW" — RodentStore-Writable
+NO_PAGE = -1
+
+PAGE_TYPE_FREE = 0
+PAGE_TYPE_SLOTTED = 1
+PAGE_TYPE_BYTES = 2
+PAGE_TYPE_INDEX = 3
+
+_COMMON_HEADER = struct.Struct("<HBBq")  # magic, type, reserved, next_page_id
+_SLOTTED_EXTRA = struct.Struct("<II")  # slot_count, free_offset
+_SLOT = struct.Struct("<II")  # offset, length (length==0xFFFFFFFF => deleted)
+_BYTES_EXTRA = struct.Struct("<I")  # payload length
+
+_DELETED = 0xFFFFFFFF
+
+COMMON_HEADER_SIZE = _COMMON_HEADER.size
+SLOTTED_HEADER_SIZE = COMMON_HEADER_SIZE + _SLOTTED_EXTRA.size
+BYTES_HEADER_SIZE = COMMON_HEADER_SIZE + _BYTES_EXTRA.size
+
+
+class SlottedPage:
+    """A slotted page over a fixed-size buffer.
+
+    The page does not know its own id; ids live in the disk manager / layout
+    metadata. Slot ids are stable across deletions (deleted slots become
+    tombstones) but not across compaction.
+    """
+
+    def __init__(self, page_size: int, buffer: bytearray | None = None):
+        if page_size < SLOTTED_HEADER_SIZE + _SLOT.size + 1:
+            raise PageError(f"page size {page_size} too small")
+        self.page_size = page_size
+        if buffer is None:
+            self.buffer = bytearray(page_size)
+            self.next_page_id = NO_PAGE
+            self._slot_count = 0
+            self._free_offset = SLOTTED_HEADER_SIZE
+            self._write_header()
+        else:
+            if len(buffer) != page_size:
+                raise PageError(
+                    f"buffer size {len(buffer)} != page size {page_size}"
+                )
+            self.buffer = buffer
+            self._read_header()
+
+    # -- header -------------------------------------------------------------
+
+    def _write_header(self) -> None:
+        _COMMON_HEADER.pack_into(
+            self.buffer, 0, MAGIC, PAGE_TYPE_SLOTTED, 0, self.next_page_id
+        )
+        _SLOTTED_EXTRA.pack_into(
+            self.buffer, COMMON_HEADER_SIZE, self._slot_count, self._free_offset
+        )
+
+    def _read_header(self) -> None:
+        magic, page_type, _, next_pid = _COMMON_HEADER.unpack_from(self.buffer, 0)
+        if magic != MAGIC or page_type != PAGE_TYPE_SLOTTED:
+            raise PageError(
+                f"not a slotted page (magic={magic:#x}, type={page_type})"
+            )
+        self.next_page_id = next_pid
+        self._slot_count, self._free_offset = _SLOTTED_EXTRA.unpack_from(
+            self.buffer, COMMON_HEADER_SIZE
+        )
+
+    def set_next_page_id(self, page_id: int) -> None:
+        self.next_page_id = page_id
+        self._write_header()
+
+    # -- capacity -------------------------------------------------------------
+
+    @property
+    def slot_count(self) -> int:
+        return self._slot_count
+
+    def _slot_offset(self, slot_id: int) -> int:
+        return self.page_size - (slot_id + 1) * _SLOT.size
+
+    def free_space(self) -> int:
+        """Bytes available for one more record (including its slot entry)."""
+        directory_start = self.page_size - self._slot_count * _SLOT.size
+        gap = directory_start - self._free_offset
+        return max(0, gap - _SLOT.size)
+
+    def can_fit(self, record_size: int) -> bool:
+        return record_size <= self.free_space()
+
+    # -- record operations ------------------------------------------------
+
+    def insert(self, record: bytes) -> int:
+        """Append a record, returning its slot id.
+
+        Raises:
+            PageError: when the record does not fit.
+        """
+        if not self.can_fit(len(record)):
+            raise PageError(
+                f"record of {len(record)} bytes does not fit "
+                f"({self.free_space()} free)"
+            )
+        offset = self._free_offset
+        self.buffer[offset : offset + len(record)] = record
+        slot_id = self._slot_count
+        _SLOT.pack_into(self.buffer, self._slot_offset(slot_id), offset, len(record))
+        self._slot_count += 1
+        self._free_offset = offset + len(record)
+        self._write_header()
+        return slot_id
+
+    def get(self, slot_id: int) -> bytes:
+        """Return the record stored in ``slot_id``.
+
+        Raises:
+            PageError: when the slot is out of range or deleted.
+        """
+        offset, length = self._slot(slot_id)
+        if length == _DELETED:
+            raise PageError(f"slot {slot_id} is deleted")
+        return bytes(self.buffer[offset : offset + length])
+
+    def delete(self, slot_id: int) -> None:
+        """Tombstone a slot; space is reclaimed by :meth:`compact`."""
+        offset, length = self._slot(slot_id)
+        if length == _DELETED:
+            raise PageError(f"slot {slot_id} already deleted")
+        _SLOT.pack_into(self.buffer, self._slot_offset(slot_id), offset, _DELETED)
+
+    def is_deleted(self, slot_id: int) -> bool:
+        _, length = self._slot(slot_id)
+        return length == _DELETED
+
+    def update(self, slot_id: int, record: bytes) -> int:
+        """Replace a record in place when it fits, else delete + reinsert.
+
+        Returns the (possibly new) slot id of the record.
+        """
+        offset, length = self._slot(slot_id)
+        if length == _DELETED:
+            raise PageError(f"slot {slot_id} is deleted")
+        if len(record) <= length:
+            self.buffer[offset : offset + len(record)] = record
+            _SLOT.pack_into(
+                self.buffer, self._slot_offset(slot_id), offset, len(record)
+            )
+            return slot_id
+        self.delete(slot_id)
+        return self.insert(record)
+
+    def _slot(self, slot_id: int) -> tuple[int, int]:
+        if not 0 <= slot_id < self._slot_count:
+            raise PageError(
+                f"slot {slot_id} out of range (page has {self._slot_count})"
+            )
+        return _SLOT.unpack_from(self.buffer, self._slot_offset(slot_id))
+
+    def records(self) -> Iterator[tuple[int, bytes]]:
+        """Yield ``(slot_id, record_bytes)`` for all live slots in order."""
+        for slot_id in range(self._slot_count):
+            offset, length = self._slot(slot_id)
+            if length != _DELETED:
+                yield slot_id, bytes(self.buffer[offset : offset + length])
+
+    def compact(self) -> None:
+        """Rewrite the heap dropping tombstones; slot ids are reassigned."""
+        live = [record for _, record in self.records()]
+        next_pid = self.next_page_id
+        self.buffer = bytearray(self.page_size)
+        self.next_page_id = next_pid
+        self._slot_count = 0
+        self._free_offset = SLOTTED_HEADER_SIZE
+        self._write_header()
+        for record in live:
+            self.insert(record)
+
+
+class BytePage:
+    """A page holding one raw byte payload (column chunk, index node, ...)."""
+
+    def __init__(self, page_size: int, buffer: bytearray | None = None):
+        if page_size < BYTES_HEADER_SIZE + 1:
+            raise PageError(f"page size {page_size} too small")
+        self.page_size = page_size
+        if buffer is None:
+            self.buffer = bytearray(page_size)
+            self.next_page_id = NO_PAGE
+            self._length = 0
+            self._write_header()
+        else:
+            if len(buffer) != page_size:
+                raise PageError(
+                    f"buffer size {len(buffer)} != page size {page_size}"
+                )
+            self.buffer = buffer
+            self._read_header()
+
+    def _write_header(self) -> None:
+        _COMMON_HEADER.pack_into(
+            self.buffer, 0, MAGIC, PAGE_TYPE_BYTES, 0, self.next_page_id
+        )
+        _BYTES_EXTRA.pack_into(self.buffer, COMMON_HEADER_SIZE, self._length)
+
+    def _read_header(self) -> None:
+        magic, page_type, _, next_pid = _COMMON_HEADER.unpack_from(self.buffer, 0)
+        if magic != MAGIC or page_type != PAGE_TYPE_BYTES:
+            raise PageError(
+                f"not a byte page (magic={magic:#x}, type={page_type})"
+            )
+        self.next_page_id = next_pid
+        (self._length,) = _BYTES_EXTRA.unpack_from(self.buffer, COMMON_HEADER_SIZE)
+
+    def set_next_page_id(self, page_id: int) -> None:
+        self.next_page_id = page_id
+        self._write_header()
+
+    @property
+    def capacity(self) -> int:
+        return self.page_size - BYTES_HEADER_SIZE
+
+    def write(self, payload: bytes) -> None:
+        """Store ``payload``, replacing any previous content."""
+        if len(payload) > self.capacity:
+            raise PageError(
+                f"payload of {len(payload)} bytes exceeds capacity "
+                f"{self.capacity}"
+            )
+        self._length = len(payload)
+        start = BYTES_HEADER_SIZE
+        self.buffer[start : start + len(payload)] = payload
+        self._write_header()
+
+    def read(self) -> bytes:
+        start = BYTES_HEADER_SIZE
+        return bytes(self.buffer[start : start + self._length])
+
+
+def page_type_of(buffer: bytes | bytearray) -> int:
+    """Inspect a raw buffer's page type without fully parsing it."""
+    if len(buffer) < COMMON_HEADER_SIZE:
+        raise PageError("buffer smaller than a page header")
+    magic, page_type, _, _ = _COMMON_HEADER.unpack_from(buffer, 0)
+    if magic != MAGIC:
+        return PAGE_TYPE_FREE
+    return page_type

@@ -1,0 +1,222 @@
+"""Record and vector serialization built on the :mod:`struct` module.
+
+Record wire format (used by slotted pages)::
+
+    [null bitmap: ceil(n/8) bytes]
+    [fixed-size fields packed with struct, in schema order]
+    [for each variable-size field, in schema order: u32 length + payload]
+
+Null fields contribute zeroed placeholder bytes in the fixed section and a
+zero-length payload in the variable section, keeping offsets computable.
+
+Vector wire format (used by column chunks)::
+
+    [u32 count][encoded values...]            fixed-size element type
+    [u32 count][u32 len + payload]...         variable-size element type
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Sequence
+
+from repro.errors import SerializationError
+from repro.types.schema import Schema
+from repro.types.types import DataType
+
+_U32 = struct.Struct("<I")
+
+
+class RecordSerializer:
+    """Encode/decode records of a fixed :class:`Schema` to bytes."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._fixed_fields: list[tuple[int, DataType]] = []
+        self._var_fields: list[tuple[int, DataType]] = []
+        fmt = "<"
+        for i, field in enumerate(schema.fields):
+            if field.dtype.struct_format is not None:
+                self._fixed_fields.append((i, field.dtype))
+                fmt += field.dtype.struct_format
+            else:
+                self._var_fields.append((i, field.dtype))
+        self._fixed_struct = struct.Struct(fmt)
+        self._bitmap_size = (len(schema.fields) + 7) // 8
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode(self, record: Sequence[Any]) -> bytes:
+        """Serialize one record; ``None`` values are recorded as nulls."""
+        if len(record) != len(self.schema.fields):
+            raise SerializationError(
+                f"record arity {len(record)} != schema arity "
+                f"{len(self.schema.fields)}"
+            )
+        bitmap = bytearray(self._bitmap_size)
+        fixed_values = []
+        for i, dtype in self._fixed_fields:
+            value = record[i]
+            if value is None:
+                bitmap[i // 8] |= 1 << (i % 8)
+                fixed_values.append(_zero_for(dtype))
+            else:
+                fixed_values.append(_coerce_fixed(dtype, value))
+        parts = [bytes(bitmap)]
+        try:
+            parts.append(self._fixed_struct.pack(*fixed_values))
+        except struct.error as exc:
+            raise SerializationError(
+                f"cannot pack record {record!r}: {exc}"
+            ) from exc
+        for i, dtype in self._var_fields:
+            value = record[i]
+            if value is None:
+                bitmap[i // 8] |= 1 << (i % 8)
+                parts.append(_U32.pack(0))
+            else:
+                payload = _encode_var(dtype, value)
+                parts.append(_U32.pack(len(payload)))
+                parts.append(payload)
+        parts[0] = bytes(bitmap)
+        return b"".join(parts)
+
+    def decode(self, data: bytes | memoryview) -> tuple:
+        """Deserialize one record previously produced by :meth:`encode`."""
+        data = bytes(data)
+        if len(data) < self._bitmap_size + self._fixed_struct.size:
+            raise SerializationError(
+                f"record buffer too short ({len(data)} bytes)"
+            )
+        bitmap = data[: self._bitmap_size]
+        try:
+            fixed = self._fixed_struct.unpack_from(data, self._bitmap_size)
+        except struct.error as exc:
+            raise SerializationError(str(exc)) from exc
+        values: list[Any] = [None] * len(self.schema.fields)
+        for (i, dtype), raw in zip(self._fixed_fields, fixed):
+            if not _is_null(bitmap, i):
+                values[i] = raw
+        offset = self._bitmap_size + self._fixed_struct.size
+        for i, dtype in self._var_fields:
+            if offset + 4 > len(data):
+                raise SerializationError("truncated variable-length section")
+            (length,) = _U32.unpack_from(data, offset)
+            offset += 4
+            if offset + length > len(data):
+                raise SerializationError("truncated variable-length payload")
+            if not _is_null(bitmap, i):
+                values[i] = _decode_var(dtype, data[offset : offset + length])
+            offset += length
+        return tuple(values)
+
+    def encoded_size(self, record: Sequence[Any]) -> int:
+        """Byte length of :meth:`encode` without building the buffer."""
+        size = self._bitmap_size + self._fixed_struct.size
+        for i, dtype in self._var_fields:
+            value = record[i]
+            size += 4
+            if value is not None:
+                size += len(_encode_var(dtype, value))
+        return size
+
+
+class VectorSerializer:
+    """Encode/decode homogeneous value vectors (column chunks)."""
+
+    def __init__(self, dtype: DataType):
+        self.dtype = dtype
+        if dtype.struct_format is not None:
+            self._elem = struct.Struct("<" + dtype.struct_format)
+        else:
+            self._elem = None
+
+    def encode(self, values: Sequence[Any]) -> bytes:
+        parts = [_U32.pack(len(values))]
+        if self._elem is not None:
+            try:
+                parts.extend(self._elem.pack(v) for v in values)
+            except struct.error as exc:
+                raise SerializationError(
+                    f"cannot pack vector of {self.dtype.name}: {exc}"
+                ) from exc
+        else:
+            for v in values:
+                payload = _encode_var(self.dtype, v)
+                parts.append(_U32.pack(len(payload)))
+                parts.append(payload)
+        return b"".join(parts)
+
+    def decode(self, data: bytes | memoryview) -> list:
+        data = bytes(data)
+        if len(data) < 4:
+            raise SerializationError("vector buffer too short")
+        (count,) = _U32.unpack_from(data, 0)
+        offset = 4
+        values: list[Any] = []
+        if self._elem is not None:
+            needed = offset + count * self._elem.size
+            if len(data) < needed:
+                raise SerializationError("truncated fixed-size vector")
+            for _ in range(count):
+                values.append(self._elem.unpack_from(data, offset)[0])
+                offset += self._elem.size
+        else:
+            for _ in range(count):
+                if offset + 4 > len(data):
+                    raise SerializationError("truncated vector header")
+                (length,) = _U32.unpack_from(data, offset)
+                offset += 4
+                if offset + length > len(data):
+                    raise SerializationError("truncated vector payload")
+                values.append(_decode_var(self.dtype, data[offset : offset + length]))
+                offset += length
+        return values
+
+    def encoded_size(self, values: Sequence[Any]) -> int:
+        if self._elem is not None:
+            return 4 + len(values) * self._elem.size
+        return 4 + sum(4 + len(_encode_var(self.dtype, v)) for v in values)
+
+
+# -- helpers ---------------------------------------------------------------
+
+
+def _is_null(bitmap: bytes, index: int) -> bool:
+    return bool(bitmap[index // 8] & (1 << (index % 8)))
+
+
+def _zero_for(dtype: DataType) -> Any:
+    if dtype.struct_format == "?":
+        return False
+    if dtype.struct_format == "d":
+        return 0.0
+    return 0
+
+
+def _coerce_fixed(dtype: DataType, value: Any) -> Any:
+    if dtype.struct_format == "d":
+        return float(value)
+    if dtype.struct_format == "?":
+        return bool(value)
+    if isinstance(value, bool):
+        raise SerializationError(
+            f"bool value {value!r} is not valid for type {dtype.name}"
+        )
+    return value
+
+
+def _encode_var(dtype: DataType, value: Any) -> bytes:
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    if isinstance(value, (bytes, bytearray)):
+        return bytes(value)
+    raise SerializationError(
+        f"cannot encode {value!r} as variable-size {dtype.name}"
+    )
+
+
+def _decode_var(dtype: DataType, payload: bytes) -> Any:
+    if dtype.name == "bytes":
+        return payload
+    return payload.decode("utf-8")

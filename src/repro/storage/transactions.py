@@ -1,0 +1,151 @@
+"""Transactions: WAL-logged page updates under two-phase locking.
+
+The granularity is deliberately coarse (table-level locks, byte-range page
+updates): the paper's point is that this machinery should be *shared* across
+storage layouts rather than re-implemented per layout, so every layout
+renderer funnels its mutations through this one module.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable
+
+from repro.errors import TransactionError
+from repro.storage.buffer import BufferPool
+from repro.storage.locks import LockManager, LockMode
+from repro.storage.wal import (
+    KIND_ABORT,
+    KIND_BEGIN,
+    KIND_COMMIT,
+    KIND_UPDATE,
+    WriteAheadLog,
+)
+
+
+class TxnStatus(Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """Handle for one transaction; created via :class:`TransactionManager`."""
+
+    def __init__(self, txn_id: int, manager: "TransactionManager"):
+        self.txn_id = txn_id
+        self.status = TxnStatus.ACTIVE
+        self._manager = manager
+        self._undo: list[tuple[int, int, bytes]] = []
+
+    # -- locking ---------------------------------------------------------
+
+    def lock_shared(self, resource: str) -> None:
+        self._require_active()
+        self._manager.locks.acquire(self.txn_id, resource, LockMode.SHARED)
+
+    def lock_exclusive(self, resource: str) -> None:
+        self._require_active()
+        self._manager.locks.acquire(self.txn_id, resource, LockMode.EXCLUSIVE)
+
+    # -- page mutation ------------------------------------------------------
+
+    def update_page(self, page_id: int, offset: int, new_bytes: bytes) -> None:
+        """Apply a logged byte-range update to a page via the buffer pool."""
+        self._require_active()
+        pool = self._manager.pool
+        frame = pool.fetch(page_id)
+        try:
+            before = bytes(frame.data[offset : offset + len(new_bytes)])
+            self._manager.wal.append(
+                KIND_UPDATE,
+                self.txn_id,
+                page_id=page_id,
+                offset=offset,
+                before=before,
+                after=new_bytes,
+            )
+            frame.data[offset : offset + len(new_bytes)] = new_bytes
+            self._undo.append((page_id, offset, before))
+        finally:
+            pool.unpin(page_id, dirty=True)
+
+    # -- outcome ----------------------------------------------------------
+
+    def commit(self) -> None:
+        self._require_active()
+        self._manager.wal.append(KIND_COMMIT, self.txn_id)
+        self._manager.wal.flush()
+        self.status = TxnStatus.COMMITTED
+        self._manager.locks.release_all(self.txn_id)
+        self._manager._finish(self.txn_id)
+
+    def abort(self) -> None:
+        self._require_active()
+        pool = self._manager.pool
+        for page_id, offset, before in reversed(self._undo):
+            frame = pool.fetch(page_id)
+            try:
+                frame.data[offset : offset + len(before)] = before
+            finally:
+                pool.unpin(page_id, dirty=True)
+        self._manager.wal.append(KIND_ABORT, self.txn_id)
+        self._manager.wal.flush()
+        self.status = TxnStatus.ABORTED
+        self._manager.locks.release_all(self.txn_id)
+        self._manager._finish(self.txn_id)
+
+    def _require_active(self) -> None:
+        if self.status is not TxnStatus.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self.status.value}"
+            )
+
+    # -- context manager: commit on success, abort on exception -------------
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.status is TxnStatus.ACTIVE:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+        return False
+
+
+class TransactionManager:
+    """Create transactions over a shared WAL, buffer pool, and lock manager."""
+
+    def __init__(
+        self,
+        wal: WriteAheadLog,
+        pool: BufferPool,
+        locks: LockManager | None = None,
+    ):
+        self.wal = wal
+        self.pool = pool
+        self.locks = locks if locks is not None else LockManager()
+        self._next_txn_id = 1
+        self._active: dict[int, Transaction] = {}
+
+    def begin(self) -> Transaction:
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        self.wal.append(KIND_BEGIN, txn_id)
+        txn = Transaction(txn_id, self)
+        self._active[txn_id] = txn
+        return txn
+
+    def _finish(self, txn_id: int) -> None:
+        self._active.pop(txn_id, None)
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def run(self, body: Callable[[Transaction], None]) -> None:
+        """Run ``body`` in a transaction, committing or aborting around it."""
+        with self.begin() as txn:
+            body(txn)

@@ -1,0 +1,228 @@
+"""Write-ahead log with redo/undo recovery.
+
+A deliberately small physiological WAL: update records carry page id, offset,
+and before/after images of the modified byte range. Recovery replays the log
+forward (redo for committed transactions) and backward (undo for transactions
+with no COMMIT record), which is sufficient for the single-writer engine this
+library implements.
+
+Record wire format::
+
+    u32 total_len | u8 kind | u64 lsn | u64 txn_id | payload | u32 total_len
+
+The trailing length makes backward scans possible and doubles as a torn-write
+check: a record whose trailer does not match is treated as the end of the log.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Iterator
+
+from repro.errors import WALError
+from repro.storage.disk import DiskManager
+
+KIND_BEGIN = 1
+KIND_UPDATE = 2
+KIND_COMMIT = 3
+KIND_ABORT = 4
+KIND_CHECKPOINT = 5
+
+_HEADER = struct.Struct("<IBQQ")
+_TRAILER = struct.Struct("<I")
+_UPDATE_META = struct.Struct("<qII")  # page_id, offset, image_len
+
+
+class LogRecord:
+    """One WAL entry."""
+
+    __slots__ = ("kind", "lsn", "txn_id", "page_id", "offset", "before", "after")
+
+    def __init__(
+        self,
+        kind: int,
+        lsn: int,
+        txn_id: int,
+        page_id: int = -1,
+        offset: int = 0,
+        before: bytes = b"",
+        after: bytes = b"",
+    ):
+        self.kind = kind
+        self.lsn = lsn
+        self.txn_id = txn_id
+        self.page_id = page_id
+        self.offset = offset
+        self.before = before
+        self.after = after
+
+    def encode(self) -> bytes:
+        if self.kind == KIND_UPDATE:
+            if len(self.before) != len(self.after):
+                raise WALError("before/after images must have equal length")
+            payload = _UPDATE_META.pack(self.page_id, self.offset, len(self.before))
+            payload += self.before + self.after
+        else:
+            payload = b""
+        total = _HEADER.size + len(payload) + _TRAILER.size
+        return (
+            _HEADER.pack(total, self.kind, self.lsn, self.txn_id)
+            + payload
+            + _TRAILER.pack(total)
+        )
+
+    @classmethod
+    def decode(cls, data: bytes, start: int) -> tuple["LogRecord", int]:
+        """Decode one record at ``start``; returns (record, next_offset)."""
+        if start + _HEADER.size > len(data):
+            raise WALError("truncated log header")
+        total, kind, lsn, txn_id = _HEADER.unpack_from(data, start)
+        end = start + total
+        if end > len(data):
+            raise WALError("truncated log record")
+        (trailer,) = _TRAILER.unpack_from(data, end - _TRAILER.size)
+        if trailer != total:
+            raise WALError("torn log record (trailer mismatch)")
+        record = cls(kind, lsn, txn_id)
+        if kind == KIND_UPDATE:
+            meta_at = start + _HEADER.size
+            page_id, offset, image_len = _UPDATE_META.unpack_from(data, meta_at)
+            images_at = meta_at + _UPDATE_META.size
+            record.page_id = page_id
+            record.offset = offset
+            record.before = data[images_at : images_at + image_len]
+            record.after = data[images_at + image_len : images_at + 2 * image_len]
+        return record, end
+
+
+class WriteAheadLog:
+    """Append-only log, file-backed or in-memory."""
+
+    def __init__(self, path: str | None = None):
+        self.path = path
+        self._next_lsn = 1
+        if path is None:
+            self._buffer = bytearray()
+            self._file = None
+        else:
+            self._buffer = None
+            exists = os.path.exists(path)
+            self._file = open(path, "r+b" if exists else "w+b")
+            self._file.seek(0, os.SEEK_END)
+            self._recompute_next_lsn()
+
+    def _recompute_next_lsn(self) -> None:
+        max_lsn = 0
+        for record in self.records():
+            max_lsn = max(max_lsn, record.lsn)
+        self._next_lsn = max_lsn + 1
+
+    # -- writing ----------------------------------------------------------
+
+    def append(
+        self,
+        kind: int,
+        txn_id: int,
+        page_id: int = -1,
+        offset: int = 0,
+        before: bytes = b"",
+        after: bytes = b"",
+    ) -> int:
+        """Append a record and return its LSN."""
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        record = LogRecord(kind, lsn, txn_id, page_id, offset, before, after)
+        encoded = record.encode()
+        if self._file is not None:
+            self._file.seek(0, os.SEEK_END)
+            self._file.write(encoded)
+        else:
+            self._buffer.extend(encoded)
+        return lsn
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    # -- reading ----------------------------------------------------------
+
+    def _raw(self) -> bytes:
+        if self._file is not None:
+            self._file.seek(0)
+            return self._file.read()
+        return bytes(self._buffer)
+
+    def records(self) -> Iterator[LogRecord]:
+        """Iterate all records in append order, stopping at torn tails."""
+        data = self._raw()
+        offset = 0
+        while offset < len(data):
+            try:
+                record, offset = LogRecord.decode(data, offset)
+            except WALError:
+                return  # torn tail: everything after is discarded
+            yield record
+
+    def truncate(self) -> None:
+        """Discard the log (after a checkpoint has made it redundant)."""
+        if self._file is not None:
+            self._file.seek(0)
+            self._file.truncate()
+        else:
+            self._buffer.clear()
+
+
+def recover(wal: WriteAheadLog, disk: DiskManager) -> dict[str, int]:
+    """Redo committed work and undo uncommitted work.
+
+    Returns summary counters: committed/aborted/in-flight transaction counts
+    and redo/undo record counts. Standard two-pass recovery: an analysis pass
+    finds transaction outcomes; the redo pass replays updates of committed
+    transactions forward; the undo pass rolls back the rest backward.
+    """
+    records = list(wal.records())
+    committed: set[int] = set()
+    aborted: set[int] = set()
+    seen: set[int] = set()
+    for record in records:
+        seen.add(record.txn_id)
+        if record.kind == KIND_COMMIT:
+            committed.add(record.txn_id)
+        elif record.kind == KIND_ABORT:
+            aborted.add(record.txn_id)
+
+    redo_count = 0
+    for record in records:
+        if record.kind == KIND_UPDATE and record.txn_id in committed:
+            _apply_image(disk, record.page_id, record.offset, record.after)
+            redo_count += 1
+
+    undo_count = 0
+    losers = seen - committed
+    for record in reversed(records):
+        if record.kind == KIND_UPDATE and record.txn_id in losers:
+            _apply_image(disk, record.page_id, record.offset, record.before)
+            undo_count += 1
+
+    return {
+        "committed": len(committed),
+        "aborted": len(aborted),
+        "in_flight": len(losers - aborted),
+        "redo": redo_count,
+        "undo": undo_count,
+    }
+
+
+def _apply_image(disk: DiskManager, page_id: int, offset: int, image: bytes) -> None:
+    while page_id >= disk.num_pages:
+        disk.allocate_page()
+    page = disk.read_page(page_id)
+    page[offset : offset + len(image)] = image
+    disk.write_page(page_id, page)

@@ -1,0 +1,51 @@
+"""Synthetic workload generators (substitutes for the paper's datasets)."""
+
+from repro.workloads.cartel import (
+    BOSTON,
+    TRACE_SCHEMA,
+    Region,
+    generate_traces,
+    grid_strides_for,
+    random_region_queries,
+    trajectories,
+    trajectory_mbrs,
+)
+from repro.workloads.rdf import (
+    TRIPLE_SCHEMA,
+    VERTICAL_PARTITION_EXPR,
+    generate_triples,
+    predicate_queries,
+)
+from repro.workloads.sales import (
+    SALES_SCHEMA,
+    generate_sales,
+    narrow_column_queries,
+    year_zip_queries,
+)
+from repro.workloads.timeseries import (
+    TIMESERIES_SCHEMA,
+    generate_timeseries,
+    series_column,
+)
+
+__all__ = [
+    "BOSTON",
+    "SALES_SCHEMA",
+    "TRIPLE_SCHEMA",
+    "VERTICAL_PARTITION_EXPR",
+    "generate_triples",
+    "predicate_queries",
+    "TIMESERIES_SCHEMA",
+    "TRACE_SCHEMA",
+    "Region",
+    "generate_sales",
+    "generate_timeseries",
+    "generate_traces",
+    "grid_strides_for",
+    "narrow_column_queries",
+    "random_region_queries",
+    "series_column",
+    "trajectories",
+    "trajectory_mbrs",
+    "year_zip_queries",
+]

@@ -1,0 +1,97 @@
+"""Synthetic sales-records workload (the paper's §1 motivating example).
+
+    N = (zipcode:z, year:y, month:m, day:d, customerid:c, productid:p ...)
+
+and the expression ``zorder(grid[y, z](N))`` that co-locates nearby zipcodes
+and years. The generator produces OLAP-flavoured data: zipcodes clustered by
+metro area, Zipf-ish product popularity, seasonal volume.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.query.expressions import Range, Rect
+from repro.types.schema import Schema
+
+SALES_SCHEMA = Schema.of(
+    "zipcode:int",
+    "year:int",
+    "month:int",
+    "day:int",
+    "customerid:int",
+    "productid:int",
+    "quantity:int",
+    "price:int",  # cents
+)
+
+_METRO_BASES = (2100, 10000, 60600, 94100, 33100)  # Boston, NYC, CHI, SF, MIA
+
+
+def generate_sales(
+    n_records: int,
+    years: tuple[int, int] = (2000, 2008),
+    n_products: int = 500,
+    n_customers: int = 2000,
+    seed: int = 11,
+) -> list[tuple]:
+    """Generate ``n_records`` sales rows under :data:`SALES_SCHEMA`."""
+    rng = random.Random(seed)
+    records: list[tuple] = []
+    year_lo, year_hi = years
+    for _ in range(n_records):
+        metro = rng.choice(_METRO_BASES)
+        zipcode = metro + rng.randrange(0, 100)
+        year = rng.randrange(year_lo, year_hi + 1)
+        month = rng.randrange(1, 13)
+        day = rng.randrange(1, 29)
+        customer = rng.randrange(n_customers)
+        # Zipf-ish product popularity: low ids sell far more.
+        product = min(
+            int(rng.paretovariate(1.2)) % n_products, n_products - 1
+        )
+        quantity = rng.randrange(1, 10)
+        price = rng.randrange(99, 99_999)
+        records.append(
+            (zipcode, year, month, day, customer, product, quantity, price)
+        )
+    return records
+
+
+def year_zip_queries(
+    n_queries: int,
+    years: tuple[int, int] = (2000, 2008),
+    zip_window: int = 50,
+    seed: int = 5,
+) -> list[Rect]:
+    """Year × zipcode-window slice queries (what ``grid[y, z]`` serves)."""
+    rng = random.Random(seed)
+    queries: list[Rect] = []
+    for _ in range(n_queries):
+        year = rng.randrange(years[0], years[1] + 1)
+        metro = rng.choice(_METRO_BASES)
+        zip_lo = metro + rng.randrange(0, 100 - zip_window)
+        queries.append(
+            Rect(
+                {
+                    "year": (year, year),
+                    "zipcode": (zip_lo, zip_lo + zip_window),
+                }
+            )
+        )
+    return queries
+
+
+def narrow_column_queries(seed: int = 3) -> list[tuple[list[str], Range]]:
+    """(projection, predicate) pairs touching few columns — the OLAP shape
+    that motivates column stores in the paper's introduction."""
+    rng = random.Random(seed)
+    out: list[tuple[list[str], Range]] = []
+    for year in range(2000, 2009):
+        out.append(
+            (["productid", "quantity"], Range("year", year, year))
+        )
+    metro = rng.choice(_METRO_BASES)
+    out.append((["price"], Range("zipcode", metro, metro + 99)))
+    return out

@@ -1,0 +1,46 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.database import RodentStore
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.types.schema import Schema
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.of("t:int", "lat:int", "lon:int", "id:int")
+
+
+@pytest.fixture
+def records(schema) -> list[tuple]:
+    # Deterministic, covers duplicates in id and spatial spread.
+    return [
+        (i, (i * 37) % 500, (i * 53) % 500, i % 7)
+        for i in range(600)
+    ]
+
+
+@pytest.fixture
+def disk() -> DiskManager:
+    return DiskManager(page_size=1024)
+
+
+@pytest.fixture
+def pool(disk) -> BufferPool:
+    return BufferPool(disk, capacity=64)
+
+
+@pytest.fixture
+def store() -> RodentStore:
+    return RodentStore(page_size=1024, pool_capacity=64)
+
+
+@pytest.fixture
+def loaded_store(store, schema, records) -> RodentStore:
+    store.create_table("T", schema)
+    store.load("T", records)
+    return store

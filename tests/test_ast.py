@@ -1,0 +1,204 @@
+"""Tests for repro.algebra.ast (node construction, traversal, printing)."""
+
+import pytest
+
+from repro.algebra import ast
+from repro.errors import AlgebraError
+
+
+class TestScalars:
+    def test_field_ref(self):
+        f = ast.FieldRef("lat")
+        assert f.to_text() == "r.lat"
+        assert f.fields_used() == {"lat"}
+
+    def test_const_rendering(self):
+        assert ast.Const(5).to_text() == "5"
+        assert ast.Const("x").to_text() == "'x'"
+        assert ast.Const(True).to_text() == "True"
+
+    def test_comparison(self):
+        c = ast.Comparison("=", ast.FieldRef("a"), ast.Const(617))
+        assert c.to_text() == "r.a = 617"
+        assert c.fields_used() == {"a"}
+
+    def test_bad_comparison_op(self):
+        with pytest.raises(AlgebraError):
+            ast.Comparison("~", ast.Const(1), ast.Const(2))
+
+    def test_arith(self):
+        a = ast.Arith("+", ast.FieldRef("x"), ast.Const(1))
+        assert a.to_text() == "(r.x + 1)"
+        with pytest.raises(AlgebraError):
+            ast.Arith("**", ast.Const(1), ast.Const(2))
+
+    def test_logical(self):
+        cmp1 = ast.Comparison(">", ast.FieldRef("a"), ast.Const(1))
+        cmp2 = ast.Comparison("<", ast.FieldRef("b"), ast.Const(9))
+        both = ast.Logical("and", (cmp1, cmp2))
+        assert both.fields_used() == {"a", "b"}
+        assert "and" in both.to_text()
+
+    def test_logical_arity_checks(self):
+        c = ast.Comparison("=", ast.FieldRef("a"), ast.Const(1))
+        with pytest.raises(AlgebraError):
+            ast.Logical("not", (c, c))
+        with pytest.raises(AlgebraError):
+            ast.Logical("and", (c,))
+        with pytest.raises(AlgebraError):
+            ast.Logical("xor", (c, c))
+
+    def test_conj_single(self):
+        c = ast.Comparison("=", ast.FieldRef("a"), ast.Const(1))
+        assert ast.conj(c) is c
+        assert isinstance(ast.conj(c, c), ast.Logical)
+
+
+class TestNodeConstruction:
+    def test_table_ref(self):
+        t = ast.table("Traces")
+        assert t.to_text() == "Traces"
+        assert t.children() == ()
+        assert t.table_names() == {"Traces"}
+
+    def test_literal_freeze_thaw(self):
+        lit = ast.Literal.of([[1, 2], [3, 4]])
+        assert lit.nesting == ((1, 2), (3, 4))
+        assert lit.thaw() == [[1, 2], [3, 4]]
+        assert lit.to_text() == "[[1, 2], [3, 4]]"
+
+    def test_project_requires_fields(self):
+        with pytest.raises(AlgebraError):
+            ast.project([], ast.table("T"))
+
+    def test_fold_disjoint_fields(self):
+        with pytest.raises(AlgebraError):
+            ast.fold(["a"], ["a"], ast.table("T"))
+
+    def test_grid_validation(self):
+        with pytest.raises(AlgebraError):
+            ast.Grid(ast.table("T"), ("a",), (1.0, 2.0))
+        with pytest.raises(AlgebraError):
+            ast.Grid(ast.table("T"), ("a",), (-1.0,))
+        with pytest.raises(AlgebraError):
+            ast.Grid(ast.table("T"), (), ())
+
+    def test_chunk_validation(self):
+        with pytest.raises(AlgebraError):
+            ast.chunk([0], ast.table("T"))
+
+    def test_limit_validation(self):
+        with pytest.raises(AlgebraError):
+            ast.limit(-1, ast.table("T"))
+
+    def test_orderby_requires_keys(self):
+        with pytest.raises(AlgebraError):
+            ast.OrderBy(ast.table("T"), ())
+
+    def test_builders_compose(self):
+        expr = ast.zorder(
+            ast.grid(["y", "z"], [1, 10], ast.table("N"))
+        )
+        assert expr.to_text() == "zorder(grid[y, z],[1.0, 10.0](N))"
+
+    def test_partition_accepts_field_name(self):
+        p = ast.partition("id", ast.table("T"))
+        assert isinstance(p.key, ast.FieldRef)
+
+    def test_orderby_accepts_strings(self):
+        o = ast.orderby(["t", ast.SortKey("id", ascending=False)], ast.table("T"))
+        assert o.keys[0] == ast.SortKey("t", True)
+        assert o.keys[1].ascending is False
+
+
+class TestTraversal:
+    def expr(self):
+        return ast.zorder(
+            ast.grid(
+                ["lat", "lon"],
+                [10, 10],
+                ast.project(["lat", "lon"], ast.table("T")),
+            )
+        )
+
+    def test_walk_preorder(self):
+        names = [type(n).__name__ for n in self.expr().walk()]
+        assert names == ["ZOrder", "Grid", "Project", "TableRef"]
+
+    def test_children_and_with_children(self):
+        expr = self.expr()
+        (child,) = expr.children()
+        rebuilt = expr.with_children([child])
+        assert rebuilt == expr
+
+    def test_with_children_arity_checked(self):
+        with pytest.raises(AlgebraError):
+            ast.table("T").with_children([ast.table("X")])
+
+    def test_transform_bottom_up_identity(self):
+        expr = self.expr()
+        assert expr.transform_bottom_up(lambda n: n) == expr
+
+    def test_transform_bottom_up_rewrites(self):
+        expr = self.expr()
+
+        def rename(node):
+            if isinstance(node, ast.TableRef):
+                return ast.TableRef("U")
+            return node
+
+        rewritten = expr.transform_bottom_up(rename)
+        assert rewritten.table_names() == {"U"}
+        assert expr.table_names() == {"T"}  # immutability
+
+    def test_equality_and_hash(self):
+        assert self.expr() == self.expr()
+        assert hash(self.expr()) == hash(self.expr())
+        assert self.expr() != ast.table("T")
+
+    def test_mirror_children(self):
+        m = ast.mirror(ast.rows(ast.table("T")), ast.columns(ast.table("T")))
+        left, right = m.children()
+        rebuilt = m.with_children([left, right])
+        assert rebuilt == m
+
+    def test_prejoin_tables(self):
+        p = ast.prejoin("k", ast.table("A"), ast.table("B"))
+        assert p.table_names() == {"A", "B"}
+
+
+class TestToText:
+    CASES = [
+        (lambda: ast.project(["a", "b"], ast.table("T")), "project[a, b](T)"),
+        (lambda: ast.unfold(ast.fold(["b"], ["a"], ast.table("T"))),
+         "unfold(fold[b; a](T))"),
+        (lambda: ast.delta(ast.table("T"), ["lat"]), "delta[lat](T)"),
+        (lambda: ast.delta(ast.table("T")), "delta(T)"),
+        (lambda: ast.transpose(ast.table("T")), "transpose(T)"),
+        (lambda: ast.limit(5, ast.table("T")), "limit[5](T)"),
+        (lambda: ast.groupby(["id"], ast.table("T")), "groupby[id](T)"),
+        (lambda: ast.compress("rle", ast.table("T"), ["a"]),
+         "compress[rle; a](T)"),
+        (lambda: ast.columns(ast.table("T"), [["a", "b"], ["c"]]),
+         "columns[[a, b], [c]](T)"),
+        (lambda: ast.hilbert(ast.grid(["x", "y"], [1, 1], ast.table("T"))),
+         "hilbert(grid[x, y],[1.0, 1.0](T))"),
+    ]
+
+    @pytest.mark.parametrize("builder,expected", CASES)
+    def test_rendering(self, builder, expected):
+        assert builder().to_text() == expected
+
+    def test_select_rendering(self):
+        s = ast.select(
+            ast.Comparison("=", ast.FieldRef("area"), ast.Const(617)),
+            ast.table("T"),
+        )
+        assert s.to_text() == "select[r.area = 617](T)"
+
+    def test_append_rendering(self):
+        a = ast.append(
+            {"double_x": ast.Arith("*", ast.FieldRef("x"), ast.Const(2))},
+            ast.table("T"),
+        )
+        assert a.to_text() == "append[double_x=(r.x * 2)](T)"

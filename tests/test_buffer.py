@@ -1,0 +1,161 @@
+"""Tests for repro.storage.buffer (buffer pool, eviction policies)."""
+
+import pytest
+
+from repro.errors import BufferPoolError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+
+
+def make_pool(capacity=4, policy="lru"):
+    disk = DiskManager(page_size=256)
+    return BufferPool(disk, capacity=capacity, policy=policy), disk
+
+
+class TestBasics:
+    def test_fetch_reads_once(self):
+        pool, disk = make_pool()
+        a = disk.allocate_page()
+        pool.fetch(a)
+        pool.unpin(a)
+        pool.fetch(a)
+        pool.unpin(a)
+        assert disk.stats.page_reads == 1
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+
+    def test_new_page_is_dirty_and_pinned(self):
+        pool, disk = make_pool()
+        frame = pool.new_page()
+        assert frame.dirty
+        assert frame.pin_count == 1
+        assert pool.contains(frame.page_id)
+
+    def test_unpin_unknown_page(self):
+        pool, _ = make_pool()
+        with pytest.raises(BufferPoolError):
+            pool.unpin(99)
+
+    def test_unpin_not_pinned(self):
+        pool, disk = make_pool()
+        a = disk.allocate_page()
+        pool.fetch(a)
+        pool.unpin(a)
+        with pytest.raises(BufferPoolError):
+            pool.unpin(a)
+
+    def test_dirty_flag_sticks(self):
+        pool, disk = make_pool()
+        a = disk.allocate_page()
+        frame = pool.fetch(a)
+        frame.data[0] = 0xAB
+        pool.unpin(a, dirty=True)
+        pool.flush(a)
+        assert disk.read_page(a)[0] == 0xAB
+
+    def test_flush_all(self):
+        pool, disk = make_pool()
+        frames = [pool.new_page() for _ in range(3)]
+        for f in frames:
+            f.data[0] = 1
+            pool.unpin(f.page_id, dirty=True)
+        pool.flush_all()
+        for f in frames:
+            assert disk.read_page(f.page_id)[0] == 1
+
+    def test_invalid_config(self):
+        disk = DiskManager(page_size=256)
+        with pytest.raises(BufferPoolError):
+            BufferPool(disk, capacity=0)
+        with pytest.raises(BufferPoolError):
+            BufferPool(disk, policy="mru")
+
+
+class TestEviction:
+    def test_lru_evicts_oldest_unpinned(self):
+        pool, disk = make_pool(capacity=2)
+        a, b, c = (disk.allocate_page() for _ in range(3))
+        pool.fetch(a); pool.unpin(a)
+        pool.fetch(b); pool.unpin(b)
+        pool.fetch(c); pool.unpin(c)  # evicts a
+        assert not pool.contains(a)
+        assert pool.contains(b) and pool.contains(c)
+        assert pool.stats.evictions == 1
+
+    def test_lru_refresh_on_fetch(self):
+        pool, disk = make_pool(capacity=2)
+        a, b, c = (disk.allocate_page() for _ in range(3))
+        pool.fetch(a); pool.unpin(a)
+        pool.fetch(b); pool.unpin(b)
+        pool.fetch(a); pool.unpin(a)  # refresh a; b is now oldest
+        pool.fetch(c); pool.unpin(c)
+        assert pool.contains(a)
+        assert not pool.contains(b)
+
+    def test_pinned_pages_survive(self):
+        pool, disk = make_pool(capacity=2)
+        a, b, c = (disk.allocate_page() for _ in range(3))
+        pool.fetch(a)  # stays pinned
+        pool.fetch(b); pool.unpin(b)
+        pool.fetch(c); pool.unpin(c)  # must evict b, not a
+        assert pool.contains(a)
+        assert not pool.contains(b)
+
+    def test_all_pinned_raises(self):
+        pool, disk = make_pool(capacity=2)
+        a, b, c = (disk.allocate_page() for _ in range(3))
+        pool.fetch(a)
+        pool.fetch(b)
+        with pytest.raises(BufferPoolError):
+            pool.fetch(c)
+
+    def test_eviction_flushes_dirty(self):
+        pool, disk = make_pool(capacity=1)
+        a, b = disk.allocate_page(), disk.allocate_page()
+        frame = pool.fetch(a)
+        frame.data[0] = 0x77
+        pool.unpin(a, dirty=True)
+        pool.fetch(b)
+        pool.unpin(b)
+        assert disk.read_page(a)[0] == 0x77
+
+    def test_clock_basic_eviction(self):
+        pool, disk = make_pool(capacity=2, policy="clock")
+        a, b, c = (disk.allocate_page() for _ in range(3))
+        pool.fetch(a); pool.unpin(a)
+        pool.fetch(b); pool.unpin(b)
+        pool.fetch(c); pool.unpin(c)
+        assert len(pool) == 2
+        assert pool.contains(c)
+
+    def test_clock_respects_pins(self):
+        pool, disk = make_pool(capacity=2, policy="clock")
+        a, b, c = (disk.allocate_page() for _ in range(3))
+        pool.fetch(a)
+        pool.fetch(b); pool.unpin(b)
+        pool.fetch(c); pool.unpin(c)
+        assert pool.contains(a)
+
+
+class TestClear:
+    def test_clear_flushes_and_drops(self):
+        pool, disk = make_pool()
+        frame = pool.new_page()
+        frame.data[0] = 5
+        pool.unpin(frame.page_id, dirty=True)
+        pool.clear()
+        assert len(pool) == 0
+        assert disk.read_page(frame.page_id)[0] == 5
+
+    def test_clear_refuses_pinned(self):
+        pool, disk = make_pool()
+        pool.new_page()  # pinned
+        with pytest.raises(BufferPoolError):
+            pool.clear()
+
+    def test_hit_rate(self):
+        pool, disk = make_pool()
+        a = disk.allocate_page()
+        pool.fetch(a); pool.unpin(a)
+        pool.fetch(a); pool.unpin(a)
+        assert pool.stats.hit_rate == 0.5

@@ -1,0 +1,216 @@
+"""Tests for repro.algebra.comprehension — the paper's §3.3 semantics."""
+
+import pytest
+
+from repro.algebra.comprehension import (
+    Comprehension,
+    Generator,
+    GroupByClause,
+    LimitClause,
+    OrderByClause,
+    PartitionByClause,
+    comprehend,
+    count,
+    pos,
+)
+from repro.errors import AlgebraError
+
+# The paper's example table T = [[Zip, Area, Addr]].
+T = [
+    (2139, 617, "32 Vassar St"),
+    (2142, 617, "1 Broadway"),
+    (10001, 212, "350 5th Ave"),
+    (2139, 617, "77 Mass Ave"),
+]
+
+
+class TestGenerators:
+    def test_single_generator(self):
+        out = comprehend(
+            head=lambda env: env["r"][0],
+            generators=[("r", T)],
+        )
+        assert out == [2139, 2142, 10001, 2139]
+
+    def test_row_major_identity(self):
+        """The paper's N_r = [[r.Zip, r.Area, r.Addr] | \\r <- T]."""
+        out = comprehend(
+            head=lambda env: [env["r"][0], env["r"][1], env["r"][2]],
+            generators=[("r", T)],
+        )
+        assert out == [list(r) for r in T]
+
+    def test_column_major(self):
+        """The paper's N_c: one comprehension per column."""
+        zips = comprehend(lambda e: e["r"][0], [("r", T)])
+        areas = comprehend(lambda e: e["r"][1], [("r", T)])
+        assert [zips, areas] == [
+            [2139, 2142, 10001, 2139],
+            [617, 617, 212, 617],
+        ]
+
+    def test_multiple_generators_cross_product(self):
+        out = comprehend(
+            head=lambda env: (env["a"], env["b"]),
+            generators=[("a", [1, 2]), ("b", [10, 20])],
+        )
+        assert out == [(1, 10), (1, 20), (2, 10), (2, 20)]
+
+    def test_dependent_generator(self):
+        """\\r' <- r : inner generator depends on the outer binding."""
+        nested = [[1, 2], [3]]
+        out = comprehend(
+            head=lambda env: env["x"],
+            generators=[("row", nested), ("x", lambda env: env["row"])],
+        )
+        assert out == [1, 2, 3]
+
+    def test_generator_source_must_be_nesting(self):
+        with pytest.raises(AlgebraError):
+            comprehend(lambda e: e["r"], [("r", 42)])
+
+    def test_empty_var_rejected(self):
+        with pytest.raises(AlgebraError):
+            Generator("", [1])
+
+    def test_no_generators_rejected(self):
+        with pytest.raises(AlgebraError):
+            Comprehension(head=lambda e: 1, generators=[])
+
+
+class TestConditions:
+    def test_paper_nz_example(self):
+        """N_z = [r.Zip | \\r <- T, r.Area = 617, orderby r.Zip ASC]."""
+        out = comprehend(
+            head=lambda env: env["r"][0],
+            generators=[("r", T)],
+            conditions=[lambda env: env["r"][1] == 617],
+            clauses=[OrderByClause(lambda env: env["r"][0])],
+        )
+        assert out == [2139, 2139, 2142]
+
+    def test_multiple_conditions_conjoin(self):
+        out = comprehend(
+            head=lambda env: env["r"][0],
+            generators=[("r", T)],
+            conditions=[
+                lambda env: env["r"][1] == 617,
+                lambda env: env["r"][0] > 2139,
+            ],
+        )
+        assert out == [2142]
+
+
+class TestClauses:
+    def test_orderby_desc(self):
+        out = comprehend(
+            head=lambda env: env["r"][0],
+            generators=[("r", T)],
+            clauses=[OrderByClause(lambda env: env["r"][0], ascending=False)],
+        )
+        assert out == [10001, 2142, 2139, 2139]
+
+    def test_limit(self):
+        out = comprehend(
+            head=lambda env: env["r"][0],
+            generators=[("r", T)],
+            clauses=[LimitClause(2)],
+        )
+        assert out == [2139, 2142]
+
+    def test_limit_negative_rejected(self):
+        with pytest.raises(AlgebraError):
+            LimitClause(-1)
+
+    def test_paper_delta_limit_idiom(self):
+        """∆(N) uses 'limit count(N) - 1' to drop the shifted tail."""
+        values = [3, 5, 6]
+        shifted = comprehend(
+            head=lambda env: env["n"],
+            generators=[("n", values)],
+            clauses=[LimitClause(count(values) - 1)],
+        )
+        assert shifted == [3, 5]
+
+    def test_groupby_first_occurrence_order(self):
+        out = comprehend(
+            head=lambda env: env["r"][0],
+            generators=[("r", T)],
+            clauses=[GroupByClause(lambda env: env["r"][1])],
+        )
+        assert out == [[2139, 2142, 2139], [10001]]
+
+    def test_partitionby_with_stride(self):
+        values = [(0,), (7,), (12,), (25,), (13,)]
+        out = comprehend(
+            head=lambda env: env["v"][0],
+            generators=[("v", values)],
+            clauses=[PartitionByClause(lambda env: env["v"][0], stride=10)],
+        )
+        assert out == [[0, 7], [12, 13], [25]]
+
+    def test_partitionby_without_stride(self):
+        out = comprehend(
+            head=lambda env: env["r"][2],
+            generators=[("r", T)],
+            clauses=[PartitionByClause(lambda env: env["r"][1])],
+        )
+        assert out == [
+            ["32 Vassar St", "1 Broadway", "77 Mass Ave"],
+            ["350 5th Ave"],
+        ]
+
+    def test_partitionby_stride_positive(self):
+        with pytest.raises(AlgebraError):
+            PartitionByClause(lambda env: 0, stride=0)
+
+    def test_clause_pipeline_order(self):
+        # orderby then limit != limit then orderby
+        ordered_first = comprehend(
+            head=lambda env: env["r"][0],
+            generators=[("r", T)],
+            clauses=[OrderByClause(lambda env: env["r"][0]), LimitClause(2)],
+        )
+        assert ordered_first == [2139, 2139]
+        limit_first = comprehend(
+            head=lambda env: env["r"][0],
+            generators=[("r", T)],
+            clauses=[LimitClause(2), OrderByClause(lambda env: env["r"][0])],
+        )
+        assert limit_first == [2139, 2142]
+
+
+class TestHelpers:
+    def test_pos(self):
+        out = comprehend(
+            head=lambda env: pos(env, "r"),
+            generators=[("r", T)],
+        )
+        assert out == [0, 1, 2, 3]
+
+    def test_pos_unbound(self):
+        with pytest.raises(AlgebraError):
+            pos({}, "r")
+
+    def test_count(self):
+        assert count([1, 2, 3]) == 3
+        assert count([]) == 0
+        with pytest.raises(AlgebraError):
+            count(5)
+
+    def test_pos_in_condition(self):
+        out = comprehend(
+            head=lambda env: env["r"][0],
+            generators=[("r", T)],
+            conditions=[lambda env: pos(env, "r") % 2 == 0],
+        )
+        assert out == [2139, 10001]
+
+    def test_environment_isolation(self):
+        comp = Comprehension(
+            head=lambda env: env["r"],
+            generators=[Generator("r", [1, 2])],
+        )
+        env = {"outer": 9}
+        comp.evaluate(env)
+        assert env == {"outer": 9}  # caller's env untouched

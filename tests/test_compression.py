@@ -1,0 +1,236 @@
+"""Tests for repro.compression (all codecs)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression import (
+    CodecError,
+    codec_names,
+    get_codec,
+    pack_uints,
+    register,
+    unpack_uints,
+    varint_decode,
+    varint_encode,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.compression.base import Codec
+from repro.types import FLOAT, INT, STRING
+
+ints = st.lists(st.integers(-(2**62), 2**62), max_size=200)
+small_ints = st.lists(st.integers(-1000, 1000), max_size=200)
+floats = st.lists(
+    st.floats(allow_nan=False, allow_infinity=False, width=64), max_size=100
+)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"none", "varint", "delta", "rle", "dict", "bitpack",
+                "for", "lz", "xor"} <= codec_names()
+
+    def test_unknown_codec(self):
+        with pytest.raises(CodecError):
+            get_codec("snappy")
+
+    def test_user_defined_codec(self):
+        class Reverse(Codec):
+            name = "reverse-test"
+
+            def encode(self, values, dtype):
+                import struct
+                return struct.pack(f"<{len(values)}q", *reversed(values))
+
+            def decode(self, data, dtype):
+                import struct
+                n = len(data) // 8
+                return list(reversed(struct.unpack(f"<{n}q", data)))
+
+        register(Reverse())
+        codec = get_codec("reverse-test")
+        assert codec.decode(codec.encode([1, 2, 3], INT), INT) == [1, 2, 3]
+
+
+class TestZigzagVarint:
+    def test_zigzag_small_magnitudes(self):
+        assert zigzag_encode(0) == 0
+        assert zigzag_encode(-1) == 1
+        assert zigzag_encode(1) == 2
+        assert zigzag_encode(-2) == 3
+
+    @given(st.integers(-(2**62), 2**62))
+    def test_zigzag_roundtrip(self, v):
+        assert zigzag_decode(zigzag_encode(v)) == v
+
+    @given(st.integers(0, 2**63))
+    def test_varint_roundtrip(self, v):
+        buf = bytearray()
+        varint_encode(v, buf)
+        out, offset = varint_decode(bytes(buf), 0)
+        assert out == v and offset == len(buf)
+
+    def test_varint_rejects_negative(self):
+        with pytest.raises(CodecError):
+            varint_encode(-1, bytearray())
+
+    def test_varint_truncated(self):
+        with pytest.raises(CodecError):
+            varint_decode(b"\x80", 0)
+
+    def test_small_values_one_byte(self):
+        buf = bytearray()
+        varint_encode(100, buf)
+        assert len(buf) == 1
+
+
+class TestBitpack:
+    @given(st.lists(st.integers(0, 2**40), max_size=200))
+    def test_roundtrip(self, values):
+        assert unpack_uints(pack_uints(values)) == values
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodecError):
+            pack_uints([-1])
+
+    def test_minimal_width(self):
+        # 100 values < 8 -> 3 bits each -> ~38 bytes + header
+        data = pack_uints([7] * 100)
+        assert len(data) <= 5 + (100 * 3 + 7) // 8
+
+    def test_truncated(self):
+        with pytest.raises(CodecError):
+            unpack_uints(b"\x01")
+
+
+@pytest.mark.parametrize("name", ["none", "varint", "delta", "bitpack", "for"])
+class TestIntCodecs:
+    @given(values=st.lists(st.integers(0, 10**6), max_size=120))
+    def test_roundtrip(self, name, values):
+        codec = get_codec(name)
+        assert codec.decode(codec.encode(values, INT), INT) == values
+
+    def test_empty(self, name):
+        codec = get_codec(name)
+        assert codec.decode(codec.encode([], INT), INT) == []
+
+
+class TestSignedIntCodecs:
+    @pytest.mark.parametrize("name", ["none", "varint", "delta", "for"])
+    @given(values=small_ints)
+    def test_negative_values(self, name, values):
+        codec = get_codec(name)
+        assert codec.decode(codec.encode(values, INT), INT) == values
+
+
+class TestDeltaCodec:
+    @given(floats)
+    def test_float_roundtrip_exact(self, values):
+        codec = get_codec("delta")
+        assert codec.decode(codec.encode(values, FLOAT), FLOAT) == values
+
+    def test_sorted_ints_compress(self):
+        codec = get_codec("delta")
+        values = list(range(100_000, 101_000))
+        assert len(codec.encode(values, INT)) < 1000 * 2.5
+
+    def test_type_mismatch_tag(self):
+        codec = get_codec("delta")
+        data = codec.encode([1, 2, 3], INT)
+        with pytest.raises(CodecError):
+            codec.decode(data, FLOAT)
+
+    def test_rejects_strings(self):
+        with pytest.raises(CodecError):
+            get_codec("delta").encode(["a"], STRING)
+
+
+class TestRle:
+    @given(st.lists(st.integers(0, 3), max_size=300))
+    def test_roundtrip_ints(self, values):
+        codec = get_codec("rle")
+        assert codec.decode(codec.encode(values, INT), INT) == values
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), max_size=100))
+    def test_roundtrip_strings(self, values):
+        codec = get_codec("rle")
+        assert codec.decode(codec.encode(values, STRING), STRING) == values
+
+    def test_long_runs_compress(self):
+        codec = get_codec("rle")
+        values = [5] * 10_000
+        assert len(codec.encode(values, INT)) < 100
+
+
+class TestDictionary:
+    @given(st.lists(st.sampled_from([10, 20, 30, 40]), max_size=300))
+    def test_roundtrip(self, values):
+        codec = get_codec("dict")
+        assert codec.decode(codec.encode(values, INT), INT) == values
+
+    @given(st.lists(st.text(min_size=0, max_size=8), max_size=80))
+    def test_roundtrip_strings(self, values):
+        codec = get_codec("dict")
+        assert codec.decode(codec.encode(values, STRING), STRING) == values
+
+    def test_low_cardinality_compresses(self):
+        codec = get_codec("dict")
+        values = ["boston", "nyc"] * 5_000
+        plain = get_codec("none").encode(values, STRING)
+        assert len(codec.encode(values, STRING)) < len(plain) / 10
+
+
+class TestLz:
+    @given(st.lists(st.integers(0, 100), max_size=200))
+    def test_roundtrip(self, values):
+        codec = get_codec("lz")
+        assert codec.decode(codec.encode(values, INT), INT) == values
+
+    def test_repetitive_compresses(self):
+        codec = get_codec("lz")
+        values = [1, 2, 3, 4] * 1000
+        plain = get_codec("none").encode(values, INT)
+        assert len(codec.encode(values, INT)) < len(plain) / 20
+
+
+class TestXor:
+    @given(floats)
+    def test_roundtrip_exact(self, values):
+        codec = get_codec("xor")
+        assert codec.decode(codec.encode(values, FLOAT), FLOAT) == values
+
+    def test_smooth_series_compress(self):
+        codec = get_codec("xor")
+        values = [42.0 + i * 1e-4 for i in range(1000)]
+        plain = get_codec("none").encode(values, FLOAT)
+        assert len(codec.encode(values, FLOAT)) < len(plain) * 0.9
+
+    def test_rejects_ints_type(self):
+        with pytest.raises(CodecError):
+            get_codec("xor").encode([1], INT)
+
+    def test_truncated(self):
+        codec = get_codec("xor")
+        data = codec.encode([1.0, 2.0], FLOAT)
+        with pytest.raises(CodecError):
+            codec.decode(data[:6], FLOAT)
+
+
+class TestCompressionEffectiveness:
+    """The size relationships the paper's N4 layout depends on."""
+
+    def test_varint_on_deltas_beats_plain(self):
+        # GPS-like microdegree walk: deltas are small.
+        import random
+
+        rng = random.Random(1)
+        values = [42_350_000]
+        for _ in range(2000):
+            values.append(values[-1] + rng.randrange(-150, 150))
+        from repro.algebra.transforms import delta_list
+
+        deltas = [int(d) for d in delta_list(values)]
+        varint = get_codec("varint").encode(deltas, INT)
+        plain = get_codec("none").encode(values, INT)
+        assert len(varint) < len(plain) / 3

@@ -1,0 +1,150 @@
+"""Tests for repro.curves (Morton / Z-order and Hilbert)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.curves.hilbert import hilbert_d2xy, hilbert_sort_key, hilbert_xy2d
+from repro.curves.zorder import (
+    deinterleave_bits,
+    interleave_bits,
+    zorder_matrix,
+    zorder_positions,
+    zorder_range_covers,
+    zorder_sort_key,
+)
+from repro.errors import AlgebraError
+
+
+class TestInterleave:
+    def test_2d_examples(self):
+        assert interleave_bits((0, 0)) == 0
+        assert interleave_bits((1, 0)) == 1
+        assert interleave_bits((0, 1)) == 2
+        assert interleave_bits((1, 1)) == 3
+        assert interleave_bits((2, 3)) == 0b1110
+
+    def test_1d_is_identity(self):
+        for v in (0, 1, 5, 1023):
+            assert interleave_bits((v,)) == v
+
+    def test_negative_rejected(self):
+        with pytest.raises(AlgebraError):
+            interleave_bits((-1, 0))
+        with pytest.raises(AlgebraError):
+            interleave_bits(())
+
+    @given(st.lists(st.integers(0, 2**20), min_size=1, max_size=4))
+    def test_roundtrip(self, coords):
+        code = interleave_bits(coords)
+        assert deinterleave_bits(code, len(coords)) == tuple(coords)
+
+    @given(
+        st.tuples(st.integers(0, 1000), st.integers(0, 1000)),
+        st.tuples(st.integers(0, 1000), st.integers(0, 1000)),
+    )
+    def test_strictly_monotone_in_dominance(self, a, b):
+        """If a dominates b componentwise and differs, code(a) > code(b)."""
+        if a != b and all(x >= y for x, y in zip(a, b)):
+            assert interleave_bits(a) > interleave_bits(b)
+
+    def test_deinterleave_validation(self):
+        with pytest.raises(AlgebraError):
+            deinterleave_bits(5, 0)
+        with pytest.raises(AlgebraError):
+            deinterleave_bits(-1, 2)
+
+
+class TestZOrderTraversal:
+    def test_2x2_matrix_paper_convention(self):
+        # First-level position is the more significant interleaved bit.
+        assert zorder_matrix([[1, 2], [3, 4]]) == [1, 2, 3, 4]
+
+    def test_4x4_matrix_z_pattern(self):
+        matrix = [[i * 4 + j for j in range(4)] for i in range(4)]
+        out = zorder_matrix(matrix)
+        assert out == [0, 1, 4, 5, 2, 3, 6, 7, 8, 9, 12, 13, 10, 11, 14, 15]
+
+    def test_ragged_matrix_supported(self):
+        out = zorder_matrix([[1], [2, 3]])
+        assert sorted(out) == [1, 2, 3]
+
+    def test_scalar_row_rejected(self):
+        with pytest.raises(AlgebraError):
+            zorder_matrix([1, 2])
+
+    def test_positions_cover_grid(self):
+        coords = zorder_positions((2, 3))
+        assert sorted(coords) == [
+            (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)
+        ]
+        keys = [zorder_sort_key(c) for c in coords]
+        assert keys == sorted(keys)
+
+    def test_range_covers(self):
+        cells = zorder_range_covers((1, 1), (2, 2))
+        assert sorted(cells) == [(1, 1), (1, 2), (2, 1), (2, 2)]
+        assert zorder_range_covers((2, 2), (1, 1)) == []
+
+    def test_range_covers_dim_mismatch(self):
+        with pytest.raises(AlgebraError):
+            zorder_range_covers((0,), (1, 1))
+
+    def test_locality_beats_row_major(self):
+        """Average |code delta| between spatial neighbours is smaller in
+        z-order than in row-major linearization for a square grid."""
+        n = 16
+        def row_major(c):
+            return c[0] * n + c[1]
+        neighbours = [
+            ((i, j), (i + 1, j))
+            for i in range(n - 1)
+            for j in range(n)
+        ]
+        z_gap = sum(
+            abs(zorder_sort_key(a) - zorder_sort_key(b))
+            for a, b in neighbours
+        )
+        rm_gap = sum(abs(row_major(a) - row_major(b)) for a, b in neighbours)
+        assert z_gap < rm_gap
+
+
+class TestHilbert:
+    def test_order1_visits_quadrants(self):
+        points = [hilbert_d2xy(1, d) for d in range(4)]
+        assert sorted(points) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    @given(st.integers(1, 6), st.data())
+    def test_bijection(self, order, data):
+        n = 1 << order
+        d = data.draw(st.integers(0, n * n - 1))
+        x, y = hilbert_d2xy(order, d)
+        assert hilbert_xy2d(order, x, y) == d
+
+    @given(st.integers(1, 6), st.data())
+    def test_adjacent_d_are_grid_neighbours(self, order, data):
+        """The defining Hilbert property: consecutive curve positions are
+        Manhattan-distance-1 apart."""
+        n = 1 << order
+        d = data.draw(st.integers(0, n * n - 2))
+        x1, y1 = hilbert_d2xy(order, d)
+        x2, y2 = hilbert_d2xy(order, d + 1)
+        assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+    def test_bounds_checked(self):
+        with pytest.raises(AlgebraError):
+            hilbert_d2xy(0, 0)
+        with pytest.raises(AlgebraError):
+            hilbert_d2xy(1, 4)
+        with pytest.raises(AlgebraError):
+            hilbert_xy2d(1, 2, 0)
+
+    def test_sort_key_2d_only(self):
+        assert hilbert_sort_key((0, 0)) == 0
+        with pytest.raises(AlgebraError):
+            hilbert_sort_key((1, 2, 3))
+
+    def test_sort_key_auto_order(self):
+        # Works for coordinates beyond order 1 without explicit order.
+        keys = {hilbert_sort_key((x, y)) for x in range(4) for y in range(4)}
+        assert len(keys) == 16

@@ -1,0 +1,177 @@
+"""Tests for repro.index.rtree (brute-force comparison + hypothesis)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexError_
+from repro.index.rtree import MBR, RTree
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+
+
+def make_rtree(max_entries=8, page_size=1024, capacity=512):
+    disk = DiskManager(page_size=page_size)
+    pool = BufferPool(disk, capacity=capacity)
+    return RTree(pool, max_entries=max_entries), disk
+
+
+def random_boxes(n, seed=0, span=100.0, max_side=5.0):
+    rng = random.Random(seed)
+    boxes = []
+    for i in range(n):
+        x = rng.uniform(0, span)
+        y = rng.uniform(0, span)
+        boxes.append(
+            (MBR(x, y, x + rng.uniform(0, max_side), y + rng.uniform(0, max_side)), i)
+        )
+    return boxes
+
+
+class TestMBR:
+    def test_validation(self):
+        with pytest.raises(IndexError_):
+            MBR(1, 0, 0, 1)
+
+    def test_area_union(self):
+        a = MBR(0, 0, 2, 2)
+        b = MBR(1, 1, 3, 3)
+        assert a.area() == 4
+        assert a.union(b) == MBR(0, 0, 3, 3)
+        assert a.enlargement(b) == 9 - 4
+
+    def test_intersects(self):
+        a = MBR(0, 0, 2, 2)
+        assert a.intersects(MBR(1, 1, 3, 3))
+        assert a.intersects(MBR(2, 2, 3, 3))  # touching counts
+        assert not a.intersects(MBR(2.1, 0, 3, 1))
+
+    def test_contains_point(self):
+        a = MBR(0, 0, 2, 2)
+        assert a.contains_point(1, 1)
+        assert a.contains_point(0, 2)
+        assert not a.contains_point(3, 1)
+
+    def test_of_points(self):
+        box = MBR.of_points([(1, 5), (3, 2), (2, 9)])
+        assert box == MBR(1, 2, 3, 9)
+
+
+class TestInsertSearch:
+    def test_matches_brute_force(self):
+        rt, _ = make_rtree()
+        boxes = random_boxes(400, seed=1)
+        for box, payload in boxes:
+            rt.insert(box, payload)
+        for qseed in range(5):
+            rng = random.Random(100 + qseed)
+            x, y = rng.uniform(0, 80), rng.uniform(0, 80)
+            query = MBR(x, y, x + 15, y + 15)
+            got = sorted(p for _, p in rt.search(query))
+            want = sorted(p for b, p in boxes if b.intersects(query))
+            assert got == want
+
+    def test_point_entries(self):
+        rt, _ = make_rtree()
+        for i in range(100):
+            rt.insert(MBR(i, i, i, i), i)
+        got = sorted(p for _, p in rt.search(MBR(10, 10, 20, 20)))
+        assert got == list(range(10, 21))
+
+    def test_empty_tree_search(self):
+        rt, _ = make_rtree()
+        assert rt.search(MBR(0, 0, 10, 10)) == []
+
+    def test_size_and_height(self):
+        rt, _ = make_rtree(max_entries=4)
+        for box, payload in random_boxes(100, seed=2):
+            rt.insert(box, payload)
+        assert len(rt) == 100
+        assert rt.height >= 3
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_insert_search_randomized(self, seed):
+        rt, _ = make_rtree(max_entries=5)
+        boxes = random_boxes(60, seed=seed)
+        for box, payload in boxes:
+            rt.insert(box, payload)
+        query = MBR(25, 25, 60, 60)
+        got = sorted(p for _, p in rt.search(query))
+        want = sorted(p for b, p in boxes if b.intersects(query))
+        assert got == want
+
+
+class TestBulkLoad:
+    def test_str_matches_brute_force(self):
+        rt, _ = make_rtree(max_entries=8)
+        boxes = random_boxes(500, seed=3)
+        rt.bulk_load(boxes)
+        query = MBR(40, 40, 55, 55)
+        got = sorted(p for _, p in rt.search(query))
+        want = sorted(p for b, p in boxes if b.intersects(query))
+        assert got == want
+
+    def test_str_empty(self):
+        rt, _ = make_rtree()
+        rt.bulk_load([])
+        assert len(rt) == 0
+
+    def test_str_prunes_small_queries(self):
+        """A point-sized query on an STR-packed tree must visit only a small
+        fraction of the nodes — the directory actually prunes."""
+        boxes = random_boxes(600, seed=4)
+        bulk, disk_b = make_rtree(max_entries=8)
+        bulk.bulk_load(boxes)
+        total_nodes = disk_b.num_pages
+        touched = bulk.node_pages_touched(MBR(50, 50, 51, 51))
+        assert touched < total_nodes * 0.15
+
+    def test_node_pages_touched(self):
+        rt, _ = make_rtree(max_entries=8)
+        rt.bulk_load(random_boxes(300, seed=5))
+        small = rt.node_pages_touched(MBR(0, 0, 5, 5))
+        large = rt.node_pages_touched(MBR(0, 0, 100, 100))
+        assert 1 <= small <= large
+
+
+class TestOverlapBehaviour:
+    def test_overlapping_mbrs_inflate_page_touches(self):
+        """The paper's Figure 2 observation: heavily overlapping boxes force
+        many node visits even for small queries."""
+        # Non-overlapping tiling vs heavily overlapped boxes.
+        tiles = []
+        i = 0
+        for x in range(10):
+            for y in range(10):
+                tiles.append((MBR(x * 10, y * 10, x * 10 + 9, y * 10 + 9), i))
+                i += 1
+        rng = random.Random(6)
+        overlapped = []
+        for i in range(100):
+            x, y = rng.uniform(0, 40), rng.uniform(0, 40)
+            overlapped.append((MBR(x, y, x + 60, y + 60), i))
+
+        rt_tiles, _ = make_rtree(max_entries=8)
+        rt_tiles.bulk_load(tiles)
+        rt_over, _ = make_rtree(max_entries=8)
+        rt_over.bulk_load(overlapped)
+
+        query = MBR(42, 42, 52, 52)
+        hits_tiles = len(rt_tiles.search(query))
+        hits_over = len(rt_over.search(query))
+        assert hits_over > hits_tiles * 3
+
+
+class TestPersistence:
+    def test_nodes_survive_pool_eviction(self):
+        disk = DiskManager(page_size=1024)
+        pool = BufferPool(disk, capacity=3)
+        rt = RTree(pool, max_entries=6)
+        boxes = random_boxes(120, seed=7)
+        for box, payload in boxes:
+            rt.insert(box, payload)
+        query = MBR(0, 0, 100, 100)
+        assert len(rt.search(query)) == 120

@@ -1,0 +1,141 @@
+"""Tests for repro.algebra.interpreter (expression -> physical plan)."""
+
+import pytest
+
+from repro.algebra import ast
+from repro.algebra.interpreter import AlgebraInterpreter, transform_script
+from repro.algebra.parser import parse
+from repro.algebra.physical import (
+    LAYOUT_ARRAY,
+    LAYOUT_COLUMNS,
+    LAYOUT_FOLDED,
+    LAYOUT_GRID,
+    LAYOUT_MIRROR,
+    LAYOUT_ROWS,
+)
+from repro.errors import TypeCheckError
+from repro.types import Schema
+
+SCHEMA = Schema.of("t:int", "lat:int", "lon:int", "id:int")
+
+
+@pytest.fixture
+def interp():
+    return AlgebraInterpreter({"T": SCHEMA})
+
+
+class TestCompile:
+    def test_rows_plan(self, interp):
+        plan = interp.compile("T")
+        assert plan.kind == LAYOUT_ROWS
+        assert plan.schema == SCHEMA
+        assert plan.sort_keys == ()
+
+    def test_accepts_ast(self, interp):
+        plan = interp.compile(ast.table("T"))
+        assert plan.kind == LAYOUT_ROWS
+
+    def test_orderby_sort_keys(self, interp):
+        plan = interp.compile("orderby[t ASC, id DESC](T)")
+        assert plan.sort_keys == (("t", True), ("id", False))
+
+    def test_columns_plan(self, interp):
+        plan = interp.compile("columns[[t], [lat, lon], [id]](T)")
+        assert plan.kind == LAYOUT_COLUMNS
+        assert plan.column_groups == (("t",), ("lat", "lon"), ("id",))
+
+    def test_columns_default_groups(self, interp):
+        plan = interp.compile("columns(T)")
+        assert plan.column_groups == (("t",), ("lat",), ("lon",), ("id",))
+
+    def test_grid_plan(self, interp):
+        plan = interp.compile("zorder(grid[lat, lon],[100, 50](T))")
+        assert plan.kind == LAYOUT_GRID
+        assert plan.grid.dims == ("lat", "lon")
+        assert plan.grid.strides == (100.0, 50.0)
+        assert plan.grid.cell_order == "zorder"
+
+    def test_grid_rowmajor_default(self, interp):
+        plan = interp.compile("grid[lat, lon],[100, 50](T)")
+        assert plan.grid.cell_order == "rowmajor"
+
+    def test_hilbert_cell_order(self, interp):
+        plan = interp.compile("hilbert(grid[lat, lon],[10, 10](T))")
+        assert plan.grid.cell_order == "hilbert"
+
+    def test_delta_and_codecs(self, interp):
+        plan = interp.compile(
+            "compress[varint; lat, lon](delta[lat, lon]("
+            "zorder(grid[lat, lon],[10, 10](T))))"
+        )
+        assert plan.delta_fields == ("lat", "lon")
+        assert plan.codec_for("lat") == "varint"
+        assert plan.codec_for("t") == "none"
+
+    def test_whole_table_codec(self, interp):
+        plan = interp.compile("compress[lz](T)")
+        assert plan.codec_for("t") == "lz"
+        assert plan.codec_for("lat") == "lz"
+
+    def test_field_codec_beats_default(self, interp):
+        plan = interp.compile("compress[varint; t](compress[lz](T))")
+        assert plan.codec_for("t") == "varint"
+        assert plan.codec_for("lat") == "lz"
+
+    def test_folded_plan(self, interp):
+        plan = interp.compile("fold[lat, lon; id](T)")
+        assert plan.kind == LAYOUT_FOLDED
+        assert plan.group_fields == ("id",)
+        assert plan.nest_fields == ("lat", "lon")
+
+    def test_mirror_plan(self, interp):
+        plan = interp.compile("mirror(rows(T), columns(T))")
+        assert plan.kind == LAYOUT_MIRROR
+        assert len(plan.mirror_plans) == 2
+        assert plan.mirror_plans[0].kind == LAYOUT_ROWS
+        assert plan.mirror_plans[1].kind == LAYOUT_COLUMNS
+
+    def test_array_plan(self, interp):
+        plan = interp.compile("transpose([[1, 2], [3, 4]])")
+        assert plan.kind == LAYOUT_ARRAY
+
+    def test_normalizes_before_compiling(self, interp):
+        plan = interp.compile("transpose(transpose(T))")
+        assert plan.kind == LAYOUT_ROWS  # collapsed to T
+
+    def test_type_errors_surface(self, interp):
+        with pytest.raises(TypeCheckError):
+            interp.compile("grid[bogus],[1](T)")
+
+    def test_describe_mentions_key_facts(self, interp):
+        plan = interp.compile(
+            "compress[varint; lat](delta[lat](zorder(grid[lat, lon],[10, 10](T))))"
+        )
+        text = plan.describe()
+        assert "grid" in text
+        assert "zorder" in text
+        assert "delta=lat" in text
+        assert "varint" in text
+
+
+class TestTransformScript:
+    def test_fresh_table(self, interp):
+        plan = interp.compile("T")
+        steps = transform_script(None, plan)
+        actions = [s.action for s in steps]
+        assert actions == ["materialize", "swap"]
+
+    def test_replacing_layout(self, interp):
+        old = interp.compile("T")
+        new = interp.compile("columns(T)")
+        steps = transform_script(old, new)
+        actions = [s.action for s in steps]
+        assert "drop" in actions and "materialize" in actions
+
+    def test_matching_order_noted(self, interp):
+        old = interp.compile("orderby[t](T)")
+        new = interp.compile("orderby[t](columns(T))")
+        # Same record-level sort on both sides.
+        old2 = interp.compile("orderby[t](T)")
+        steps = transform_script(old, old2)
+        assert steps[0].action == "note"

@@ -1,0 +1,378 @@
+"""Tests for repro.optimizer (workloads, costing, candidates, search)."""
+
+import pytest
+
+from repro.algebra import ast
+from repro.algebra.interpreter import AlgebraInterpreter
+from repro.algebra.parser import parse
+from repro.engine.cost import CostModel
+from repro.engine.database import RodentStore
+from repro.engine.stats import TableStats
+from repro.optimizer import (
+    PlanCostEstimator,
+    Query,
+    Workload,
+    affinity_column_groups,
+    enumerate_candidates,
+    exhaustive_search,
+    greedy_stride_descent,
+    recommend,
+    recommend_for_table,
+    simulated_annealing,
+    suggest_stride,
+)
+from repro.query.expressions import Range, Rect
+from repro.types import Schema
+
+SCHEMA = Schema.of("t:int", "lat:int", "lon:int", "id:int", "extra:int")
+RECORDS = [
+    (i, (i * 37) % 1000, (i * 53) % 1000, i % 11, i * 7)
+    for i in range(3000)
+]
+STATS = TableStats.collect(SCHEMA, RECORDS)
+MODEL = CostModel(page_size=4096)
+
+
+def spatial_workload(n=8):
+    wl = Workload("T")
+    for i in range(n):
+        lo = (i * 97) % 800
+        wl.add(
+            Query(
+                name=f"q{i}",
+                fieldlist=("lat", "lon"),
+                predicate=Rect(
+                    {"lat": (lo, lo + 100), "lon": (lo, lo + 100)}
+                ),
+            )
+        )
+    return wl
+
+
+def narrow_workload():
+    wl = Workload("T")
+    wl.add(Query(name="a", fieldlist=("t",)))
+    wl.add(Query(name="b", fieldlist=("id",)))
+    return wl
+
+
+class TestWorkload:
+    def test_fields_touched(self):
+        q = Query(
+            name="q",
+            fieldlist=("lat",),
+            predicate=Range("t", 0, 10),
+            order=(("id", True),),
+        )
+        assert q.fields_touched(SCHEMA.names()) == {"lat", "t", "id"}
+
+    def test_fields_touched_defaults_to_all(self):
+        q = Query(name="q")
+        assert q.fields_touched(SCHEMA.names()) == set(SCHEMA.names())
+
+    def test_co_access_matrix(self):
+        wl = Workload("T")
+        wl.add(Query(name="a", fieldlist=("lat", "lon"), weight=3))
+        wl.add(Query(name="b", fieldlist=("t",)))
+        matrix = wl.co_access_matrix(SCHEMA.names())
+        assert matrix[("lat", "lon")] == 3
+        assert ("lat", "t") not in matrix
+
+    def test_field_access_weights(self):
+        wl = Workload("T")
+        wl.add(Query(name="a", fieldlist=("lat",), weight=2))
+        wl.add(Query(name="b", fieldlist=("lat", "t")))
+        weights = wl.field_access_weights(SCHEMA.names())
+        assert weights["lat"] == 3
+        assert weights["t"] == 1
+        assert weights["extra"] == 0
+
+    def test_range_dimensions(self):
+        wl = spatial_workload(3)
+        dims = wl.range_dimensions()
+        assert set(dims) == {"lat", "lon"}
+        assert len(dims["lat"]) == 3
+
+
+class TestPlanCostEstimator:
+    def interp(self):
+        return AlgebraInterpreter({"T": SCHEMA})
+
+    def test_rows_full_scan_pages(self):
+        estimator = PlanCostEstimator(STATS, MODEL, MODEL.page_size)
+        plan = self.interp().compile("T")
+        q = Query(name="q")
+        cost = estimator.query_cost(plan, q)
+        assert cost.pages == estimator.storage_pages(plan)
+
+    def test_columns_narrow_cheaper(self):
+        estimator = PlanCostEstimator(STATS, MODEL, MODEL.page_size)
+        plan = self.interp().compile("columns(T)")
+        narrow = estimator.query_cost(plan, Query(name="n", fieldlist=("t",)))
+        wide = estimator.query_cost(plan, Query(name="w"))
+        assert narrow.pages < wide.pages
+
+    def test_grid_selective_cheaper_than_rows(self):
+        estimator = PlanCostEstimator(STATS, MODEL, MODEL.page_size)
+        rows_plan = self.interp().compile("T")
+        grid_plan = self.interp().compile(
+            "grid[lat, lon],[100, 100](project[lat, lon](T))"
+        )
+        q = spatial_workload(1).queries[0]
+        assert (
+            estimator.query_cost(grid_plan, q).pages
+            < estimator.query_cost(rows_plan, q).pages
+        )
+
+    def test_zorder_reduces_predicted_seeks(self):
+        estimator = PlanCostEstimator(STATS, MODEL, MODEL.page_size)
+        plain = self.interp().compile(
+            "grid[lat, lon],[50, 50](project[lat, lon](T))"
+        )
+        z = self.interp().compile(
+            "zorder(grid[lat, lon],[50, 50](project[lat, lon](T)))"
+        )
+        q = spatial_workload(1).queries[0]
+        assert (
+            estimator.query_cost(z, q).seeks
+            <= estimator.query_cost(plain, q).seeks
+        )
+
+    def test_compression_shrinks_storage(self):
+        estimator = PlanCostEstimator(STATS, MODEL, MODEL.page_size)
+        plain = self.interp().compile("project[lat, lon](T)")
+        packed = self.interp().compile(
+            "compress[varint; lat, lon](delta[lat, lon](zorder("
+            "grid[lat, lon],[100, 100](project[lat, lon](T)))))"
+        )
+        assert estimator.storage_pages(packed) < estimator.storage_pages(plain)
+
+    def test_workload_cost_weights(self):
+        estimator = PlanCostEstimator(STATS, MODEL, MODEL.page_size)
+        plan = self.interp().compile("T")
+        wl = Workload("T")
+        wl.add(Query(name="q", weight=10))
+        heavy = estimator.workload_cost(plan, wl).total_ms
+        wl2 = Workload("T")
+        wl2.add(Query(name="q", weight=1))
+        light = estimator.workload_cost(plan, wl2).total_ms
+        assert heavy == pytest.approx(light * 10)
+
+    def test_mirror_takes_min(self):
+        estimator = PlanCostEstimator(STATS, MODEL, MODEL.page_size)
+        mirror = self.interp().compile("mirror(rows(T), columns(T))")
+        cols = self.interp().compile("columns(T)")
+        q = Query(name="n", fieldlist=("t",))
+        assert (
+            estimator.query_cost(mirror, q).ms
+            == estimator.query_cost(cols, q).ms
+        )
+
+    def test_sorted_rows_prune_with_leading_key_range(self):
+        estimator = PlanCostEstimator(STATS, MODEL, MODEL.page_size)
+        sorted_plan = self.interp().compile("orderby[lat](T)")
+        q = Query(name="q", predicate=Range("lat", 0, 99))
+        full = estimator.storage_pages(sorted_plan)
+        assert estimator.query_cost(sorted_plan, q).pages < full
+
+    def test_prediction_close_to_measured_for_columns(self):
+        """The analytic estimator should land within 2x of measured I/O."""
+        store = RodentStore(page_size=4096, pool_capacity=128)
+        store.create_table("T", SCHEMA, layout="columns(T)")
+        table = store.load("T", RECORDS)
+        estimator = PlanCostEstimator(
+            store.catalog.entry("T").stats, store.cost_model, 4096
+        )
+        predicted = estimator.query_cost(
+            table.plan, Query(name="q", fieldlist=("t",))
+        )
+        _, io = store.run_cold(lambda: list(table.scan(fieldlist=["t"])))
+        assert predicted.pages == pytest.approx(io.page_reads, rel=1.0)
+
+
+class TestCandidates:
+    def test_pool_contains_baseline_and_columns(self):
+        candidates = enumerate_candidates(SCHEMA, STATS, spatial_workload())
+        texts = [c.to_text() for c in candidates]
+        assert "T" in texts
+        assert any(t.startswith("columns") for t in texts)
+
+    def test_spatial_workload_generates_grids(self):
+        candidates = enumerate_candidates(SCHEMA, STATS, spatial_workload())
+        kinds = {type(c).__name__ for c in candidates}
+        assert "Grid" in kinds or any(
+            isinstance(n, ast.Grid)
+            for c in candidates
+            for n in c.walk()
+        )
+        assert any(isinstance(c, ast.ZOrder) for c in candidates)
+        assert any(isinstance(c, ast.Compress) for c in candidates)
+
+    def test_grid_projects_untouched_fields(self):
+        candidates = enumerate_candidates(SCHEMA, STATS, spatial_workload())
+        grids = [
+            c for c in candidates
+            if any(isinstance(n, ast.Grid) for n in c.walk())
+        ]
+        assert grids
+        # 'extra' is never touched by the workload: projected away.
+        projected = [
+            n for g in grids for n in g.walk() if isinstance(n, ast.Project)
+        ]
+        assert projected
+        assert all("extra" not in p.fields for p in projected)
+
+    def test_no_duplicates(self):
+        candidates = enumerate_candidates(SCHEMA, STATS, spatial_workload())
+        texts = [c.to_text() for c in candidates]
+        assert len(texts) == len(set(texts))
+
+    def test_mirror_opt_in(self):
+        without = enumerate_candidates(SCHEMA, STATS, spatial_workload())
+        with_m = enumerate_candidates(
+            SCHEMA, STATS, spatial_workload(), include_mirrors=True
+        )
+        assert not any(isinstance(c, ast.Mirror) for c in without)
+        assert any(isinstance(c, ast.Mirror) for c in with_m)
+
+    def test_all_candidates_compile(self):
+        interp = AlgebraInterpreter({"T": SCHEMA})
+        for candidate in enumerate_candidates(SCHEMA, STATS, spatial_workload()):
+            interp.compile(candidate)  # must not raise
+
+    def test_affinity_groups_cluster_coaccessed(self):
+        wl = Workload("T")
+        wl.add(Query(name="a", fieldlist=("lat", "lon"), weight=10))
+        wl.add(Query(name="b", fieldlist=("t",), weight=10))
+        groups = affinity_column_groups(SCHEMA, wl)
+        merged = [g for g in groups if set(g) >= {"lat", "lon"}]
+        assert merged
+
+    def test_affinity_no_workload(self):
+        groups = affinity_column_groups(SCHEMA, Workload("T"))
+        assert groups == [[f] for f in SCHEMA.names()]
+
+    def test_suggest_stride_scales_with_queries(self):
+        wl = spatial_workload()
+        dims = wl.range_dimensions()
+        stride = suggest_stride(STATS, dims, "lat")
+        assert stride is not None
+        # Queries span 100 units; ~2 cells per side -> stride ~50.
+        assert 25 <= stride <= 100
+
+    def test_suggest_stride_unknown_field(self):
+        assert suggest_stride(STATS, {}, "nope") is None
+
+
+class TestSearch:
+    def setup_method(self):
+        self.estimator = PlanCostEstimator(STATS, MODEL, MODEL.page_size)
+        self.workload = spatial_workload()
+        self.candidates = enumerate_candidates(SCHEMA, STATS, self.workload)
+
+    def test_exhaustive_picks_grid_for_spatial(self):
+        result = exhaustive_search(
+            self.candidates, SCHEMA, self.estimator, self.workload
+        )
+        assert any(
+            isinstance(n, ast.Grid) for n in result.expression.walk()
+        )
+        assert result.evaluated >= len(self.candidates) - 2
+
+    def test_exhaustive_narrow_picks_columns(self):
+        wl = narrow_workload()
+        candidates = enumerate_candidates(SCHEMA, STATS, wl)
+        result = exhaustive_search(candidates, SCHEMA, self.estimator, wl)
+        assert isinstance(result.expression, ast.Columns)
+
+    def test_greedy_descent_improves_or_keeps(self):
+        seed = parse("grid[lat, lon],[500, 500](project[lat, lon](T))")
+        start = exhaustive_search([seed], SCHEMA, self.estimator, self.workload)
+        refined = greedy_stride_descent(
+            seed, SCHEMA, self.estimator, self.workload
+        )
+        assert refined.best.total_ms <= start.best.total_ms
+
+    def test_greedy_descent_trace_monotone(self):
+        seed = parse("grid[lat, lon],[500, 500](project[lat, lon](T))")
+        refined = greedy_stride_descent(
+            seed, SCHEMA, self.estimator, self.workload
+        )
+        costs = [ms for _, ms in refined.trace]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_annealing_not_worse_than_seed_pool_average(self):
+        result = simulated_annealing(
+            self.candidates, SCHEMA, self.estimator, self.workload,
+            iterations=100, seed=3,
+        )
+        pool_costs = [
+            exhaustive_search([c], SCHEMA, self.estimator, self.workload)
+            .best.total_ms
+            for c in self.candidates[:3]
+        ]
+        assert result.best.total_ms <= max(pool_costs)
+
+    def test_annealing_deterministic_with_seed(self):
+        a = simulated_annealing(
+            self.candidates, SCHEMA, self.estimator, self.workload,
+            iterations=50, seed=9,
+        )
+        b = simulated_annealing(
+            self.candidates, SCHEMA, self.estimator, self.workload,
+            iterations=50, seed=9,
+        )
+        assert a.best.plan.expr == b.best.plan.expr
+
+
+class TestRecommend:
+    def test_spatial_recommendation_is_compressed_grid(self):
+        rec = recommend(SCHEMA, STATS, spatial_workload(), MODEL)
+        ops = {type(n).__name__ for n in rec.expression.walk()}
+        assert "Grid" in ops
+        assert rec.predicted_ms > 0
+        assert rec.alternatives
+
+    def test_narrow_recommendation_is_columns(self):
+        rec = recommend(SCHEMA, STATS, narrow_workload(), MODEL)
+        assert isinstance(rec.expression, ast.Columns)
+
+    def test_unknown_strategy(self):
+        from repro.errors import OptimizerError
+
+        with pytest.raises(OptimizerError):
+            recommend(SCHEMA, STATS, narrow_workload(), MODEL, strategy="magic")
+
+    def test_recommend_for_table_requires_stats(self):
+        from repro.errors import OptimizerError
+
+        store = RodentStore(page_size=1024)
+        store.create_table("T", SCHEMA)
+        with pytest.raises(OptimizerError):
+            recommend_for_table(store, spatial_workload())
+
+    def test_recommendation_beats_rows_when_applied(self):
+        """End-to-end: applying the advice reduces measured pages/query."""
+        store = RodentStore(page_size=4096, pool_capacity=128)
+        store.create_table("T", SCHEMA)
+        table = store.load("T", RECORDS)
+        wl = spatial_workload(4)
+        q = wl.queries[0]
+
+        def run():
+            return list(
+                table.scan(fieldlist=["lat", "lon"], predicate=q.predicate)
+            )
+
+        baseline, io_before = store.run_cold(run)
+        rec = recommend_for_table(store, wl)
+        new_table = store.relayout("T", rec.expression, source_records=RECORDS)
+
+        def run_new():
+            return list(
+                new_table.scan(fieldlist=["lat", "lon"], predicate=q.predicate)
+            )
+
+        improved, io_after = store.run_cold(run_new)
+        assert sorted(improved) == sorted(baseline)
+        assert io_after.page_reads < io_before.page_reads

@@ -1,0 +1,187 @@
+"""Tests for repro.storage.page (slotted pages, byte pages)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PageError
+from repro.storage.page import (
+    BYTES_HEADER_SIZE,
+    NO_PAGE,
+    PAGE_TYPE_BYTES,
+    PAGE_TYPE_FREE,
+    PAGE_TYPE_SLOTTED,
+    BytePage,
+    SlottedPage,
+    page_type_of,
+)
+
+
+class TestSlottedPage:
+    def test_insert_and_get(self):
+        page = SlottedPage(512)
+        s0 = page.insert(b"hello")
+        s1 = page.insert(b"world!")
+        assert page.get(s0) == b"hello"
+        assert page.get(s1) == b"world!"
+        assert page.slot_count == 2
+
+    def test_records_in_order(self):
+        page = SlottedPage(512)
+        blobs = [b"a", b"bb", b"ccc"]
+        for blob in blobs:
+            page.insert(blob)
+        assert [b for _, b in page.records()] == blobs
+
+    def test_full_page_raises(self):
+        page = SlottedPage(128)
+        with pytest.raises(PageError):
+            while True:
+                page.insert(b"x" * 16)
+
+    def test_can_fit_accounts_slot_entry(self):
+        page = SlottedPage(256)
+        free = page.free_space()
+        assert page.can_fit(free)
+        assert not page.can_fit(free + 1)
+        page.insert(b"x" * free)
+        assert page.free_space() == 0
+
+    def test_delete_tombstones(self):
+        page = SlottedPage(512)
+        s0 = page.insert(b"a")
+        s1 = page.insert(b"b")
+        page.delete(s0)
+        assert page.is_deleted(s0)
+        assert [b for _, b in page.records()] == [b"b"]
+        with pytest.raises(PageError):
+            page.get(s0)
+        with pytest.raises(PageError):
+            page.delete(s0)
+
+    def test_update_in_place(self):
+        page = SlottedPage(512)
+        s0 = page.insert(b"abcdef")
+        new = page.update(s0, b"xyz")
+        assert new == s0
+        assert page.get(s0) == b"xyz"
+
+    def test_update_grows_moves_slot(self):
+        page = SlottedPage(512)
+        s0 = page.insert(b"ab")
+        page.insert(b"other")
+        new = page.update(s0, b"longer than before")
+        assert new != s0
+        assert page.get(new) == b"longer than before"
+        assert page.is_deleted(s0)
+
+    def test_compact_reclaims(self):
+        page = SlottedPage(512)
+        for i in range(5):
+            page.insert(bytes([65 + i]) * 10)
+        page.delete(1)
+        page.delete(3)
+        free_before = page.free_space()
+        page.compact()
+        assert page.free_space() > free_before
+        assert [b for _, b in page.records()] == [b"A" * 10, b"C" * 10, b"E" * 10]
+
+    def test_bad_slot(self):
+        page = SlottedPage(512)
+        with pytest.raises(PageError):
+            page.get(0)
+        with pytest.raises(PageError):
+            page.get(-1)
+
+    def test_header_roundtrip_via_buffer(self):
+        page = SlottedPage(512)
+        page.insert(b"persisted")
+        page.set_next_page_id(77)
+        reloaded = SlottedPage(512, page.buffer)
+        assert reloaded.next_page_id == 77
+        assert reloaded.get(0) == b"persisted"
+
+    def test_wrong_buffer_type_rejected(self):
+        byte_page = BytePage(512)
+        with pytest.raises(PageError):
+            SlottedPage(512, byte_page.buffer)
+
+    def test_buffer_size_mismatch(self):
+        with pytest.raises(PageError):
+            SlottedPage(512, bytearray(256))
+
+    def test_too_small_page(self):
+        with pytest.raises(PageError):
+            SlottedPage(8)
+
+    @given(st.lists(st.binary(min_size=1, max_size=40), max_size=20))
+    def test_insert_get_property(self, blobs):
+        page = SlottedPage(4096)
+        slots = [page.insert(b) for b in blobs]
+        for slot, blob in zip(slots, blobs):
+            assert page.get(slot) == blob
+
+    @given(
+        st.lists(st.binary(min_size=1, max_size=30), min_size=1, max_size=15),
+        st.data(),
+    )
+    def test_delete_subset_property(self, blobs, data):
+        page = SlottedPage(4096)
+        slots = [page.insert(b) for b in blobs]
+        to_delete = data.draw(
+            st.sets(st.sampled_from(slots)) if slots else st.just(set())
+        )
+        for slot in to_delete:
+            page.delete(slot)
+        survivors = [b for s, b in zip(slots, blobs) if s not in to_delete]
+        assert [b for _, b in page.records()] == survivors
+
+
+class TestBytePage:
+    def test_write_read(self):
+        page = BytePage(512)
+        page.write(b"payload bytes")
+        assert page.read() == b"payload bytes"
+
+    def test_overwrite(self):
+        page = BytePage(512)
+        page.write(b"long first payload")
+        page.write(b"short")
+        assert page.read() == b"short"
+
+    def test_capacity_enforced(self):
+        page = BytePage(128)
+        page.write(b"x" * page.capacity)
+        with pytest.raises(PageError):
+            page.write(b"x" * (page.capacity + 1))
+
+    def test_empty_payload(self):
+        page = BytePage(128)
+        page.write(b"")
+        assert page.read() == b""
+
+    def test_next_page_chain(self):
+        page = BytePage(128)
+        page.set_next_page_id(3)
+        reloaded = BytePage(128, page.buffer)
+        assert reloaded.next_page_id == 3
+
+    def test_fresh_page_has_no_next(self):
+        assert BytePage(128).next_page_id == NO_PAGE
+
+    @given(st.binary(max_size=100))
+    def test_roundtrip_property(self, payload):
+        page = BytePage(BYTES_HEADER_SIZE + 100)
+        page.write(payload)
+        assert page.read() == payload
+
+
+class TestPageTypeOf:
+    def test_detects_types(self):
+        assert page_type_of(SlottedPage(128).buffer) == PAGE_TYPE_SLOTTED
+        assert page_type_of(BytePage(128).buffer) == PAGE_TYPE_BYTES
+        assert page_type_of(bytearray(128)) == PAGE_TYPE_FREE
+
+    def test_short_buffer(self):
+        with pytest.raises(PageError):
+            page_type_of(b"\x01")

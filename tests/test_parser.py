@@ -1,0 +1,222 @@
+"""Tests for repro.algebra.parser (text syntax round-trips)."""
+
+import pytest
+
+from repro.algebra import ast
+from repro.algebra.parser import parse, parse_condition
+from repro.errors import ParseError
+
+
+class TestBasicParsing:
+    def test_table_ref(self):
+        assert parse("Traces") == ast.TableRef("Traces")
+
+    def test_paper_intro_example(self):
+        expr = parse("zorder(grid[y, z](N))")
+        assert isinstance(expr, ast.ZOrder)
+        grid = expr.child
+        assert isinstance(grid, ast.Grid)
+        assert grid.dims == ("y", "z")
+        assert grid.strides == (1.0, 1.0)  # default stride
+
+    def test_grid_with_strides(self):
+        expr = parse("grid[lat, lon],[0.01, 0.02](T)")
+        assert expr.strides == (0.01, 0.02)
+
+    def test_project(self):
+        expr = parse("project[lat, lon](Traces)")
+        assert expr == ast.project(["lat", "lon"], ast.table("Traces"))
+
+    def test_fold_with_groups(self):
+        expr = parse("fold[zip, addr; area](T)")
+        assert expr.nest_fields == ("zip", "addr")
+        assert expr.group_fields == ("area",)
+
+    def test_prejoin_two_args(self):
+        expr = parse("prejoin[k](A, B)")
+        assert expr.join_attr == "k"
+        assert expr.left == ast.table("A")
+
+    def test_orderby_directions(self):
+        expr = parse("orderby[t ASC, id DESC](T)")
+        assert expr.keys == (
+            ast.SortKey("t", True), ast.SortKey("id", False)
+        )
+
+    def test_orderby_default_asc(self):
+        expr = parse("orderby[t](T)")
+        assert expr.keys == (ast.SortKey("t", True),)
+
+    def test_orderby_r_prefix(self):
+        expr = parse("orderby[r.t asc](T)")
+        assert expr.keys == (ast.SortKey("t", True),)
+
+    def test_select_condition(self):
+        expr = parse("select[r.area = 617](T)")
+        assert isinstance(expr.condition, ast.Comparison)
+
+    def test_append(self):
+        expr = parse("append[total=r.price * r.qty](T)")
+        name, scalar = expr.elements[0]
+        assert name == "total"
+        assert isinstance(scalar, ast.Arith)
+
+    def test_compress_with_fields(self):
+        expr = parse("compress[varint; lat, lon](T)")
+        assert expr.codec == "varint"
+        assert expr.fields == ("lat", "lon")
+
+    def test_compress_without_fields(self):
+        expr = parse("compress[lz](T)")
+        assert expr.fields == ()
+
+    def test_columns_with_groups(self):
+        expr = parse("columns[[a, b], [c]](T)")
+        assert expr.groups == (("a", "b"), ("c",))
+
+    def test_columns_plain(self):
+        assert parse("columns(T)").groups == ()
+
+    def test_mirror(self):
+        expr = parse("mirror(rows(T), columns(T))")
+        assert isinstance(expr, ast.Mirror)
+
+    def test_limit(self):
+        assert parse("limit[10](T)").count == 10
+
+    def test_chunk(self):
+        assert parse("chunk[4, 8](T)").shape == (4, 8)
+
+    def test_delta_variants(self):
+        assert parse("delta(T)").fields == ()
+        assert parse("delta[lat, lon](T)").fields == ("lat", "lon")
+
+    def test_nested_composition(self):
+        text = (
+            "compress[varint; lat, lon](delta[lat, lon](zorder("
+            "grid[lat, lon],[10, 10](project[lat, lon](T)))))"
+        )
+        expr = parse(text)
+        ops = [type(n).__name__ for n in expr.walk()]
+        assert ops == [
+            "Compress", "Delta", "ZOrder", "Grid", "Project", "TableRef"
+        ]
+
+    def test_literal_nesting(self):
+        expr = parse("[[1, 2, 3], [12, 13, 14]]")
+        assert isinstance(expr, ast.Literal)
+        assert expr.thaw() == [[1, 2, 3], [12, 13, 14]]
+
+    def test_literal_with_negatives_and_strings(self):
+        expr = parse("[[-1, 2.5], ['x', true]]")
+        assert expr.thaw() == [[-1, 2.5], ["x", True]]
+
+    def test_transpose_of_literal(self):
+        expr = parse("transpose([[1, 2, 3], [4, 5, 6]])")
+        assert isinstance(expr, ast.Transpose)
+
+
+class TestConditions:
+    def test_comparison_ops(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            cond = parse_condition(f"r.a {op} 5")
+            assert cond.op == op
+
+    def test_precedence_and_or(self):
+        cond = parse_condition("a = 1 or b = 2 and c = 3")
+        assert isinstance(cond, ast.Logical)
+        assert cond.op == "or"
+        assert cond.operands[1].op == "and"
+
+    def test_parentheses(self):
+        cond = parse_condition("(a = 1 or b = 2) and c = 3")
+        assert cond.op == "and"
+
+    def test_not(self):
+        cond = parse_condition("not a = 1")
+        assert cond.op == "not"
+
+    def test_arithmetic_precedence(self):
+        cond = parse_condition("a + b * 2 = 7")
+        assert isinstance(cond.left, ast.Arith)
+        assert cond.left.op == "+"
+        assert cond.left.right.op == "*"
+
+    def test_negative_number(self):
+        cond = parse_condition("a > -5")
+        assert cond.right == ast.Const(-5)
+
+    def test_string_literal(self):
+        cond = parse_condition("name = 'boston'")
+        assert cond.right == ast.Const("boston")
+
+    def test_booleans(self):
+        cond = parse_condition("flag = true")
+        assert cond.right == ast.Const(True)
+
+    def test_float_with_exponent(self):
+        cond = parse_condition("x < 1.5e3")
+        assert cond.right == ast.Const(1500.0)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "project[](T)",
+            "project[a](T",
+            "grid[a],[1,2](T)",  # stride arity mismatch is an algebra error
+            "zorder(T) extra",
+            "fold[a](T)",  # missing group section
+            "limit[1.5](T)",
+            "select[r.a =](T)",
+            "unknownop[x](T",
+            "'unterminated",
+            "project[a](T, U)",
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(Exception):
+            parse(text)
+
+    def test_error_carries_position(self):
+        try:
+            parse("project[a](T,")
+        except ParseError as exc:
+            assert exc.position is not None
+
+
+class TestRoundTrip:
+    EXPRESSIONS = [
+        "Traces",
+        "project[lat, lon](T)",
+        "select[r.a = 617](T)",
+        "select[r.a > 1 and r.b < 2](T)",
+        "partition[r.id](T)",
+        "fold[zip, addr; area](T)",
+        "unfold(fold[zip; area](T))",
+        "prejoin[k](A, B)",
+        "delta[lat, lon](T)",
+        "delta(T)",
+        "orderby[r.t ASC, r.id DESC](T)",
+        "groupby[id, t](T)",
+        "limit[3](T)",
+        "zorder(grid[y, z],[1.0, 10.0](N))",
+        "hilbert(grid[x, y],[2.0, 2.0](T))",
+        "transpose(T)",
+        "chunk[4, 4](T)",
+        "compress[varint; lat](T)",
+        "compress[lz](T)",
+        "rows(T)",
+        "columns(T)",
+        "columns[[a, b], [c]](T)",
+        "mirror(rows(T), columns(T))",
+        "[[1, 2], [3, 4]]",
+        "append[x2=(r.x * 2)](T)",
+    ]
+
+    @pytest.mark.parametrize("text", EXPRESSIONS)
+    def test_parse_totext_parse_fixpoint(self, text):
+        once = parse(text)
+        assert parse(once.to_text()) == once

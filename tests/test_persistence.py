@@ -1,0 +1,142 @@
+"""Tests for repro.engine.persistence (save/reopen a store)."""
+
+import pytest
+
+from repro.engine.database import RodentStore
+from repro.errors import CatalogError
+from repro.query.expressions import Range, Rect
+from repro.types import Schema
+
+SCHEMA = Schema.of("t:int", "lat:int", "lon:int", "id:int")
+RECORDS = [(i, (i * 37) % 500, (i * 53) % 500, i % 7) for i in range(400)]
+
+LAYOUTS = {
+    "rows": "T",
+    "ordered": "orderby[t](T)",
+    "columns": "columns[[t], [lat, lon], [id]](T)",
+    "grid": "compress[varint; lat, lon](delta[lat, lon](zorder("
+            "grid[lat, lon],[100, 100](project[lat, lon](T)))))",
+    "folded": "fold[lat, lon; id](T)",
+    "mirror": "mirror(rows(T), columns(T))",
+}
+
+
+def save_and_reopen(tmp_path, layout):
+    db_path = str(tmp_path / "db.pages")
+    cat_path = str(tmp_path / "catalog.json")
+    store = RodentStore(path=db_path, page_size=1024, pool_capacity=64)
+    store.create_table("T", SCHEMA, layout=layout)
+    store.load("T", RECORDS)
+    store.save_catalog(cat_path)
+    store.close()
+    return RodentStore.open(db_path, cat_path, page_size=1024)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", list(LAYOUTS))
+    def test_scan_after_reopen(self, tmp_path, name):
+        reopened = save_and_reopen(tmp_path, LAYOUTS[name])
+        table = reopened.table("T")
+        got = sorted(table.scan())
+        original = RodentStore(page_size=1024)
+        original.create_table("T", SCHEMA, layout=LAYOUTS[name])
+        expected = sorted(original.load("T", RECORDS).scan())
+        assert got == expected
+
+    def test_grid_pruning_survives(self, tmp_path):
+        reopened = save_and_reopen(tmp_path, LAYOUTS["grid"])
+        table = reopened.table("T")
+        q = Rect({"lat": (0, 99), "lon": (0, 99)})
+        _, io = reopened.run_cold(lambda: list(table.scan(predicate=q)))
+        assert io.page_reads < table.layout.total_pages()
+        got = sorted(table.scan(predicate=q))
+        want = sorted(
+            (r[1], r[2]) for r in RECORDS if r[1] <= 99 and r[2] <= 99
+        )
+        assert got == want
+
+    def test_plan_recompiled(self, tmp_path):
+        reopened = save_and_reopen(tmp_path, LAYOUTS["grid"])
+        plan = reopened.table("T").plan
+        assert plan.kind == "grid"
+        assert plan.grid.cell_order == "zorder"
+        assert plan.delta_fields == ("lat", "lon")
+        assert plan.codec_for("lat") == "varint"
+
+    def test_stats_survive(self, tmp_path):
+        reopened = save_and_reopen(tmp_path, LAYOUTS["rows"])
+        stats = reopened.catalog.entry("T").stats
+        assert stats.row_count == len(RECORDS)
+        assert stats.fields["lat"].min_value == min(r[1] for r in RECORDS)
+        assert stats.fields["lat"].histogram  # histograms persisted
+
+    def test_overflow_survives(self, tmp_path):
+        db_path = str(tmp_path / "db.pages")
+        cat_path = str(tmp_path / "catalog.json")
+        store = RodentStore(path=db_path, page_size=1024)
+        store.create_table("T", SCHEMA)
+        table = store.load("T", RECORDS[:300])
+        table.insert(RECORDS[300:])
+        table.flush_inserts()
+        store.save_catalog(cat_path)
+        store.close()
+        reopened = RodentStore.open(db_path, cat_path, page_size=1024)
+        assert sorted(reopened.table("T").scan()) == sorted(RECORDS)
+        assert reopened.table("T").overflow_row_count == 100
+
+    def test_multiple_tables(self, tmp_path):
+        db_path = str(tmp_path / "db.pages")
+        cat_path = str(tmp_path / "catalog.json")
+        store = RodentStore(path=db_path, page_size=1024)
+        store.create_table("A", SCHEMA)
+        store.load("A", RECORDS[:100])
+        store.create_table("B", SCHEMA, layout="columns(B)")
+        store.load("B", RECORDS[100:250])
+        store.save_catalog(cat_path)
+        store.close()
+        reopened = RodentStore.open(db_path, cat_path, page_size=1024)
+        assert sorted(reopened.table("A").scan()) == sorted(RECORDS[:100])
+        assert sorted(reopened.table("B").scan()) == sorted(RECORDS[100:250])
+
+    def test_queries_and_costs_work_after_reopen(self, tmp_path):
+        reopened = save_and_reopen(tmp_path, LAYOUTS["columns"])
+        table = reopened.table("T")
+        cost = table.scan_cost(fieldlist=["id"])
+        assert 0 < cost.pages < table.layout.total_pages()
+        got = list(table.scan(fieldlist=["id"], predicate=Range("lat", 0, 99)))
+        want = [(r[3],) for r in RECORDS if r[1] <= 99]
+        assert got == want
+
+    def test_indexes_rebuildable_after_reopen(self, tmp_path):
+        reopened = save_and_reopen(tmp_path, LAYOUTS["rows"])
+        table = reopened.table("T")
+        table.create_index("lat")
+        got = sorted(table.scan(predicate=Range("lat", 100, 120)))
+        want = sorted(r for r in RECORDS if 100 <= r[1] <= 120)
+        assert got == want
+
+
+class TestErrors:
+    def test_page_size_mismatch(self, tmp_path):
+        db_path = str(tmp_path / "db.pages")
+        cat_path = str(tmp_path / "catalog.json")
+        store = RodentStore(path=db_path, page_size=1024)
+        store.create_table("T", SCHEMA)
+        store.load("T", RECORDS[:10])
+        store.save_catalog(cat_path)
+        store.close()
+        from repro.errors import StorageError
+
+        # Either the disk manager rejects the file geometry or the catalog
+        # loader rejects the page-size mismatch — both refuse to open.
+        with pytest.raises((CatalogError, StorageError)):
+            RodentStore.open(db_path, cat_path, page_size=2048)
+
+    def test_bad_version(self, tmp_path):
+        cat_path = tmp_path / "catalog.json"
+        cat_path.write_text('{"version": 99, "page_size": 1024, "tables": []}')
+        store = RodentStore(page_size=1024)
+        from repro.engine.persistence import load_catalog
+
+        with pytest.raises(CatalogError):
+            load_catalog(store, str(cat_path))

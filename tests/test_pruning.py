@@ -1,0 +1,143 @@
+"""Tests for scan pruning paths: sorted rows and folded key ranges."""
+
+import pytest
+
+from repro.engine.database import RodentStore
+from repro.query.expressions import Range, Rect
+from repro.types import Schema
+from repro.workloads.rdf import (
+    TRIPLE_SCHEMA,
+    VERTICAL_PARTITION_EXPR,
+    generate_triples,
+)
+
+SCHEMA = Schema.of("t:int", "lat:int", "lon:int", "id:int")
+RECORDS = [(i, (i * 37) % 500, (i * 53) % 500, i % 7) for i in range(1200)]
+
+
+class TestSortedRowsPruning:
+    @pytest.fixture
+    def sorted_table(self):
+        store = RodentStore(page_size=1024, pool_capacity=64)
+        store.create_table("T", SCHEMA, layout="orderby[t](T)")
+        return store, store.load("T", RECORDS)
+
+    def test_range_scan_correct(self, sorted_table):
+        _, table = sorted_table
+        got = list(table.scan(predicate=Range("t", 100, 199)))
+        assert got == [r for r in RECORDS if 100 <= r[0] <= 199]
+
+    def test_range_scan_prunes_pages(self, sorted_table):
+        store, table = sorted_table
+        _, io = store.run_cold(
+            lambda: list(table.scan(predicate=Range("t", 100, 150)))
+        )
+        assert io.page_reads < table.layout.total_pages() / 3
+
+    def test_boundary_values_included(self, sorted_table):
+        _, table = sorted_table
+        got = list(table.scan(predicate=Range("t", 0, 0)))
+        assert got == [RECORDS[0]]
+        got = list(table.scan(predicate=Range("t", 1199, 1500)))
+        assert got == [RECORDS[1199]]
+
+    def test_empty_range(self, sorted_table):
+        _, table = sorted_table
+        got = list(table.scan(predicate=Range("t", 5000, 6000)))
+        assert got == []
+
+    def test_non_leading_key_not_pruned(self, sorted_table):
+        _, table = sorted_table
+        got = sorted(table.scan(predicate=Range("lat", 0, 50)))
+        assert got == sorted(r for r in RECORDS if r[1] <= 50)
+
+    def test_secondary_condition_still_applied(self, sorted_table):
+        _, table = sorted_table
+        predicate = Rect({"t": (100, 300), "lat": (0, 100)})
+        got = list(table.scan(predicate=predicate))
+        want = [
+            r for r in RECORDS if 100 <= r[0] <= 300 and r[1] <= 100
+        ]
+        assert got == want
+
+    def test_descending_sort_not_pruned_but_correct(self):
+        store = RodentStore(page_size=1024)
+        store.create_table("T", SCHEMA, layout="orderby[t DESC](T)")
+        table = store.load("T", RECORDS)
+        got = list(table.scan(predicate=Range("t", 10, 20)))
+        assert sorted(got) == [r for r in RECORDS if 10 <= r[0] <= 20]
+
+    def test_scan_cost_reflects_pruning(self, sorted_table):
+        _, table = sorted_table
+        pruned = table.scan_cost(predicate=Range("t", 100, 120))
+        full = table.scan_cost()
+        assert pruned.pages < full.pages
+
+    def test_unsorted_rows_not_pruned(self):
+        store = RodentStore(page_size=1024)
+        store.create_table("T", SCHEMA)
+        table = store.load("T", RECORDS)
+        _, io = store.run_cold(
+            lambda: list(table.scan(predicate=Range("t", 0, 10)))
+        )
+        assert io.page_reads == table.layout.total_pages()
+
+
+class TestFoldedKeyPruning:
+    @pytest.fixture
+    def folded(self):
+        store = RodentStore(page_size=1024, pool_capacity=64)
+        store.create_table("T", SCHEMA, layout="fold[lat, lon; id](T)")
+        return store, store.load("T", RECORDS)
+
+    def test_group_query_correct(self, folded):
+        _, table = folded
+        got = sorted(table.scan(predicate=Range("id", 3, 3)))
+        want = sorted((r[3], r[1], r[2]) for r in RECORDS if r[3] == 3)
+        assert got == want
+
+    def test_group_query_prunes_pages(self, folded):
+        store, table = folded
+        _, io_one = store.run_cold(
+            lambda: list(table.scan(predicate=Range("id", 3, 3)))
+        )
+        _, io_all = store.run_cold(lambda: list(table.scan()))
+        assert io_one.page_reads < io_all.page_reads
+
+    def test_multi_group_range(self, folded):
+        _, table = folded
+        got = sorted(table.scan(predicate=Range("id", 2, 4)))
+        want = sorted(
+            (r[3], r[1], r[2]) for r in RECORDS if 2 <= r[3] <= 4
+        )
+        assert got == want
+
+    def test_nest_field_predicate_not_pruned_but_correct(self, folded):
+        _, table = folded
+        got = sorted(table.scan(predicate=Range("lat", 0, 40)))
+        want = sorted(
+            (r[3], r[1], r[2]) for r in RECORDS if r[1] <= 40
+        )
+        assert got == want
+
+    def test_scan_cost_reflects_pruning(self, folded):
+        _, table = folded
+        pruned = table.scan_cost(predicate=Range("id", 3, 3))
+        full = table.scan_cost()
+        assert pruned.pages <= full.pages
+
+    def test_rdf_vertical_partition_end_to_end(self):
+        """The §7 RDF use case: fold = vertical partitioning."""
+        triples = generate_triples(8_000)
+        store = RodentStore(page_size=1024, pool_capacity=64)
+        store.create_table(
+            "Triples", TRIPLE_SCHEMA, layout=VERTICAL_PARTITION_EXPR
+        )
+        table = store.load("Triples", triples)
+        _, io_one = store.run_cold(
+            lambda: list(table.scan(predicate=Range("predicate", 0, 0)))
+        )
+        assert io_one.page_reads < table.layout.total_pages()
+        got = sorted(table.scan(predicate=Range("predicate", 0, 0)))
+        want = sorted((t[1], t[0], t[2]) for t in triples if t[1] == 0)
+        assert got == want

@@ -1,0 +1,236 @@
+"""Tests for repro.query (predicates, executor, fluent front end)."""
+
+import math
+
+import pytest
+
+from repro.algebra.parser import parse_condition
+from repro.engine.database import RodentStore
+from repro.errors import QueryError
+from repro.query import (
+    And,
+    Not,
+    Or,
+    Q,
+    Range,
+    Rect,
+    from_scalar,
+)
+from repro.query.executor import Aggregate, QuerySpec, execute
+from repro.types import Schema
+
+SCHEMA = Schema.of("t:int", "lat:int", "lon:int", "id:int")
+RECORDS = [(i, (i * 37) % 500, (i * 53) % 500, i % 7) for i in range(200)]
+POS = {"t": 0, "lat": 1, "lon": 2, "id": 3}
+
+
+@pytest.fixture
+def qstore():
+    store = RodentStore(page_size=1024)
+    store.create_table("T", SCHEMA)
+    store.load("T", RECORDS)
+    return store
+
+
+class TestRange:
+    def test_matches(self):
+        r = Range("lat", 10, 20)
+        assert r.matches((0, 15, 0, 0), POS)
+        assert r.matches((0, 10, 0, 0), POS)
+        assert not r.matches((0, 21, 0, 0), POS)
+
+    def test_open_bounds(self):
+        assert Range("lat", lo=100).matches((0, 500, 0, 0), POS)
+        assert Range("lat", hi=100).matches((0, -5, 0, 0), POS)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(QueryError):
+            Range("lat", 5, 4)
+
+    def test_unknown_field(self):
+        with pytest.raises(QueryError):
+            Range("nope", 0, 1).matches((1,), {"a": 0})
+
+    def test_ranges(self):
+        assert Range("lat", 1, 2).ranges() == {"lat": (1, 2)}
+
+
+class TestRect:
+    def test_matches_conjunction(self):
+        rect = Rect({"lat": (0, 100), "lon": (50, 60)})
+        assert rect.matches((0, 50, 55, 0), POS)
+        assert not rect.matches((0, 50, 61, 0), POS)
+
+    def test_ranges(self):
+        rect = Rect({"lat": (0, 100)})
+        assert rect.ranges() == {"lat": (0, 100)}
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            Rect({})
+
+
+class TestCombinators:
+    def test_and_intersects_ranges(self):
+        p = And(Range("lat", 0, 100), Range("lat", 50, 200))
+        assert p.ranges() == {"lat": (50, 100)}
+        assert p.matches((0, 75, 0, 0), POS)
+        assert not p.matches((0, 25, 0, 0), POS)
+
+    def test_or_bounding_interval(self):
+        p = Or(Range("lat", 0, 10), Range("lat", 50, 60))
+        assert p.ranges() == {"lat": (0, 60)}
+        assert p.matches((0, 5, 0, 0), POS)
+        assert p.matches((0, 55, 0, 0), POS)
+        # Range pruning keeps the gap (necessary condition only); exact
+        # matching still excludes it.
+        assert not p.matches((0, 30, 0, 0), POS)
+
+    def test_or_mixed_fields_no_common_range(self):
+        p = Or(Range("lat", 0, 10), Range("lon", 0, 10))
+        assert p.ranges() == {}
+
+    def test_not_no_ranges(self):
+        p = Not(Range("lat", 0, 10))
+        assert p.ranges() == {}
+        assert p.matches((0, 50, 0, 0), POS)
+        assert not p.matches((0, 5, 0, 0), POS)
+
+    def test_or_requires_two(self):
+        with pytest.raises(QueryError):
+            Or(Range("lat", 0, 1))
+
+
+class TestScalarPredicate:
+    def test_from_condition(self):
+        p = from_scalar(parse_condition("r.lat >= 10 and r.lat <= 20"))
+        assert p.ranges() == {"lat": (10, 20)}
+        assert p.matches((0, 15, 0, 0), POS)
+
+    def test_equality_range(self):
+        p = from_scalar(parse_condition("r.id = 3"))
+        assert p.ranges() == {"id": (3.0, 3.0)}
+
+    def test_flipped_comparison(self):
+        p = from_scalar(parse_condition("10 <= r.lat"))
+        assert p.ranges() == {"lat": (10.0, math.inf)}
+
+    def test_disjunction_no_ranges(self):
+        p = from_scalar(parse_condition("r.lat = 1 or r.lon = 2"))
+        assert p.ranges() == {}
+
+    def test_inequality_prunes_nothing(self):
+        p = from_scalar(parse_condition("r.lat != 5"))
+        assert p.ranges() == {}
+
+    def test_residual_condition_applied(self):
+        p = from_scalar(parse_condition("r.lat > 10 and r.id % 2 = 0"))
+        assert "lat" in p.ranges()
+        assert p.matches((0, 20, 0, 4), POS)
+        assert not p.matches((0, 20, 0, 3), POS)
+
+    def test_fields_used(self):
+        p = from_scalar(parse_condition("r.lat > 1 and r.lon < 2"))
+        assert p.fields_used() == {"lat", "lon"}
+
+
+class TestExecutor:
+    def test_basic_spec(self, qstore):
+        spec = QuerySpec(
+            table="T", fieldlist=("t",), predicate=Range("lat", 0, 50)
+        )
+        out = execute(qstore.table("T"), spec)
+        assert out == [(r[0],) for r in RECORDS if r[1] <= 50]
+
+    def test_limit_short_circuits(self, qstore):
+        spec = QuerySpec(table="T", limit=5)
+        assert len(execute(qstore.table("T"), spec)) == 5
+
+    def test_aggregation_group_by(self, qstore):
+        spec = QuerySpec(
+            table="T",
+            group_by=("id",),
+            aggregates=(Aggregate("count", None), Aggregate("sum", "t")),
+        )
+        out = execute(qstore.table("T"), spec)
+        assert len(out) == 7
+        by_id = {row[0]: (row[1], row[2]) for row in out}
+        for key in range(7):
+            members = [r for r in RECORDS if r[3] == key]
+            assert by_id[key] == (
+                len(members),
+                sum(r[0] for r in members),
+            )
+
+    def test_global_aggregate(self, qstore):
+        spec = QuerySpec(
+            table="T", aggregates=(Aggregate("avg", "lat", "mean_lat"),)
+        )
+        out = execute(qstore.table("T"), spec)
+        expected = sum(r[1] for r in RECORDS) / len(RECORDS)
+        assert out == [(pytest.approx(expected),)]
+
+    def test_aggregate_validation(self):
+        with pytest.raises(QueryError):
+            Aggregate("median", "x")
+        with pytest.raises(QueryError):
+            Aggregate("sum", None)
+
+    def test_aggregate_ordering(self, qstore):
+        spec = QuerySpec(
+            table="T",
+            group_by=("id",),
+            aggregates=(Aggregate("count", None, "n"),),
+            order=(("n", False),),
+            limit=2,
+        )
+        out = execute(qstore.table("T"), spec)
+        counts = [row[1] for row in out]
+        assert counts == sorted(counts, reverse=True)[:2]
+
+
+class TestFluentQ:
+    def test_select_where_order_limit(self, qstore):
+        rows = (
+            Q(qstore, "T")
+            .select("t", "lat")
+            .where(Range("lat", 0, 100))
+            .order_by("-lat")
+            .limit(3)
+            .run()
+        )
+        assert len(rows) == 3
+        assert [r[1] for r in rows] == sorted(
+            (r[1] for r in rows), reverse=True
+        )
+
+    def test_where_composes_with_and(self, qstore):
+        rows = (
+            Q(qstore, "T")
+            .where(Range("lat", 0, 100))
+            .where(Range("lon", 0, 100))
+            .run()
+        )
+        assert rows == [
+            r for r in RECORDS if r[1] <= 100 and r[2] <= 100
+        ]
+
+    def test_group_agg(self, qstore):
+        rows = Q(qstore, "T").group_by("id").agg(n="*").run()
+        assert sum(r[1] for r in rows) == len(RECORDS)
+
+    def test_agg_spec_parsing(self, qstore):
+        rows = Q(qstore, "T").agg(lo="min:lat", hi="max:lat").run()
+        assert rows == [(min(r[1] for r in RECORDS), max(r[1] for r in RECORDS))]
+
+    def test_agg_bad_spec(self, qstore):
+        with pytest.raises(QueryError):
+            Q(qstore, "T").agg(x="sum")
+
+    def test_explain_returns_cost(self, qstore):
+        cost = Q(qstore, "T").select("t").explain()
+        assert cost.pages > 0
+
+    def test_negative_limit(self, qstore):
+        with pytest.raises(QueryError):
+            Q(qstore, "T").limit(-1)

@@ -1,0 +1,188 @@
+"""Failure injection and stress cases across the storage stack."""
+
+import pytest
+
+from repro.engine.database import RodentStore
+from repro.errors import PageError, QueryError, StorageError
+from repro.query.expressions import Range, Rect
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.storage.page import BytePage, SlottedPage
+from repro.types import Schema
+
+SCHEMA = Schema.of("t:int", "x:int", "y:int", "g:int")
+RECORDS = [(i, (i * 37) % 300, (i * 53) % 300, i % 5) for i in range(800)]
+
+
+class TestCorruption:
+    def test_corrupt_magic_detected(self):
+        page = SlottedPage(512)
+        page.insert(b"data")
+        page.buffer[0] = 0xFF  # clobber magic
+        with pytest.raises(PageError):
+            SlottedPage(512, page.buffer)
+
+    def test_wrong_page_type_detected(self):
+        byte_page = BytePage(512)
+        byte_page.write(b"payload")
+        with pytest.raises(PageError):
+            SlottedPage(512, byte_page.buffer)
+        slotted = SlottedPage(512)
+        with pytest.raises(PageError):
+            BytePage(512, slotted.buffer)
+
+    def test_corrupted_data_page_surfaces_on_scan(self):
+        store = RodentStore(page_size=1024, pool_capacity=16)
+        store.create_table("T", SCHEMA)
+        table = store.load("T", RECORDS)
+        victim = table.layout.extent.page_ids[1]
+        store.disk.write_page(victim, bytearray(1024))  # zero the page
+        with pytest.raises(PageError):
+            list(table.scan())
+
+
+class TestTinyBufferPool:
+    """Every layout must scan correctly with a near-minimal pool."""
+
+    @pytest.mark.parametrize(
+        "layout",
+        [
+            "T",
+            "columns(T)",
+            "zorder(grid[x, y],[50, 50](T))",
+            "fold[t, x, y; g](T)",
+            "mirror(rows(T), columns(T))",
+        ],
+    )
+    def test_scan_with_four_frames(self, layout):
+        store = RodentStore(page_size=1024, pool_capacity=4)
+        store.create_table("T", SCHEMA, layout=layout)
+        table = store.load("T", RECORDS)
+        fields = table.scan_schema().names()
+        index = {f: i for i, f in enumerate(fields)}
+        order = [index[f] for f in SCHEMA.names()]
+        got = sorted(tuple(r[i] for i in order) for r in table.scan())
+        assert got == sorted(RECORDS)
+
+    def test_grid_query_with_two_frames(self):
+        store = RodentStore(page_size=1024, pool_capacity=2)
+        store.create_table(
+            "T", SCHEMA, layout="grid[x, y],[50, 50](T)"
+        )
+        table = store.load("T", RECORDS)
+        q = Rect({"x": (0, 49), "y": (0, 49)})
+        got = sorted(table.scan(predicate=q))
+        want = sorted(r for r in RECORDS if r[1] <= 49 and r[2] <= 49)
+        assert got == want
+
+
+class TestPathologicalData:
+    def test_all_records_in_one_grid_cell(self):
+        records = [(i, 5, 5, 0) for i in range(500)]
+        store = RodentStore(page_size=1024, pool_capacity=32)
+        store.create_table("T", SCHEMA, layout="grid[x, y],[100, 100](T)")
+        table = store.load("T", records)
+        assert len(table.layout.cell_directory) == 1
+        assert sorted(table.scan()) == sorted(records)
+
+    def test_every_record_its_own_cell(self):
+        records = [(i, i * 200, i * 200, 0) for i in range(60)]
+        store = RodentStore(page_size=1024, pool_capacity=32)
+        store.create_table("T", SCHEMA, layout="grid[x, y],[100, 100](T)")
+        table = store.load("T", records)
+        assert len(table.layout.cell_directory) == 60
+        assert sorted(table.scan()) == sorted(records)
+
+    def test_negative_coordinates_grid(self):
+        records = [(i, -250 + i, -300 + 2 * i, 0) for i in range(200)]
+        store = RodentStore(page_size=1024, pool_capacity=32)
+        store.create_table(
+            "T", SCHEMA, layout="zorder(grid[x, y],[40, 40](T))"
+        )
+        table = store.load("T", records)
+        q = Rect({"x": (-200, -100), "y": (-250, -50)})
+        got = sorted(table.scan(predicate=q))
+        want = sorted(
+            r for r in records if -200 <= r[1] <= -100 and -250 <= r[2] <= -50
+        )
+        assert got == want
+
+    def test_single_record_table(self):
+        store = RodentStore(page_size=1024)
+        store.create_table("T", SCHEMA, layout="columns(T)")
+        table = store.load("T", [RECORDS[0]])
+        assert list(table.scan()) == [RECORDS[0]]
+        assert table.get_element(0) == RECORDS[0]
+
+    def test_duplicate_records_preserved(self):
+        records = [RECORDS[0]] * 50
+        store = RodentStore(page_size=1024)
+        store.create_table("T", SCHEMA, layout="fold[t, x, y; g](T)")
+        table = store.load("T", records)
+        assert len(list(table.scan())) == 50
+
+    def test_wide_string_records(self):
+        schema = Schema.of("k:int", "payload:string")
+        records = [(i, "x" * 300) for i in range(50)]
+        store = RodentStore(page_size=1024)
+        store.create_table("T", schema)
+        table = store.load("T", records)
+        assert list(table.scan()) == records
+
+    def test_extreme_int_values(self):
+        records = [
+            (0, 2**62, -(2**62), 0),
+            (1, -(2**62), 2**62, 1),
+        ]
+        store = RodentStore(page_size=1024)
+        store.create_table("T", SCHEMA, layout="columns(T)")
+        table = store.load("T", records)
+        assert sorted(table.scan()) == sorted(records)
+
+
+class TestFileBackedEndToEnd:
+    def test_grid_layout_on_disk_file(self, tmp_path):
+        store = RodentStore(
+            path=str(tmp_path / "db.pages"), page_size=1024, pool_capacity=16
+        )
+        store.create_table(
+            "T", SCHEMA,
+            layout="compress[varint; x, y](delta[x, y](zorder("
+                   "grid[x, y],[50, 50](T))))",
+        )
+        table = store.load("T", RECORDS)
+        store.pool.flush_all()
+        q = Rect({"x": (0, 99), "y": (0, 99)})
+        got = sorted(table.scan(predicate=q))
+        want = sorted(
+            (r[0], r[1], r[2], r[3])
+            for r in RECORDS
+            if r[1] <= 99 and r[2] <= 99
+        )
+        assert got == want
+        store.close()
+
+    def test_reopen_disk_without_catalog_is_raw_pages(self, tmp_path):
+        path = str(tmp_path / "db.pages")
+        store = RodentStore(path=path, page_size=1024)
+        store.create_table("T", SCHEMA)
+        store.load("T", RECORDS[:50])
+        store.close()
+        disk = DiskManager(path, page_size=1024)
+        assert disk.num_pages > 0  # pages persist even without the catalog
+        disk.close()
+
+
+class TestConcurrentlyPinnedScan:
+    def test_interleaved_scans_share_pool(self):
+        store = RodentStore(page_size=1024, pool_capacity=8)
+        store.create_table("T", SCHEMA)
+        table = store.load("T", RECORDS)
+        a = table.scan()
+        b = table.scan(fieldlist=["t"])
+        out_a, out_b = [], []
+        for _ in range(200):
+            out_a.append(next(a))
+            out_b.append(next(b))
+        assert out_a == RECORDS[:200]
+        assert out_b == [(r[0],) for r in RECORDS[:200]]

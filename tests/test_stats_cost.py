@@ -1,0 +1,146 @@
+"""Tests for repro.engine.stats and repro.engine.cost."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.cost import CostEstimate, CostModel, estimate
+from repro.engine.stats import FieldStats, TableStats
+from repro.storage.disk import IOStats
+from repro.types import Schema
+
+SCHEMA = Schema.of("a:int", "b:float", "s:string")
+RECORDS = [(i, i * 0.5, f"name{i % 10}") for i in range(1000)]
+
+
+class TestTableStats:
+    def test_row_count_and_minmax(self):
+        stats = TableStats.collect(SCHEMA, RECORDS)
+        assert stats.row_count == 1000
+        assert stats.fields["a"].min_value == 0
+        assert stats.fields["a"].max_value == 999
+        assert stats.fields["b"].max_value == pytest.approx(499.5)
+
+    def test_distinct_counts(self):
+        stats = TableStats.collect(SCHEMA, RECORDS)
+        assert stats.fields["a"].distinct == 1000
+        assert stats.fields["s"].distinct == 10
+
+    def test_nulls_tracked(self):
+        records = [(1, None, "x"), (2, 2.0, None), (None, None, "y")]
+        stats = TableStats.collect(SCHEMA, records)
+        assert stats.fields["a"].nulls == 1
+        assert stats.fields["b"].nulls == 2
+        assert stats.fields["s"].nulls == 1
+
+    def test_avg_record_width_positive(self):
+        stats = TableStats.collect(SCHEMA, RECORDS)
+        assert stats.avg_record_width > 16  # two numerics + string
+
+    def test_empty_table(self):
+        stats = TableStats.collect(SCHEMA, [])
+        assert stats.row_count == 0
+        assert stats.fields["a"].min_value is None
+        assert stats.predicate_selectivity({"a": (0, 10)}) == 1.0
+
+    def test_histogram_built_for_numeric(self):
+        stats = TableStats.collect(SCHEMA, RECORDS)
+        assert sum(stats.fields["a"].histogram) == 1000
+        assert stats.fields["s"].histogram == []
+
+    def test_constant_field_no_histogram(self):
+        records = [(5, 1.0, "x")] * 20
+        stats = TableStats.collect(SCHEMA, records)
+        assert stats.fields["a"].histogram == []
+        assert stats.fields["a"].selectivity(5, 5) == 1.0
+        assert stats.fields["a"].selectivity(6, 7) == 0.0
+
+
+class TestSelectivity:
+    def test_uniform_data_proportional(self):
+        stats = TableStats.collect(SCHEMA, RECORDS)
+        sel = stats.fields["a"].selectivity(0, 99)
+        assert sel == pytest.approx(0.1, abs=0.03)
+
+    def test_full_range_is_one(self):
+        stats = TableStats.collect(SCHEMA, RECORDS)
+        assert stats.fields["a"].selectivity(0, 999) == pytest.approx(1.0, abs=0.01)
+
+    def test_disjoint_range_is_zero(self):
+        stats = TableStats.collect(SCHEMA, RECORDS)
+        assert stats.fields["a"].selectivity(5000, 6000) == pytest.approx(
+            0.0, abs=0.01
+        )
+
+    def test_skewed_data_histogram_beats_uniform(self):
+        # 90% of values in [0, 10), 10% in [10, 1000).
+        records = [(i % 10, 0.0, "x") for i in range(900)]
+        records += [(10 + i, 0.0, "x") for i in range(100)]
+        stats = TableStats.collect(SCHEMA, records)
+        sel = stats.fields["a"].selectivity(0, 9)
+        assert sel > 0.5  # uniform model would say ~0.09
+
+    def test_predicate_selectivity_independence(self):
+        stats = TableStats.collect(SCHEMA, RECORDS)
+        # a in [0, 499] covers half; b in [0, 124.75] covers a quarter;
+        # independence multiplies to one eighth.
+        combined = stats.predicate_selectivity(
+            {"a": (0, 499), "b": (0, 124.75)}
+        )
+        assert combined == pytest.approx(0.125, abs=0.03)
+
+    def test_unknown_field_ignored(self):
+        stats = TableStats.collect(SCHEMA, RECORDS)
+        assert stats.predicate_selectivity({"zzz": (0, 1)}) == 1.0
+
+    @given(
+        st.integers(0, 999), st.integers(0, 999)
+    )
+    def test_selectivity_bounded(self, x, y):
+        stats = TableStats.collect(SCHEMA, RECORDS)
+        lo, hi = min(x, y), max(x, y)
+        sel = stats.fields["a"].selectivity(lo, hi)
+        assert 0.0 <= sel <= 1.0
+
+
+class TestCostModel:
+    def test_cost_components(self):
+        model = CostModel(page_size=1_000_000, seek_ms=4.0,
+                          bandwidth_mb_per_s=50.0)
+        # 1 MB page at 50 MB/s = 20 ms transfer.
+        assert model.transfer_ms(1) == pytest.approx(20.0)
+        assert model.cost_ms(1, 1) == pytest.approx(24.0)
+
+    def test_seek_dominates_small_reads(self):
+        model = CostModel(page_size=4096)
+        random_io = model.cost_ms(10, 10)
+        sequential = model.cost_ms(10, 1)
+        assert random_io > sequential * 2
+
+    def test_cost_of_iostats(self):
+        model = CostModel(page_size=4096)
+        stats = IOStats(page_reads=100, read_seeks=5)
+        assert model.cost_of(stats) == model.cost_ms(100, 5)
+
+    def test_estimate_helper(self):
+        model = CostModel(page_size=4096)
+        cost = estimate(model, 10, 2)
+        assert cost.pages == 10
+        assert cost.seeks == 2
+        assert cost.ms == model.cost_ms(10, 2)
+
+    def test_cost_addition(self):
+        a = CostEstimate(1, 1, 5.0)
+        b = CostEstimate(2, 0, 3.0)
+        combined = a + b
+        assert combined.pages == 3
+        assert combined.seeks == 1
+        assert combined.ms == 8.0
+        assert CostEstimate.zero().pages == 0
+
+    @given(st.integers(0, 10**6), st.integers(0, 10**4))
+    def test_cost_monotone(self, pages, seeks):
+        model = CostModel(page_size=4096)
+        base = model.cost_ms(pages, seeks)
+        assert model.cost_ms(pages + 1, seeks) >= base
+        assert model.cost_ms(pages, seeks + 1) >= base

@@ -1,0 +1,365 @@
+"""Tests for repro.engine.table — the paper §4.1 access-method API."""
+
+import pytest
+
+from repro.algebra.parser import parse
+from repro.engine.database import RodentStore
+from repro.engine.table import normalize_order, record_pipeline, structural_residual
+from repro.errors import QueryError, StorageError
+from repro.query.expressions import Range, Rect
+from repro.types import Schema
+
+SCHEMA = Schema.of("t:int", "lat:int", "lon:int", "id:int")
+RECORDS = [(i, (i * 37) % 500, (i * 53) % 500, i % 7) for i in range(600)]
+
+
+def make(layout=None, records=RECORDS, page_size=1024):
+    store = RodentStore(page_size=page_size, pool_capacity=64)
+    store.create_table("T", SCHEMA, layout=layout)
+    table = store.load("T", records)
+    return store, table
+
+
+class TestScanBasics:
+    def test_full_scan(self):
+        _, table = make()
+        assert list(table.scan()) == RECORDS
+
+    def test_fieldlist_projection_order(self):
+        _, table = make()
+        out = list(table.scan(fieldlist=["lon", "t"]))
+        assert out == [(r[2], r[0]) for r in RECORDS]
+
+    def test_unknown_projection_field(self):
+        _, table = make()
+        with pytest.raises(QueryError):
+            list(table.scan(fieldlist=["bogus"]))
+
+    def test_predicate_filters(self):
+        _, table = make()
+        out = list(table.scan(predicate=Range("lat", 0, 99)))
+        assert out == [r for r in RECORDS if r[1] <= 99]
+
+    def test_predicate_with_projection(self):
+        _, table = make()
+        out = list(
+            table.scan(fieldlist=["t"], predicate=Range("lat", 0, 99))
+        )
+        assert out == [(r[0],) for r in RECORDS if r[1] <= 99]
+
+    def test_order_sorts(self):
+        _, table = make()
+        out = list(table.scan(order=["lat"]))
+        assert [r[1] for r in out] == sorted(r[1] for r in RECORDS)
+
+    def test_order_descending(self):
+        _, table = make()
+        out = list(table.scan(order=[("lat", False)]))
+        assert [r[1] for r in out] == sorted(
+            (r[1] for r in RECORDS), reverse=True
+        )
+
+    def test_stored_order_not_resorted(self):
+        store, table = make(layout="orderby[t](T)")
+        out = list(table.scan(order=["t"]))
+        assert [r[0] for r in out] == sorted(r[0] for r in RECORDS)
+
+    def test_scan_cost_rows_counts_extent(self):
+        _, table = make()
+        cost = table.scan_cost()
+        assert cost.pages == table.layout.total_pages()
+        assert cost.seeks == 1
+
+    def test_row_count(self):
+        _, table = make()
+        assert table.row_count == len(RECORDS)
+
+
+class TestColumnsLayout:
+    LAYOUT = "columns[[t], [lat, lon], [id]](T)"
+
+    def test_scan_matches_rows(self):
+        _, table = make(self.LAYOUT)
+        assert list(table.scan()) == RECORDS
+
+    def test_narrow_scan_reads_fewer_pages(self):
+        store, table = make(self.LAYOUT)
+        _, io_narrow = store.run_cold(
+            lambda: list(table.scan(fieldlist=["id"]))
+        )
+        _, io_wide = store.run_cold(lambda: list(table.scan()))
+        assert io_narrow.page_reads < io_wide.page_reads
+
+    def test_scan_cost_prunes_groups(self):
+        _, table = make(self.LAYOUT)
+        narrow = table.scan_cost(fieldlist=["id"])
+        wide = table.scan_cost()
+        assert narrow.pages < wide.pages
+
+    def test_predicate_fields_force_group_read(self):
+        store, table = make(self.LAYOUT)
+        out, io = store.run_cold(
+            lambda: list(
+                table.scan(fieldlist=["id"], predicate=Range("lat", 0, 50))
+            )
+        )
+        assert out == [(r[3],) for r in RECORDS if r[1] <= 50]
+
+    def test_cost_matches_measured_pages(self):
+        store, table = make(self.LAYOUT)
+        estimated = table.scan_cost(fieldlist=["t"])
+        _, io = store.run_cold(lambda: list(table.scan(fieldlist=["t"])))
+        assert estimated.pages == io.page_reads
+
+
+class TestGridLayout:
+    LAYOUT = "zorder(grid[lat, lon],[100, 100](project[lat, lon](T)))"
+
+    def test_spatial_query_correct(self):
+        _, table = make(self.LAYOUT)
+        q = Rect({"lat": (100, 199), "lon": (200, 299)})
+        got = sorted(table.scan(predicate=q))
+        want = sorted(
+            (r[1], r[2])
+            for r in RECORDS
+            if 100 <= r[1] <= 199 and 200 <= r[2] <= 299
+        )
+        assert got == want
+
+    def test_spatial_query_reads_fewer_pages_than_full(self):
+        store, table = make(self.LAYOUT)
+        q = Rect({"lat": (100, 199), "lon": (200, 299)})
+        _, io_query = store.run_cold(lambda: list(table.scan(predicate=q)))
+        _, io_full = store.run_cold(lambda: list(table.scan()))
+        assert io_query.page_reads < io_full.page_reads
+
+    def test_scan_cost_matches_measured(self):
+        store, table = make(self.LAYOUT)
+        q = Rect({"lat": (100, 199), "lon": (200, 299)})
+        estimated = table.scan_cost(predicate=q)
+        _, io = store.run_cold(lambda: list(table.scan(predicate=q)))
+        assert estimated.pages == io.page_reads
+
+    def test_get_element_by_cell_coord(self):
+        _, table = make(self.LAYOUT)
+        entry = table.layout.cell_directory[0]
+        records = table.get_element(entry.coord)
+        assert len(records) == entry.row_count
+
+    def test_get_element_unknown_cell(self):
+        _, table = make(self.LAYOUT)
+        with pytest.raises(QueryError):
+            table.get_element((999, 999))
+
+
+class TestFoldedLayout:
+    LAYOUT = "fold[lat, lon; id](T)"
+
+    def test_scan_unnests(self):
+        _, table = make(self.LAYOUT)
+        got = sorted(table.scan())
+        want = sorted((r[3], r[1], r[2]) for r in RECORDS)
+        assert got == want
+
+    def test_scan_schema(self):
+        _, table = make(self.LAYOUT)
+        assert table.scan_schema().names() == ["id", "lat", "lon"]
+
+    def test_predicate_on_unnested(self):
+        _, table = make(self.LAYOUT)
+        got = list(table.scan(predicate=Range("id", 2, 2)))
+        assert all(r[0] == 2 for r in got)
+        assert len(got) == len([r for r in RECORDS if r[3] == 2])
+
+
+class TestMirrorLayout:
+    LAYOUT = "mirror(rows(T), columns(T))"
+
+    def test_narrow_query_uses_columns(self):
+        store, table = make(self.LAYOUT)
+        _, io_narrow = store.run_cold(
+            lambda: list(table.scan(fieldlist=["id"]))
+        )
+        rows_pages = table.layout.mirrors[0].total_pages()
+        assert io_narrow.page_reads < rows_pages
+
+    def test_wide_query_uses_rows(self):
+        store, table = make(self.LAYOUT)
+        out, io = store.run_cold(lambda: list(table.scan()))
+        assert out == RECORDS
+        rows_pages = table.layout.mirrors[0].total_pages()
+        assert io.page_reads <= rows_pages + 1
+
+
+class TestGetElementAndNext:
+    def test_get_element_rows_fast_path(self):
+        store, table = make()
+        store.pool.clear()
+        store.disk.stats.reset()
+        assert table.get_element(250) == RECORDS[250]
+        assert store.disk.stats.page_reads == 1  # direct page access
+
+    def test_get_element_out_of_range(self):
+        _, table = make()
+        with pytest.raises(QueryError):
+            table.get_element(len(RECORDS))
+        with pytest.raises(QueryError):
+            table.get_element(-1)
+
+    def test_get_element_with_fieldlist(self):
+        _, table = make()
+        assert table.get_element(3, fieldlist=["lon"]) == (RECORDS[3][2],)
+
+    def test_next_after_get_element(self):
+        _, table = make()
+        table.get_element(10)
+        assert table.next() == RECORDS[11]
+        assert table.next() == RECORDS[12]
+
+    def test_next_with_order(self):
+        _, table = make()
+        by_lat = sorted(RECORDS, key=lambda r: r[1])
+        table.get_element(0)
+        first = table.next(order=["lat"])
+        assert first == by_lat[1]
+
+    def test_next_past_end(self):
+        store = RodentStore(page_size=1024)
+        store.create_table("T", SCHEMA)
+        table = store.load("T", RECORDS[:2])
+        table.get_element(1)
+        with pytest.raises(QueryError):
+            table.next()
+
+    def test_get_element_cost(self):
+        _, table = make()
+        cost = table.get_element_cost(0)
+        assert cost.pages == 1
+
+    def test_multidim_index_on_rows_rejected(self):
+        _, table = make()
+        with pytest.raises(QueryError):
+            table.get_element((1, 2))
+
+
+class TestOrderList:
+    def test_prefixes_of_sort_keys(self):
+        _, table = make("orderby[t ASC, id DESC](T)")
+        orders = table.order_list()
+        assert orders == [
+            (("t", True),),
+            (("t", True), ("id", False)),
+        ]
+
+    def test_unordered_layout_empty(self):
+        _, table = make()
+        assert table.order_list() == []
+
+
+class TestInsertOverflowCompact:
+    def test_insert_visible_in_scan(self):
+        _, table = make(records=RECORDS[:100])
+        table.insert(RECORDS[100:110])
+        assert sorted(table.scan()) == sorted(RECORDS[:110])
+
+    def test_flush_creates_overflow_region(self):
+        _, table = make(records=RECORDS[:100])
+        table.insert(RECORDS[100:150])
+        overflow = table.flush_inserts()
+        assert overflow is not None
+        assert table.overflow_row_count == 50
+        assert sorted(table.scan()) == sorted(RECORDS[:150])
+
+    def test_flush_empty_is_noop(self):
+        _, table = make()
+        assert table.flush_inserts() is None
+
+    def test_insert_respects_projection_pipeline(self):
+        _, table = make("project[lat, lon](T)")
+        table.insert(RECORDS[:5])
+        got = list(table.scan())
+        assert got[-5:] == [(r[1], r[2]) for r in RECORDS[:5]]
+
+    def test_insert_respects_select_pipeline(self):
+        _, table = make("select[r.id = 0](T)")
+        kept = table.insert(RECORDS[:14])
+        assert kept == len([r for r in RECORDS[:14] if r[3] == 0])
+
+    def test_compact_merges_overflow(self):
+        store, table = make("orderby[t](T)", records=RECORDS[:100])
+        table.insert(RECORDS[100:160])
+        table.flush_inserts()
+        table.compact()
+        assert table.overflow_row_count == 0
+        assert list(table.scan()) == sorted(
+            RECORDS[:160], key=lambda r: r[0]
+        )
+
+    def test_compact_grid_layout(self):
+        store, table = make(
+            "grid[lat, lon],[100, 100](project[lat, lon](T))",
+            records=RECORDS[:200],
+        )
+        table.insert(RECORDS[200:300])
+        table.compact()
+        q = Rect({"lat": (0, 99), "lon": (0, 99)})
+        got = sorted(table.scan(predicate=q))
+        want = sorted(
+            (r[1], r[2])
+            for r in RECORDS[:300]
+            if r[1] <= 99 and r[2] <= 99
+        )
+        assert got == want
+
+    def test_scan_cost_includes_overflow(self):
+        _, table = make(records=RECORDS[:100])
+        base = table.scan_cost().pages
+        table.insert(RECORDS[100:300])
+        table.flush_inserts()
+        assert table.scan_cost().pages > base
+
+    def test_order_not_trusted_with_overflow(self):
+        _, table = make("orderby[t](T)", records=RECORDS[:100])
+        table.insert([RECORDS[100]])
+        out = list(table.scan(order=["t"]))
+        assert [r[0] for r in out] == sorted(r[0] for r in out)
+
+    def test_insert_validates_schema(self):
+        _, table = make()
+        with pytest.raises(Exception):
+            table.insert([("not", "valid")])
+
+
+class TestHelpers:
+    def test_normalize_order(self):
+        assert normalize_order(None) == ()
+        assert normalize_order(["a", ("b", False)]) == (
+            ("a", True), ("b", False)
+        )
+
+    def test_record_pipeline_extracts_record_ops(self):
+        expr = parse(
+            "zorder(grid[lat, lon],[10, 10](project[lat, lon]("
+            "select[r.id = 1](T))))"
+        )
+        ops = [type(n).__name__ for n in record_pipeline(expr)]
+        assert ops == ["Select", "Project"]
+
+    def test_record_pipeline_rejects_prejoin(self):
+        with pytest.raises(StorageError):
+            record_pipeline(parse("prejoin[k](A, B)"))
+
+    def test_structural_residual(self):
+        expr = parse(
+            "zorder(grid[lat, lon],[10, 10](project[lat, lon](T)))"
+        )
+        residual = structural_residual(expr, "__stored__")
+        assert residual.to_text() == (
+            "zorder(grid[lat, lon],[10.0, 10.0](__stored__))"
+        )
+
+    def test_unloaded_table_raises(self):
+        store = RodentStore(page_size=1024)
+        table = store.create_table("T", SCHEMA)
+        with pytest.raises(StorageError):
+            list(table.scan())

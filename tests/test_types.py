@@ -1,0 +1,242 @@
+"""Tests for repro.types.types and repro.types.schema."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError, TypeCheckError
+from repro.types import (
+    BOOL,
+    DOUBLE,
+    FLOAT,
+    INT,
+    STRING,
+    TIMESTAMP,
+    Field,
+    ListType,
+    NamedType,
+    NestedType,
+    Schema,
+    named,
+    nesting,
+    type_from_name,
+)
+
+
+class TestScalarTypes:
+    def test_int_validates_ints(self):
+        assert INT.validate(42)
+        assert INT.validate(-(2**63))
+        assert INT.validate(2**63 - 1)
+
+    def test_int_rejects_bool_and_overflow(self):
+        assert not INT.validate(True)
+        assert not INT.validate(2**63)
+        assert not INT.validate(3.5)
+
+    def test_int_coerce_integral_float(self):
+        assert INT.coerce(3.0) == 3
+        with pytest.raises(TypeCheckError):
+            INT.coerce(3.5)
+
+    def test_float_accepts_ints_and_floats(self):
+        assert FLOAT.validate(1)
+        assert FLOAT.validate(1.5)
+        assert not FLOAT.validate(True)
+        assert FLOAT.coerce(2) == 2.0
+        assert isinstance(FLOAT.coerce(2), float)
+
+    def test_double_is_distinct_name_same_width(self):
+        assert DOUBLE.name == "double"
+        assert DOUBLE.fixed_size == FLOAT.fixed_size == 8
+
+    def test_bool(self):
+        assert BOOL.validate(True)
+        assert not BOOL.validate(1)
+        assert BOOL.fixed_size == 1
+
+    def test_timestamp_is_int_like(self):
+        assert TIMESTAMP.validate(1_700_000_000)
+        assert TIMESTAMP.fixed_size == 8
+
+    def test_string_sizes(self):
+        assert STRING.validate("hello")
+        assert not STRING.validate(b"raw")
+        assert STRING.estimated_size("hello") == 4 + 5
+        assert STRING.estimated_size() == 4 + STRING.DEFAULT_ESTIMATE
+
+    def test_string_utf8_size(self):
+        assert STRING.estimated_size("é") == 4 + 2
+
+    def test_type_from_name(self):
+        assert type_from_name("int") is INT
+        assert type_from_name("string") is STRING
+        with pytest.raises(SchemaError):
+            type_from_name("decimal")
+
+    def test_scalar_equality_and_hash(self):
+        assert INT == type_from_name("int")
+        assert hash(INT) == hash(type_from_name("int"))
+        assert INT != FLOAT
+
+
+class TestNamedType:
+    def test_name_rendering(self):
+        t = named("zip", INT)
+        assert t.name == "zip:int"
+        assert t.fixed_size == 8
+
+    def test_delegates_validation(self):
+        t = named("zip", INT)
+        assert t.validate(2139)
+        assert not t.validate("x")
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(SchemaError):
+            NamedType("", INT)
+
+    def test_equality(self):
+        assert named("a", INT) == named("a", INT)
+        assert named("a", INT) != named("b", INT)
+        assert named("a", INT) != named("a", FLOAT)
+
+
+class TestNestedType:
+    def test_paper_grammar_rendering(self):
+        t = nesting([named("Zip", INT), named("Addr", STRING)])
+        assert t.name == "[Zip:int, Addr:string]"
+
+    def test_fixed_size_none_with_var_member(self):
+        assert nesting([INT, STRING]).fixed_size is None
+        assert nesting([INT, FLOAT]).fixed_size == 16
+
+    def test_validate_arity_and_members(self):
+        t = nesting([INT, STRING])
+        assert t.validate((1, "a"))
+        assert not t.validate((1,))
+        assert not t.validate(("a", 1))
+        assert not t.validate(5)
+
+    def test_coerce(self):
+        t = nesting([INT, FLOAT])
+        assert t.coerce([1, 2]) == (1, 2.0)
+        with pytest.raises(TypeCheckError):
+            t.coerce([1])
+
+    def test_estimated_size_uses_values(self):
+        t = nesting([INT, STRING])
+        assert t.estimated_size((1, "abc")) == 8 + 4 + 3
+
+
+class TestListType:
+    def test_validate(self):
+        t = ListType(INT)
+        assert t.validate([1, 2, 3])
+        assert t.validate([])
+        assert not t.validate([1, "a"])
+
+    def test_name(self):
+        assert ListType(INT).name == "list<int>"
+
+    def test_equality(self):
+        assert ListType(INT) == ListType(INT)
+        assert ListType(INT) != ListType(FLOAT)
+
+
+class TestField:
+    def test_valid_names(self):
+        Field("lat", FLOAT)
+        Field("lat_lon2", INT)
+
+    def test_invalid_names(self):
+        with pytest.raises(SchemaError):
+            Field("", INT)
+        with pytest.raises(SchemaError):
+            Field("a b", INT)
+
+    def test_as_named_type(self):
+        f = Field("t", INT)
+        assert f.as_named_type() == named("t", INT)
+
+
+class TestSchema:
+    def test_of_parses_specs(self):
+        s = Schema.of("t:int", "lat:float", "name:string")
+        assert s.names() == ["t", "lat", "name"]
+        assert s.types() == [INT, FLOAT, STRING]
+
+    def test_of_rejects_bad_spec(self):
+        with pytest.raises(SchemaError):
+            Schema.of("t")
+        with pytest.raises(SchemaError):
+            Schema.of("t:nope")
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a:int", "a:float")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_index_and_lookup(self):
+        s = Schema.of("a:int", "b:float")
+        assert s.index_of("b") == 1
+        assert s.field("a").dtype is INT
+        assert s.has_field("a") and not s.has_field("z")
+        with pytest.raises(SchemaError):
+            s.index_of("z")
+
+    def test_project_order_preserved(self):
+        s = Schema.of("a:int", "b:float", "c:string")
+        p = s.project(["c", "a"])
+        assert p.names() == ["c", "a"]
+
+    def test_append_fields(self):
+        s = Schema.of("a:int")
+        s2 = s.append_fields([Field("b", FLOAT)])
+        assert s2.names() == ["a", "b"]
+        assert s.names() == ["a"]  # original untouched
+
+    def test_record_type(self):
+        s = Schema.of("a:int", "b:string")
+        assert s.record_type().name == "[a:int, b:string]"
+
+    def test_fixed_width(self):
+        assert Schema.of("a:int", "b:float").fixed_width() == 16
+        assert Schema.of("a:int", "b:string").fixed_width() is None
+
+    def test_validate_and_coerce_record(self):
+        s = Schema.of("a:int", "b:float")
+        assert s.validate_record((1, 2.0))
+        assert not s.validate_record((1,))
+        assert s.coerce_record([1, 2]) == (1, 2.0)
+        with pytest.raises(SchemaError):
+            s.coerce_record([1])
+
+    def test_record_dict_roundtrip(self):
+        s = Schema.of("a:int", "b:float")
+        rec = s.record_from_dict({"a": 1, "b": 2.5})
+        assert rec == (1, 2.5)
+        assert s.record_to_dict(rec) == {"a": 1, "b": 2.5}
+        with pytest.raises(SchemaError):
+            s.record_from_dict({"a": 1})
+
+    def test_equality_and_iteration(self):
+        s1 = Schema.of("a:int", "b:float")
+        s2 = Schema.of("a:int", "b:float")
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+        assert [f.name for f in s1] == ["a", "b"]
+        assert len(s1) == 2
+
+    @given(st.lists(st.integers(min_value=-(2**62), max_value=2**62),
+                    min_size=3, max_size=3))
+    def test_coerce_roundtrips_ints(self, values):
+        s = Schema.of("a:int", "b:int", "c:int")
+        assert s.coerce_record(values) == tuple(values)
+
+    def test_estimated_record_size(self):
+        s = Schema.of("a:int", "b:string")
+        assert s.estimated_record_size((1, "xy")) == 8 + 4 + 2
+        assert s.estimated_record_size() == 8 + 4 + STRING.DEFAULT_ESTIMATE

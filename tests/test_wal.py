@@ -1,0 +1,170 @@
+"""Tests for repro.storage.wal (logging and recovery)."""
+
+import pytest
+
+from repro.errors import WALError
+from repro.storage.disk import DiskManager
+from repro.storage.wal import (
+    KIND_ABORT,
+    KIND_BEGIN,
+    KIND_COMMIT,
+    KIND_UPDATE,
+    LogRecord,
+    WriteAheadLog,
+    recover,
+)
+
+
+class TestLogRecords:
+    def test_encode_decode_update(self):
+        record = LogRecord(KIND_UPDATE, 5, 2, page_id=7, offset=16,
+                           before=b"aa", after=b"bb")
+        decoded, end = LogRecord.decode(record.encode(), 0)
+        assert decoded.kind == KIND_UPDATE
+        assert decoded.lsn == 5
+        assert decoded.txn_id == 2
+        assert decoded.page_id == 7
+        assert decoded.offset == 16
+        assert decoded.before == b"aa"
+        assert decoded.after == b"bb"
+        assert end == len(record.encode())
+
+    def test_image_length_mismatch(self):
+        record = LogRecord(KIND_UPDATE, 1, 1, before=b"a", after=b"bb")
+        with pytest.raises(WALError):
+            record.encode()
+
+    def test_torn_record_detected(self):
+        record = LogRecord(KIND_COMMIT, 1, 1)
+        data = record.encode()[:-2]
+        with pytest.raises(WALError):
+            LogRecord.decode(data, 0)
+
+
+class TestWriteAheadLog:
+    def test_append_assigns_lsns(self):
+        wal = WriteAheadLog()
+        assert wal.append(KIND_BEGIN, 1) == 1
+        assert wal.append(KIND_COMMIT, 1) == 2
+
+    def test_records_iteration(self):
+        wal = WriteAheadLog()
+        wal.append(KIND_BEGIN, 1)
+        wal.append(KIND_UPDATE, 1, page_id=0, offset=0, before=b"x", after=b"y")
+        wal.append(KIND_COMMIT, 1)
+        kinds = [r.kind for r in wal.records()]
+        assert kinds == [KIND_BEGIN, KIND_UPDATE, KIND_COMMIT]
+
+    def test_torn_tail_ignored(self):
+        wal = WriteAheadLog()
+        wal.append(KIND_BEGIN, 1)
+        wal.append(KIND_COMMIT, 1)
+        wal._buffer.extend(b"\x10\x00\x00\x00garbage")
+        assert len(list(wal.records())) == 2
+
+    def test_truncate(self):
+        wal = WriteAheadLog()
+        wal.append(KIND_BEGIN, 1)
+        wal.truncate()
+        assert list(wal.records()) == []
+
+    def test_file_backed_persistence(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append(KIND_BEGIN, 3)
+        wal.append(KIND_COMMIT, 3)
+        wal.flush()
+        wal.close()
+        wal2 = WriteAheadLog(path)
+        assert [r.txn_id for r in wal2.records()] == [3, 3]
+        # LSNs continue after the existing maximum.
+        assert wal2.append(KIND_BEGIN, 4) == 3
+        wal2.close()
+
+
+def _page_with(disk: DiskManager, content: bytes) -> int:
+    page_id = disk.allocate_page()
+    page = disk.read_page(page_id)
+    page[: len(content)] = content
+    disk.write_page(page_id, page)
+    return page_id
+
+
+class TestRecovery:
+    def test_redo_committed(self):
+        disk = DiskManager(page_size=128)
+        page_id = _page_with(disk, b"old!")
+        wal = WriteAheadLog()
+        wal.append(KIND_BEGIN, 1)
+        wal.append(KIND_UPDATE, 1, page_id=page_id, offset=0,
+                   before=b"old!", after=b"new!")
+        wal.append(KIND_COMMIT, 1)
+        summary = recover(wal, disk)
+        assert summary["committed"] == 1
+        assert summary["redo"] == 1
+        assert bytes(disk.read_page(page_id)[:4]) == b"new!"
+
+    def test_undo_uncommitted(self):
+        disk = DiskManager(page_size=128)
+        page_id = _page_with(disk, b"new!")  # crash left new bytes on disk
+        wal = WriteAheadLog()
+        wal.append(KIND_BEGIN, 1)
+        wal.append(KIND_UPDATE, 1, page_id=page_id, offset=0,
+                   before=b"old!", after=b"new!")
+        summary = recover(wal, disk)
+        assert summary["in_flight"] == 1
+        assert summary["undo"] == 1
+        assert bytes(disk.read_page(page_id)[:4]) == b"old!"
+
+    def test_aborted_transaction_undone(self):
+        disk = DiskManager(page_size=128)
+        page_id = _page_with(disk, b"mid!")
+        wal = WriteAheadLog()
+        wal.append(KIND_BEGIN, 1)
+        wal.append(KIND_UPDATE, 1, page_id=page_id, offset=0,
+                   before=b"old!", after=b"mid!")
+        wal.append(KIND_ABORT, 1)
+        summary = recover(wal, disk)
+        assert summary["aborted"] == 1
+        assert bytes(disk.read_page(page_id)[:4]) == b"old!"
+
+    def test_mixed_transactions(self):
+        disk = DiskManager(page_size=128)
+        p1 = _page_with(disk, b"aaaa")
+        p2 = _page_with(disk, b"bbXX")  # txn2's partial write survived
+        wal = WriteAheadLog()
+        wal.append(KIND_BEGIN, 1)
+        wal.append(KIND_UPDATE, 1, page_id=p1, offset=0,
+                   before=b"aaaa", after=b"AAAA")
+        wal.append(KIND_COMMIT, 1)
+        wal.append(KIND_BEGIN, 2)
+        wal.append(KIND_UPDATE, 2, page_id=p2, offset=2,
+                   before=b"bb", after=b"XX")
+        summary = recover(wal, disk)
+        assert bytes(disk.read_page(p1)[:4]) == b"AAAA"
+        assert bytes(disk.read_page(p2)[:4]) == b"bbbb"
+        assert summary["committed"] == 1
+        assert summary["in_flight"] == 1
+
+    def test_undo_applied_in_reverse_order(self):
+        disk = DiskManager(page_size=128)
+        page_id = _page_with(disk, b"cccc")
+        wal = WriteAheadLog()
+        wal.append(KIND_BEGIN, 1)
+        wal.append(KIND_UPDATE, 1, page_id=page_id, offset=0,
+                   before=b"aaaa", after=b"bbbb")
+        wal.append(KIND_UPDATE, 1, page_id=page_id, offset=0,
+                   before=b"bbbb", after=b"cccc")
+        recover(wal, disk)
+        assert bytes(disk.read_page(page_id)[:4]) == b"aaaa"
+
+    def test_recovery_allocates_missing_pages(self):
+        disk = DiskManager(page_size=128)
+        wal = WriteAheadLog()
+        wal.append(KIND_BEGIN, 1)
+        wal.append(KIND_UPDATE, 1, page_id=2, offset=0,
+                   before=b"\x00\x00", after=b"zz")
+        wal.append(KIND_COMMIT, 1)
+        recover(wal, disk)
+        assert disk.num_pages >= 3
+        assert bytes(disk.read_page(2)[:2]) == b"zz"
