@@ -10,6 +10,8 @@ for EXPERIMENTS.md. Run with::
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 
@@ -74,6 +76,72 @@ def sales(scale: dict) -> None:
             )
             pages += io.page_reads
         print(f"{name:<20}{pages / len(queries):>12.1f}")
+
+
+SCAN_BENCH_LAYOUTS = {
+    "rows": "Sales",
+    "columns": "columns(Sales)",
+    "grouped": "columns[[year, month, day], [zipcode], [customerid], "
+    "[productid], [quantity, price]](Sales)",
+    "mirror": "mirror(rows(Sales), columns(Sales))",
+}
+
+
+def scan_bench(scale: dict, out_path: str = "BENCH_scan.json") -> dict:
+    """Full-table scan throughput, batch pipeline vs tuple-at-a-time.
+
+    Writes ``BENCH_scan.json`` — rows/sec per layout for the batch path
+    (``Table.scan``) and the reference path (``Table.scan_reference``),
+    i.e. after/before the batch pipeline — so the scan-path performance
+    trajectory is visible across PRs.
+    """
+    from repro.engine.database import RodentStore
+    from repro.workloads import SALES_SCHEMA, generate_sales
+
+    banner("Scan throughput — batch pipeline vs reference (BENCH_scan.json)")
+    n_records = scale["n_observations"] // 2
+    records = generate_sales(n_records)
+    result: dict = {
+        "benchmark": "full_table_scan",
+        "n_records": n_records,
+        "page_size": scale["page_size"],
+        "unit": "rows_per_sec",
+        "layouts": {},
+    }
+    print(f"{'layout':<10}{'reference':>14}{'batch':>14}{'speedup':>9}")
+    for name, layout in SCAN_BENCH_LAYOUTS.items():
+        store = RodentStore(page_size=scale["page_size"], pool_capacity=96)
+        store.create_table("Sales", SALES_SCHEMA, layout=layout)
+        table = store.load("Sales", records)
+        timings = {}
+        for label, scan in (
+            ("batch", table.scan),
+            ("reference", table.scan_reference),
+        ):
+            assert sum(1 for _ in scan()) == n_records  # warm + verify
+            best = float("inf")
+            for _ in range(3):
+                start = time.perf_counter()
+                count = sum(1 for _ in scan())
+                best = min(best, time.perf_counter() - start)
+            assert count == n_records
+            timings[label] = n_records / best
+        speedup = timings["batch"] / timings["reference"]
+        result["layouts"][name] = {
+            "rows_per_sec_reference": round(timings["reference"], 1),
+            "rows_per_sec_batch": round(timings["batch"], 1),
+            "speedup": round(speedup, 2),
+        }
+        print(
+            f"{name:<10}{timings['reference']:>14,.0f}"
+            f"{timings['batch']:>14,.0f}{speedup:>8.2f}x"
+        )
+    result["generated_unix"] = int(time.time())
+    with open(out_path, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {os.path.abspath(out_path)}")
+    return result
 
 
 def optimizer(scale: dict) -> None:
@@ -267,13 +335,28 @@ def reorganization(scale: dict) -> None:
 def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--scale", choices=SCALES, default="default")
+    parser.add_argument(
+        "--scan-bench-only",
+        action="store_true",
+        help="run only the scan-throughput benchmark and write BENCH_scan.json",
+    )
+    parser.add_argument(
+        "--scan-bench-out",
+        default="BENCH_scan.json",
+        help="output path for the scan benchmark JSON",
+    )
     args = parser.parse_args()
     scale = SCALES[args.scale]
     print(f"scale: {args.scale} {scale}")
 
     start = time.time()
+    if args.scan_bench_only:
+        scan_bench(scale, args.scan_bench_out)
+        print(f"\ntotal: {time.time() - start:.1f}s")
+        return
     figure2(scale)
     sales(scale)
+    scan_bench(scale, args.scan_bench_out)
     optimizer(scale)
     compression(scale)
     ablations(scale)

@@ -30,6 +30,7 @@ from repro.compression.bitpack import (
     ForCodec,
     pack_uints,
     unpack_uints,
+    unpack_uints_bulk,
 )
 from repro.compression.delta import DeltaCodec
 from repro.compression.dictionary import DictionaryCodec
@@ -41,6 +42,7 @@ from repro.compression.varint import (
     varint_encode,
     zigzag_decode,
     zigzag_encode,
+    zigzag_varint_decode_all,
 )
 from repro.compression.xor import XorFloatCodec
 
@@ -61,8 +63,10 @@ __all__ = [
     "pack_uints",
     "register",
     "unpack_uints",
+    "unpack_uints_bulk",
     "varint_decode",
     "varint_encode",
     "zigzag_decode",
     "zigzag_encode",
+    "zigzag_varint_decode_all",
 ]

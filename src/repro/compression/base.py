@@ -8,6 +8,16 @@ named in the physical plan.
 
 Every codec is value-level and lossless: ``decode(encode(values)) == values``
 for any list of values valid for the declared type class.
+
+Codecs expose two read paths:
+
+* :meth:`Codec.decode` — the canonical value-at-a-time implementation;
+* :meth:`Codec.decode_all` — the *bulk* fast path used by the batch scan
+  pipeline (:meth:`repro.layout.renderer.LayoutRenderer.iter_batches`).
+  It must return exactly what ``decode`` returns; built-in codecs override
+  it with implementations that decode whole chunks in a few C-level calls
+  (``struct.unpack`` of entire vectors, word-at-a-time bit unpacking,
+  inlined varint loops) instead of per-value round-trips.
 """
 
 from __future__ import annotations
@@ -34,6 +44,15 @@ class Codec:
     def decode(self, data: bytes, dtype: DataType) -> list:
         raise NotImplementedError
 
+    def decode_all(self, data: bytes, dtype: DataType) -> list:
+        """Bulk-decode an entire chunk (batch scan fast path).
+
+        Equivalent to :meth:`decode` — same bytes in, same list out — but
+        subclasses may use vectorized implementations. The default simply
+        delegates.
+        """
+        return self.decode(data, dtype)
+
     def __repr__(self) -> str:
         return f"<codec {self.name}>"
 
@@ -48,6 +67,9 @@ class NoneCodec(Codec):
 
     def decode(self, data: bytes, dtype: DataType) -> list:
         return VectorSerializer(dtype).decode(data)
+
+    def decode_all(self, data: bytes, dtype: DataType) -> list:
+        return VectorSerializer(dtype).decode_bulk(data)
 
 
 _REGISTRY: dict[str, Codec] = {}

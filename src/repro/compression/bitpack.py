@@ -66,6 +66,59 @@ def unpack_uints(data: bytes) -> list[int]:
     return values
 
 
+def unpack_uints_bulk(data: bytes) -> list[int]:
+    """Bulk counterpart of :func:`unpack_uints` (batch scan fast path).
+
+    Consumes the payload 64 bits at a time (one ``struct`` unpack for the
+    whole vector) instead of byte-at-a-time, and emits byte-aligned widths
+    with a plain slice-free loop. Output is identical to
+    :func:`unpack_uints`.
+    """
+    if len(data) < 5:
+        raise CodecError("truncated bit-packed vector")
+    (count,) = _U32.unpack_from(data, 0)
+    width = data[4]
+    if width == 0 or width > 64:
+        raise CodecError(f"invalid bit width {width}")
+    payload = data[5:]
+    if len(payload) * 8 < count * width:
+        raise CodecError("truncated bit-packed payload")
+    if width == 8:
+        return list(payload[:count])
+    if width in (16, 32, 64):
+        fmt = {16: "H", 32: "I", 64: "Q"}[width]
+        return list(struct.unpack_from(f"<{count}{fmt}", payload, 0))
+    n_words, tail = divmod(len(payload), 8)
+    words = struct.unpack_from(f"<{n_words}Q", payload, 0)
+    values: list[int] = []
+    append = values.append
+    acc = 0
+    bits = 0
+    mask = (1 << width) - 1
+    remaining = count
+    for word in words:
+        acc |= word << bits
+        bits += 64
+        while bits >= width and remaining:
+            append(acc & mask)
+            acc >>= width
+            bits -= width
+            remaining -= 1
+        if not remaining:
+            return values
+    if tail:
+        acc |= int.from_bytes(payload[n_words * 8 :], "little") << bits
+        bits += tail * 8
+        while bits >= width and remaining:
+            append(acc & mask)
+            acc >>= width
+            bits -= width
+            remaining -= 1
+    if remaining:
+        raise CodecError("truncated bit-packed payload")
+    return values
+
+
 class BitpackCodec(Codec):
     """Minimal-width bit packing of non-negative integer vectors."""
 
@@ -81,6 +134,9 @@ class BitpackCodec(Codec):
 
     def decode(self, data: bytes, dtype: DataType) -> list:
         return unpack_uints(data)
+
+    def decode_all(self, data: bytes, dtype: DataType) -> list:
+        return unpack_uints_bulk(data)
 
 
 class ForCodec(Codec):
@@ -103,6 +159,14 @@ class ForCodec(Codec):
             raise CodecError("truncated frame-of-reference vector")
         (reference,) = _I64.unpack_from(data, 0)
         return [v + reference for v in unpack_uints(data[8:])]
+
+    def decode_all(self, data: bytes, dtype: DataType) -> list:
+        if len(data) < 8:
+            raise CodecError("truncated frame-of-reference vector")
+        (reference,) = _I64.unpack_from(data, 0)
+        if reference == 0:
+            return unpack_uints_bulk(data[8:])
+        return [v + reference for v in unpack_uints_bulk(data[8:])]
 
 
 register(BitpackCodec())

@@ -17,6 +17,7 @@ from repro.compression.varint import (
     varint_encode,
     zigzag_decode,
     zigzag_encode,
+    zigzag_varint_decode_all,
 )
 from repro.types.types import DataType, FloatType, IntType
 
@@ -46,6 +47,14 @@ class DeltaCodec(Codec):
             return self._decode_floats(data)
         raise CodecError(f"delta codec requires a numeric type, got {dtype.name}")
 
+    def decode_all(self, data: bytes, dtype: DataType) -> list:
+        base = getattr(dtype, "base", dtype)
+        if isinstance(base, IntType):
+            return self._decode_ints_bulk(data)
+        if isinstance(base, FloatType):
+            return self._decode_floats_bulk(data)
+        raise CodecError(f"delta codec requires a numeric type, got {dtype.name}")
+
     # -- integers ---------------------------------------------------------
 
     def _encode_ints(self, values: Sequence[int]) -> bytes:
@@ -70,6 +79,15 @@ class DeltaCodec(Codec):
             acc = diff if i == 0 else acc + diff
             values.append(acc)
         return values
+
+    def _decode_ints_bulk(self, data: bytes) -> list[int]:
+        count, offset = self._header(data, expected_tag=0)
+        diffs = zigzag_varint_decode_all(data, offset, count)
+        acc = 0
+        for i, diff in enumerate(diffs):
+            acc += diff
+            diffs[i] = acc
+        return diffs
 
     # -- floats -----------------------------------------------------------
 
@@ -107,6 +125,22 @@ class DeltaCodec(Codec):
             else:
                 acc = acc + stored
             values.append(acc)
+        return values
+
+    def _decode_floats_bulk(self, data: bytes) -> list[float]:
+        count, offset = self._header(data, expected_tag=1)
+        bitmap = data[offset : offset + (count + 7) // 8]
+        offset += (count + 7) // 8
+        stored = struct.unpack_from(f"<{count}d", data, offset)
+        values: list[float] = []
+        append = values.append
+        acc = 0.0
+        for i, v in enumerate(stored):
+            if bitmap[i >> 3] & (1 << (i & 7)):
+                acc = v
+            else:
+                acc = acc + v
+            append(acc)
         return values
 
     @staticmethod

@@ -10,7 +10,11 @@ import struct
 from typing import Any, Sequence
 
 from repro.compression.base import Codec, register
-from repro.compression.bitpack import pack_uints, unpack_uints
+from repro.compression.bitpack import (
+    pack_uints,
+    unpack_uints,
+    unpack_uints_bulk,
+)
 from repro.storage.serializer import VectorSerializer
 from repro.types.types import DataType
 
@@ -48,6 +52,16 @@ class DictionaryCodec(Codec):
         dictionary = VectorSerializer(dtype).decode(data[8 : 8 + dict_len])
         codes = unpack_uints(data[8 + dict_len :])
         return [dictionary[c] for c in codes[:total]]
+
+    def decode_all(self, data: bytes, dtype: DataType) -> list:
+        (total,) = _U32.unpack_from(data, 0)
+        (dict_len,) = _U32.unpack_from(data, 4)
+        dictionary = VectorSerializer(dtype).decode_bulk(
+            data[8 : 8 + dict_len]
+        )
+        codes = unpack_uints_bulk(data[8 + dict_len :])
+        del codes[total:]
+        return list(map(dictionary.__getitem__, codes))
 
 
 register(DictionaryCodec())

@@ -32,5 +32,9 @@ class LzCodec(Codec):
         raw = zlib.decompress(data)
         return VectorSerializer(dtype).decode(raw)
 
+    def decode_all(self, data: bytes, dtype: DataType) -> list:
+        raw = zlib.decompress(data)
+        return VectorSerializer(dtype).decode_bulk(raw)
+
 
 register(LzCodec())

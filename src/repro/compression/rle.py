@@ -49,5 +49,15 @@ class RleCodec(Codec):
             values.extend([value] * run)
         return values
 
+    def decode_all(self, data: bytes, dtype: DataType) -> list:
+        (n_runs,) = _U32.unpack_from(data, 4)
+        runs = struct.unpack_from(f"<{n_runs}I", data, 8)
+        distinct = VectorSerializer(dtype).decode_bulk(data[8 + 4 * n_runs :])
+        values: list[Any] = []
+        extend = values.extend
+        for run, value in zip(runs, distinct):
+            extend((value,) * run)
+        return values
+
 
 register(RleCodec())

@@ -58,6 +58,36 @@ def varint_decode(data: bytes, offset: int) -> tuple[int, int]:
             raise CodecError("varint too long")
 
 
+def zigzag_varint_decode_all(
+    data: bytes, offset: int, count: int
+) -> list[int]:
+    """Decode ``count`` zigzag varints starting at ``offset`` in one pass.
+
+    Bulk counterpart of ``zigzag_decode(varint_decode(...))``: the LEB128 and
+    zigzag steps are inlined into a single loop over local variables, which
+    is what makes the batch scan pipeline's chunk decode cheap.
+    """
+    values: list[int] = []
+    append = values.append
+    size = len(data)
+    for _ in range(count):
+        result = 0
+        shift = 0
+        while True:
+            if offset >= size:
+                raise CodecError("truncated varint")
+            byte = data[offset]
+            offset += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+            if shift > 70:
+                raise CodecError("varint too long")
+        append((result >> 1) ^ -(result & 1))
+    return values
+
+
 class VarintCodec(Codec):
     """Zigzag-varint coding of signed integer vectors."""
 
@@ -86,6 +116,12 @@ class VarintCodec(Codec):
             raw, offset = varint_decode(data, offset)
             values.append(zigzag_decode(raw))
         return values
+
+    def decode_all(self, data: bytes, dtype: DataType) -> list:
+        if len(data) < 4:
+            raise CodecError("truncated varint vector")
+        (count,) = _U32.unpack_from(data, 0)
+        return zigzag_varint_decode_all(data, 4, count)
 
 
 register(VarintCodec())

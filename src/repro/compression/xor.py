@@ -64,5 +64,30 @@ class XorFloatCodec(Codec):
             prev_bits = bits
         return values
 
+    def decode_all(self, data: bytes, dtype: DataType) -> list:
+        """Bulk decode: one tight loop with locals, ``struct`` calls hoisted."""
+        if len(data) < 4:
+            raise CodecError("truncated xor vector")
+        (count,) = _U32.unpack_from(data, 0)
+        offset = 4
+        size = len(data)
+        from_bytes = int.from_bytes
+        unpack_f64 = _F64.unpack
+        pack_u64 = _U64.pack
+        values: list[float] = []
+        append = values.append
+        prev_bits = 0
+        for _ in range(count):
+            if offset >= size:
+                raise CodecError("truncated xor payload")
+            length = data[offset]
+            offset += 1
+            if length > 8 or offset + length > size:
+                raise CodecError("corrupt xor payload")
+            prev_bits ^= from_bytes(data[offset : offset + length], "little")
+            offset += length
+            append(unpack_f64(pack_u64(prev_bits))[0])
+        return values
+
 
 register(XorFloatCodec())

@@ -135,21 +135,26 @@ def fetch_rows_by_position(
     current_page = -1
     page = None
     page_id = None
-    for position in positions:
-        if position < 0 or position >= acc:
-            raise QueryError(f"row position {position} out of range")
-        page_index = _page_of(page_starts, position)
-        if page_index != current_page:
-            if page_id is not None:
-                renderer.pool.unpin(page_id)
-            page_id = layout.extent.page_ids[page_index]
-            frame = renderer.pool.fetch(page_id)
-            page = SlottedPage(renderer.page_size, frame.data)
-            current_page = page_index
-        slot = position - page_starts[page_index]
-        yield serializer.decode(page.get(slot))
-    if page_id is not None:
-        renderer.pool.unpin(page_id)
+    try:
+        for position in positions:
+            if position < 0 or position >= acc:
+                raise QueryError(f"row position {position} out of range")
+            page_index = _page_of(page_starts, position)
+            if page_index != current_page:
+                if page_id is not None:
+                    renderer.pool.unpin(page_id)
+                    page_id = None
+                page_id = layout.extent.page_ids[page_index]
+                frame = renderer.pool.fetch(page_id)
+                page = SlottedPage(renderer.page_size, frame.data)
+                current_page = page_index
+            slot = position - page_starts[page_index]
+            yield serializer.decode(page.get(slot))
+    finally:
+        # Also runs on GeneratorExit: a limit-pushdown scan may abandon
+        # the probe mid-page, and the frame must not stay pinned.
+        if page_id is not None:
+            renderer.pool.unpin(page_id)
 
 
 def _page_of(page_starts: list[int], position: int) -> int:

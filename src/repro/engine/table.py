@@ -21,11 +21,23 @@ Inserted records accumulate in row-major *overflow regions* (the "reorganize
 only new data" state of §5); scans transparently merge the main layout with
 the overflow, and :meth:`Table.compact` folds the overflow back into the main
 representation.
+
+Scans execute **batch-at-a-time** internally while keeping the paper's
+per-tuple iterator API: the renderer yields page/chunk-sized
+:class:`~repro.layout.renderer.ColumnBatch` objects (bulk codec decode, bulk
+record deserialization), the predicate is compiled once into a closure /
+per-column selection masks (:meth:`repro.query.expressions.Predicate.compile`),
+projection is a precomputed ``operator.itemgetter``, and overflow/pending
+records trail as extra batches. :meth:`Table.scan_reference` keeps the
+original tuple-at-a-time pipeline for equivalence testing and benchmarking;
+both paths produce byte-identical results in the same order.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Iterator, Sequence
+import operator
+from itertools import islice
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 from repro.algebra import ast
 from repro.algebra.physical import (
@@ -48,7 +60,13 @@ from repro.algebra.transforms import (
 from repro.engine.catalog import CatalogEntry
 from repro.engine.cost import CostEstimate, CostModel, estimate
 from repro.errors import QueryError, StorageError
-from repro.layout.renderer import LayoutRenderer, StoredLayout
+from repro.layout.renderer import (
+    DEFAULT_BATCH_ROWS,
+    ColumnBatch,
+    LayoutRenderer,
+    StoredLayout,
+    select_column_groups,
+)
 from repro.query.expressions import Predicate
 from repro.types.schema import Schema
 from repro.types.values import multisort
@@ -175,6 +193,7 @@ class Table:
         fieldlist: Sequence[str] | None = None,
         predicate: Predicate | None = None,
         order: Order | None = None,
+        limit: int | None = None,
     ) -> Iterator[tuple]:
         """Scan the relation (paper §4.1 method 1).
 
@@ -187,6 +206,144 @@ class Table:
                 scanning when the predicate is selective.
             order: optional sort order; when the stored order does not
                 satisfy it, the scan buffers and re-sorts.
+            limit: optional maximum row count, pushed into the pipeline —
+                scans whose order is already satisfied stop reading pages
+                once ``limit`` rows survive the predicate.
+
+        The iterator is produced batch-at-a-time internally (see
+        :meth:`scan_batches`); results are identical — values and order —
+        to the tuple-at-a-time :meth:`scan_reference`.
+        """
+        batches = self.scan_batches(fieldlist, predicate, order, limit)
+        return (row for batch in batches for row in batch)
+
+    def scan_batches(
+        self,
+        fieldlist: Sequence[str] | None = None,
+        predicate: Predicate | None = None,
+        order: Order | None = None,
+        limit: int | None = None,
+    ) -> Iterator[list[tuple]]:
+        """Batch-at-a-time scan: yields lists of output tuples.
+
+        The building blocks are assembled once per scan — compiled
+        predicate closure / per-column masks, ``operator.itemgetter``
+        projection — then applied per batch, so per-row Python overhead is
+        amortized across each page/chunk. Flattened, the batches equal
+        :meth:`scan_reference` output exactly.
+        """
+        if limit is not None and limit < 0:
+            limit = 0  # a negative limit selects nothing, like [:0]
+        order_keys = normalize_order(order)
+        needed = self._needed_fields(fieldlist, predicate, order_keys)
+        index_rows = self._index_path(predicate)
+        if index_rows is not None:
+            avail = self.plan.schema.names()
+            # Lazy chunking keeps the probe incremental: a pushed-down
+            # limit stops fetching index-matched pages early, so size the
+            # chunks to the limit when it is the smaller number.
+            probe_chunk = DEFAULT_BATCH_ROWS
+            if limit is not None:
+                probe_chunk = max(1, min(probe_chunk, limit))
+            batches: Iterator[ColumnBatch] = _chunk_rows(
+                index_rows, tuple(avail), probe_chunk
+            )
+        else:
+            batches, avail = self._batches_with_overflow(needed, predicate)
+        positions = {name: i for i, name in enumerate(avail)}
+
+        row_filter = None
+        use_mask = False
+        if predicate is not None:
+            missing = predicate.fields_used() - set(avail)
+            if missing:
+                raise QueryError(
+                    f"predicate references unavailable field(s) {sorted(missing)}"
+                )
+            row_filter = predicate.compile(positions)
+            # Mask evaluation only helps predicates with a columnar
+            # override; the generic fallback would re-zip columns anyway.
+            use_mask = (
+                type(predicate).filter_batch is not Predicate.filter_batch
+            )
+
+        sort_idx: list[int] = []
+        sort_desc: list[bool] = []
+        sort_needed = bool(order_keys) and not self._order_satisfied(order_keys)
+        if sort_needed:
+            for name, ascending in order_keys:
+                if name not in positions:
+                    raise QueryError(f"unknown order field {name!r}")
+                sort_idx.append(positions[name])
+                sort_desc.append(not ascending)
+
+        scan_names = self.scan_schema().names()
+        out_idx: list[int] | None = None
+        if fieldlist is not None:
+            try:
+                out_idx = [positions[f] for f in fieldlist]
+            except KeyError as exc:
+                raise QueryError(
+                    f"unknown projection field {exc.args[0]!r}"
+                ) from None
+        elif tuple(avail) != tuple(scan_names):
+            out_idx = [positions[f] for f in scan_names if f in positions]
+        if out_idx is not None and out_idx == list(range(len(avail))):
+            out_idx = None  # the projection is already the stored order
+        project = _batch_projector(out_idx)
+
+        def filtered(batch: ColumnBatch) -> list[tuple]:
+            if predicate is None:
+                return batch.rows()
+            if use_mask and batch.is_columnar:
+                mask = predicate.filter_batch(
+                    batch.column_map(), batch.n_rows
+                )
+                return [row for row, keep in zip(batch.rows(), mask) if keep]
+            return list(filter(row_filter, batch.rows()))
+
+        def generate() -> Iterator[list[tuple]]:
+            if sort_needed:
+                collected: list[tuple] = []
+                for batch in batches:
+                    collected.extend(filtered(batch))
+                rows = multisort(collected, sort_idx, sort_desc)
+                if project is not None:
+                    rows = project(rows)
+                if limit is not None:
+                    del rows[limit:]
+                if rows:
+                    yield rows
+                return
+            remaining = limit
+            if remaining is not None and remaining <= 0:
+                return
+            for batch in batches:
+                rows = filtered(batch)
+                if not rows:
+                    continue
+                if project is not None:
+                    rows = project(rows)
+                if remaining is not None:
+                    if len(rows) >= remaining:
+                        yield rows[:remaining]
+                        return
+                    remaining -= len(rows)
+                yield rows
+
+        return generate()
+
+    def scan_reference(
+        self,
+        fieldlist: Sequence[str] | None = None,
+        predicate: Predicate | None = None,
+        order: Order | None = None,
+    ) -> Iterator[tuple]:
+        """Tuple-at-a-time scan — the original (pre-batch) pipeline.
+
+        Kept as the executable specification of :meth:`scan`: equivalence
+        tests assert both paths return identical tuples in identical order,
+        and the scan benchmarks report before/after against it.
         """
         order_keys = normalize_order(order)
         needed = self._needed_fields(fieldlist, predicate, order_keys)
@@ -222,11 +379,12 @@ class Table:
                 raise QueryError(
                     f"unknown projection field {exc.args[0]!r}"
                 ) from None
-            rows = (tuple(r[i] for i in out_idx) for r in rows)
+            if out_idx != list(range(len(avail))):
+                rows = map(_row_projector(out_idx), rows)
         elif tuple(avail) != tuple(self.scan_schema().names()):
             full = self.scan_schema().names()
             out_idx = [positions[f] for f in full if f in positions]
-            rows = (tuple(r[i] for i in out_idx) for r in rows)
+            rows = map(_row_projector(out_idx), rows)
         return rows
 
     def _needed_fields(
@@ -251,6 +409,99 @@ class Table:
                 seen.add(name)
         return needed
 
+    def _batches_with_overflow(
+        self,
+        needed: Sequence[str] | None,
+        predicate: Predicate | None,
+    ) -> tuple[Iterator[ColumnBatch], list[str]]:
+        """Main-layout batches with overflow + pending as trailing batches."""
+        main_batches, avail = self._batch_stored(
+            self.layout, needed, predicate
+        )
+        fields = tuple(avail)
+        renderer = self._db.renderer
+        schema_names = self.scan_schema().names()
+        projector = None
+        if avail != schema_names:
+            project_idx = [schema_names.index(f) for f in avail]
+            projector = _batch_projector(project_idx)
+        overflow_layouts = list(self._entry.overflow)
+        pending = [tuple(r) for r in self._pending]
+
+        def chained() -> Iterator[ColumnBatch]:
+            yield from main_batches
+            for overflow in overflow_layouts:
+                for batch in renderer.iter_row_batches(overflow):
+                    if projector is None:
+                        yield batch
+                    else:
+                        yield ColumnBatch.from_rows(
+                            fields, projector(batch.rows())
+                        )
+            if pending:
+                rows = pending if projector is None else projector(pending)
+                yield ColumnBatch.from_rows(fields, rows)
+
+        return chained(), avail
+
+    def _batch_stored(
+        self,
+        layout: StoredLayout,
+        needed: Sequence[str] | None,
+        predicate: Predicate | None,
+    ) -> tuple[Iterator[ColumnBatch], list[str]]:
+        """Batch-iterate one stored layout: (batches, available fields).
+
+        Mirrors :meth:`_iter_stored` — same pruning decisions (sorted-rows
+        page pruning, grid cell pruning, folded key pruning, mirror replica
+        choice) — but reads through the renderer's bulk batch path.
+        """
+        plan = layout.plan
+        renderer = self._db.renderer
+        if plan.kind == LAYOUT_ROWS:
+            names = plan.schema.names()
+            pruned = self._iter_sorted_rows_range(layout, predicate)
+            if pruned is not None:
+                return _chunk_rows(pruned, tuple(names)), names
+            batches = renderer.iter_row_batches(layout)
+            if plan.delta_fields:
+                positions = {n: i for i, n in enumerate(names)}
+                idx = [positions[f] for f in plan.delta_fields]
+                batches = _undelta_batches(batches, idx, tuple(names))
+            return batches, names
+        if plan.kind == LAYOUT_COLUMNS:
+            groups = select_column_groups(layout, needed)
+            avail = [f for _, g in groups for f in g.fields]
+            batches = renderer.iter_column_batches(
+                layout, [i for i, _ in groups]
+            )
+            delta_here = [f for f in plan.delta_fields if f in avail]
+            if delta_here:
+                positions = {n: i for i, n in enumerate(avail)}
+                idx = [positions[f] for f in delta_here]
+                batches = _undelta_batches(batches, idx, tuple(avail))
+            return batches, avail
+        if plan.kind == LAYOUT_GRID:
+            return (
+                renderer.iter_batches(
+                    layout,
+                    grid_entries=self._grid_prune_entries(layout, predicate),
+                ),
+                plan.schema.names(),
+            )
+        if plan.kind == LAYOUT_FOLDED:
+            indices = self._folded_indices(layout, predicate)
+            return (
+                renderer.iter_batches(layout, folded_indices=indices),
+                _scan_schema(plan).names(),
+            )
+        if plan.kind == LAYOUT_MIRROR:
+            chosen = self._cheaper_mirror(layout, needed, predicate)
+            return self._batch_stored(chosen, needed, predicate)
+        if plan.kind == LAYOUT_ARRAY:
+            return renderer.iter_array_batches(layout), ["value"]
+        raise StorageError(f"cannot scan layout kind {plan.kind!r}")
+
     def _iter_with_overflow(
         self,
         needed: Sequence[str] | None,
@@ -263,17 +514,18 @@ class Table:
         extra_sources: list[Iterator[tuple]] = []
         renderer = self._db.renderer
         schema_names = self.scan_schema().names()
-        project_idx = [schema_names.index(f) for f in avail]
         needs_projection = avail != schema_names
+        if needs_projection:
+            project = _row_projector([schema_names.index(f) for f in avail])
         for overflow in self._entry.overflow:
             it = renderer.iter_rows(overflow)
             if needs_projection:
-                it = (tuple(r[i] for i in project_idx) for r in it)
+                it = map(project, it)
             extra_sources.append(it)
         if self._pending:
             pending = iter([tuple(r) for r in self._pending])
             if needs_projection:
-                pending = (tuple(r[i] for i in project_idx) for r in pending)
+                pending = map(project, pending)
             extra_sources.append(pending)
 
         def chained() -> Iterator[tuple]:
@@ -327,16 +579,7 @@ class Table:
         """Positional merge of the column groups a query touches."""
         renderer = self._db.renderer
         plan = layout.plan
-        groups = list(enumerate(layout.column_groups))
-        if needed is not None:
-            needed_set = set(needed)
-            groups = [
-                (i, g)
-                for i, g in groups
-                if needed_set & set(g.fields)
-            ]
-            if not groups:  # a count(*)-style scan still needs positions
-                groups = [(0, layout.column_groups[0])]
+        groups = select_column_groups(layout, needed)
         avail: list[str] = []
         iterators: list[tuple[Iterator[Any], bool]] = []
         for i, group in groups:
@@ -366,18 +609,28 @@ class Table:
             rows = iter(undelta_records(list(rows), positions, delta_here))
         return rows, avail
 
+    def _grid_prune_entries(
+        self, layout: StoredLayout, predicate: Predicate | None
+    ):
+        """Cell-directory entries a predicate cannot rule out, or ``None``
+        when no pruning applies (shared by batch and reference paths)."""
+        if predicate is None:
+            return None
+        ranges = predicate.ranges()
+        dims = layout.plan.grid.dims if layout.plan.grid else ()
+        usable = {d: ranges[d] for d in dims if d in ranges}
+        if not usable:
+            return None
+        return layout.cells_overlapping(usable)
+
     def _iter_grid(
         self, layout: StoredLayout, predicate: Predicate | None
     ) -> Iterator[tuple]:
         """Cells overlapping the predicate ranges, in stored cell order."""
         renderer = self._db.renderer
-        entries = layout.cell_directory
-        if predicate is not None:
-            ranges = predicate.ranges()
-            dims = layout.plan.grid.dims if layout.plan.grid else ()
-            usable = {d: ranges[d] for d in dims if d in ranges}
-            if usable:
-                entries = layout.cells_overlapping(usable)
+        entries = self._grid_prune_entries(layout, predicate)
+        if entries is None:
+            entries = layout.cell_directory
         for entry in entries:
             yield from renderer.read_cell(layout, entry)
 
@@ -723,7 +976,13 @@ class Table:
         if fieldlist is None:
             return records
         positions = {n: i for i, n in enumerate(self.scan_schema().names())}
-        return project_records(records, positions, fieldlist)
+        try:
+            out_idx = [positions[f] for f in fieldlist]
+        except KeyError as exc:
+            raise QueryError(
+                f"unknown projection field {exc.args[0]!r}"
+            ) from None
+        return _batch_projector(out_idx)(records)
 
     # ==================================================================
     # cost API
@@ -831,12 +1090,7 @@ class Table:
         if plan.kind == LAYOUT_ARRAY:
             return estimate(model, layout.total_pages(), 1)
         if plan.kind == LAYOUT_COLUMNS:
-            groups = layout.column_groups
-            if needed is not None:
-                needed_set = set(needed)
-                groups = [g for g in groups if needed_set & set(g.fields)]
-                if not groups:
-                    groups = layout.column_groups[:1]
+            groups = [g for _, g in select_column_groups(layout, needed)]
             pages = sum(len(g.extent.page_ids) for g in groups)
             return estimate(model, pages, max(1, len(groups)))
         if plan.kind == LAYOUT_GRID:
@@ -982,6 +1236,68 @@ def _scan_schema(plan: PhysicalPlan) -> Schema:
         for name, dtype in zip(plan.nest_fields, nest_types)
     ]
     return Schema(fields)
+
+
+def _row_projector(out_idx: Sequence[int]):
+    """Per-row projection callable (precomputed ``operator.itemgetter``).
+
+    ``itemgetter`` with one index returns a bare value, so the single-field
+    case wraps it into a 1-tuple to keep scan results uniform.
+    """
+    if len(out_idx) == 1:
+        i = out_idx[0]
+        return lambda row: (row[i],)
+    return operator.itemgetter(*out_idx)
+
+
+def _batch_projector(out_idx: Sequence[int] | None):
+    """Batch projection: list of rows -> list of projected rows, or None."""
+    if out_idx is None:
+        return None
+    if len(out_idx) == 1:
+        i = out_idx[0]
+        return lambda rows: [(row[i],) for row in rows]
+    getter = operator.itemgetter(*out_idx)
+    return lambda rows: list(map(getter, rows))
+
+
+def _chunk_rows(
+    rows: Iterable[tuple],
+    fields: tuple[str, ...],
+    batch_size: int = DEFAULT_BATCH_ROWS,
+) -> Iterator[ColumnBatch]:
+    """Wrap a row iterator (e.g. a pruned page scan) into batches."""
+    iterator = iter(rows)
+    while True:
+        chunk = list(islice(iterator, batch_size))
+        if not chunk:
+            return
+        yield ColumnBatch.from_rows(fields, chunk)
+
+
+def _undelta_batches(
+    batches: Iterable[ColumnBatch],
+    idx: Sequence[int],
+    fields: tuple[str, ...],
+) -> Iterator[ColumnBatch]:
+    """Reconstruct delta-encoded fields batch-wise, carrying the running
+    values across batch boundaries (batch counterpart of
+    :func:`repro.algebra.transforms.undelta_records`)."""
+    prev: tuple | None = None
+    for batch in batches:
+        out: list[tuple] = []
+        append = out.append
+        for row in batch.rows():
+            if prev is None:
+                record = tuple(row)
+            else:
+                values = list(row)
+                for i in idx:
+                    values[i] = prev[i] + values[i]
+                record = tuple(values)
+            append(record)
+            prev = record
+        yield ColumnBatch.from_rows(fields, out)
 
 
 def _count_runs(page_ids: Sequence[int]) -> int:

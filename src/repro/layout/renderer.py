@@ -21,6 +21,18 @@ Encodings:
   study's "hash table that tracks the spatial boundaries of each cell";
 * array — fixed-width value vector with direct offsetting (supports
   multidimensional ``getElement``).
+
+Read paths come in two granularities:
+
+* tuple-at-a-time iterators (``iter_rows``, ``iter_column_group``, ...) —
+  the reference implementation, kept for equivalence testing and as the
+  before-side of the scan benchmarks;
+* **batch-at-a-time** readers (:meth:`LayoutRenderer.iter_batches` and the
+  per-layout helpers it dispatches to) — the hot path. They yield
+  :class:`ColumnBatch` objects: a page/chunk worth of decoded values at
+  once, produced with the codecs' bulk ``decode_all`` fast path and the
+  serializers' bulk record decode, so the per-value Python interpreter tax
+  is paid once per batch instead of once per value.
 """
 
 from __future__ import annotations
@@ -58,6 +70,132 @@ from repro.types.values import flatten, shape as nesting_shape
 
 _U16 = struct.Struct("<H")
 _U32 = struct.Struct("<I")
+
+#: Default rows per batch for batch-at-a-time readers whose natural unit
+#: (page, chunk, cell) is smaller than this; page-shaped sources keep their
+#: page granularity.
+DEFAULT_BATCH_ROWS = 1024
+
+
+class ColumnBatch:
+    """A batch of decoded records, backed by rows or by parallel columns.
+
+    Batches are produced in whichever orientation the layout yields
+    naturally — row pages decode to row tuples, column chunks decode to
+    value vectors — and transpose lazily (one C-level ``zip`` call) when the
+    consumer needs the other orientation. ``fields`` names the columns;
+    both orientations expose the same ``n_rows`` records.
+    """
+
+    __slots__ = ("fields", "n_rows", "_rows", "_columns")
+
+    def __init__(self, fields, n_rows, rows=None, columns=None):
+        self.fields = fields
+        self.n_rows = n_rows
+        self._rows = rows
+        self._columns = columns
+
+    @classmethod
+    def from_rows(
+        cls, fields: tuple[str, ...], rows: list[tuple]
+    ) -> "ColumnBatch":
+        return cls(fields, len(rows), rows=rows)
+
+    @classmethod
+    def from_columns(
+        cls, fields: tuple[str, ...], columns: list
+    ) -> "ColumnBatch":
+        n_rows = len(columns[0]) if columns else 0
+        return cls(fields, n_rows, columns=columns)
+
+    @property
+    def is_columnar(self) -> bool:
+        """True when the batch already holds per-field value vectors."""
+        return self._columns is not None
+
+    def rows(self) -> list[tuple]:
+        """Records as tuples in ``fields`` order (cached transpose)."""
+        if self._rows is None:
+            self._rows = list(zip(*self._columns)) if self.n_rows else []
+        return self._rows
+
+    def columns(self) -> list:
+        """Per-field value vectors parallel to ``fields`` (cached)."""
+        if self._columns is None:
+            if self._rows:
+                self._columns = list(zip(*self._rows))
+            else:
+                self._columns = [() for _ in self.fields]
+        return self._columns
+
+    def column_map(self) -> dict[str, Sequence]:
+        """``field name -> value vector`` view of :meth:`columns`."""
+        return dict(zip(self.fields, self.columns()))
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:
+        kind = "columnar" if self.is_columnar else "rows"
+        return f"<ColumnBatch {self.n_rows}x{len(self.fields)} {kind}>"
+
+
+def select_column_groups(
+    layout: "StoredLayout", needed: Sequence[str] | None
+) -> list[tuple[int, "ColumnGroupStore"]]:
+    """Column groups a scan for ``needed`` fields must read, with indexes.
+
+    ``None`` means every group; a projection that touches no stored field
+    still reads the first group so row positions (and counts) exist.
+    """
+    groups = list(enumerate(layout.column_groups))
+    if needed is None:
+        return groups
+    needed_set = set(needed)
+    touched = [(i, g) for i, g in groups if needed_set & set(g.fields)]
+    return touched or groups[:1]
+
+
+class _ColumnCursor:
+    """Buffered reader over one column group's chunk stream.
+
+    ``take(k)`` serves the next ``k`` rows of every field in the group
+    (fewer at end-of-stream, ``None`` when exhausted), regardless of how
+    the underlying chunks are sized — the alignment glue that lets groups
+    with different chunk geometries merge positionally.
+    """
+
+    __slots__ = ("_stream", "_columns", "_offset")
+
+    def __init__(self, stream: Iterator[list]):
+        self._stream = stream
+        self._columns: list[list] | None = None
+        self._offset = 0
+
+    def take(self, k: int) -> list[list] | None:
+        columns = self._columns
+        while columns is None or len(columns[0]) - self._offset < k:
+            chunk = next(self._stream, None)
+            if chunk is None:
+                break
+            if columns is None:
+                columns = self._columns = [list(c) for c in chunk]
+            else:
+                for buffer, values in zip(columns, chunk):
+                    buffer.extend(values)
+        if columns is None:
+            return None
+        offset = self._offset
+        end = min(offset + k, len(columns[0]))
+        if end == offset:
+            return None
+        out = [column[offset:end] for column in columns]
+        if end == len(columns[0]):
+            self._columns = None
+            self._offset = 0
+        else:
+            self._offset = end
+        return out
 
 
 @dataclass
@@ -341,7 +479,9 @@ class LayoutRenderer:
             parts.append(encoded)
         return b"".join(parts)
 
-    def _decode_cell(self, plan: PhysicalPlan, blob: bytes) -> list[tuple]:
+    def _decode_cell(
+        self, plan: PhysicalPlan, blob: bytes, bulk: bool = False
+    ) -> list[tuple]:
         schema = plan.schema
         (row_count,) = _U32.unpack_from(blob, 0)
         (n_fields,) = _U16.unpack_from(blob, 4)
@@ -356,9 +496,15 @@ class LayoutRenderer:
             (length,) = _U32.unpack_from(blob, offset)
             offset += 4
             codec = get_codec(plan.codec_for(f.name))
-            columns.append(codec.decode(blob[offset : offset + length], f.dtype))
+            decode = codec.decode_all if bulk else codec.decode
+            columns.append(decode(blob[offset : offset + length], f.dtype))
             offset += length
-        records = [tuple(col[i] for col in columns) for i in range(row_count)]
+        if bulk:
+            records = list(zip(*columns)) if row_count else []
+        else:
+            records = [
+                tuple(col[i] for col in columns) for i in range(row_count)
+            ]
         if plan.delta_fields:
             positions = {name: i for i, name in enumerate(schema.names())}
             records = undelta_records(records, positions, plan.delta_fields)
@@ -503,10 +649,15 @@ class LayoutRenderer:
                 finally:
                     self.pool.unpin(page_id)
 
-    def read_cell(self, layout: StoredLayout, entry: CellEntry) -> list[tuple]:
-        """Fetch and decode one grid cell (delta reconstruction included)."""
+    def read_cell(
+        self, layout: StoredLayout, entry: CellEntry, bulk: bool = False
+    ) -> list[tuple]:
+        """Fetch and decode one grid cell (delta reconstruction included).
+
+        ``bulk`` selects the codecs' ``decode_all`` fast path (batch scans).
+        """
         blob = self._read_stream_range(layout, entry.offset, entry.length)
-        return self._decode_cell(layout.plan, blob)
+        return self._decode_cell(layout.plan, blob, bulk)
 
     def _read_stream_range(
         self, layout: StoredLayout, offset: int, length: int
@@ -548,11 +699,13 @@ class LayoutRenderer:
         self,
         layout: StoredLayout,
         indices: Sequence[int] | None = None,
+        bulk: bool = False,
     ) -> Iterator[tuple]:
         """Folded records ``(key..., [nested...])`` in storage order.
 
         ``indices`` restricts the iteration to specific folded records (by
-        directory position) — the key-range pruning path.
+        directory position) — the key-range pruning path. ``bulk`` selects
+        the codecs' ``decode_all`` fast path (batch scans).
         """
         plan = layout.plan
         group_schema = plan.schema.project(plan.group_fields)
@@ -577,7 +730,8 @@ class LayoutRenderer:
             for codec, dtype in nest_codecs:
                 (length,) = _U32.unpack_from(blob, offset)
                 offset += 4
-                vectors.append(codec.decode(blob[offset : offset + length], dtype))
+                decode = codec.decode_all if bulk else codec.decode
+                vectors.append(decode(blob[offset : offset + length], dtype))
                 offset += length
             if single:
                 nested = list(vectors[0])
@@ -600,6 +754,196 @@ class LayoutRenderer:
                 yield from serializer.decode(page.read())
             finally:
                 self.pool.unpin(page_id)
+
+    # ==================================================================
+    # Reading (batch-at-a-time scan path)
+    # ==================================================================
+
+    def iter_batches(
+        self,
+        layout: StoredLayout,
+        needed: Sequence[str] | None = None,
+        *,
+        batch_size: int = DEFAULT_BATCH_ROWS,
+        folded_indices: Sequence[int] | None = None,
+        grid_entries: Sequence[CellEntry] | None = None,
+    ) -> Iterator[ColumnBatch]:
+        """Yield :class:`ColumnBatch` objects covering ``layout`` in storage
+        order — the batch-at-a-time scan entry point.
+
+        Args:
+            needed: fields the scan touches; column layouts decode only the
+                groups these fields live in (``None`` = all fields).
+            batch_size: target rows per batch where the source's natural
+                unit (page, chunk, cell) doesn't dictate one.
+            folded_indices: directory positions to read for folded layouts
+                (the key-range pruning hook); ``None`` = all.
+            grid_entries: cell-directory entries to read for grid layouts
+                (the cell pruning hook); ``None`` = all cells.
+
+        Mirror layouts have no single storage order — the caller picks a
+        replica (cost-based) and passes it here.
+        """
+        kind = layout.plan.kind
+        if kind == LAYOUT_ROWS:
+            yield from self.iter_row_batches(layout)
+        elif kind == LAYOUT_COLUMNS:
+            indexes = [i for i, _ in select_column_groups(layout, needed)]
+            yield from self.iter_column_batches(
+                layout, indexes, batch_size=batch_size
+            )
+        elif kind == LAYOUT_GRID:
+            fields = tuple(layout.plan.schema.names())
+            entries = (
+                layout.cell_directory if grid_entries is None else grid_entries
+            )
+            for entry in entries:
+                records = self.read_cell(layout, entry, bulk=True)
+                if records:
+                    yield ColumnBatch.from_rows(fields, records)
+        elif kind == LAYOUT_FOLDED:
+            yield from self.iter_folded_batches(
+                layout, folded_indices, batch_size=batch_size
+            )
+        elif kind == LAYOUT_ARRAY:
+            yield from self.iter_array_batches(layout)
+        elif kind == LAYOUT_MIRROR:
+            raise StorageError(
+                "mirror layouts need a replica choice; batch-iterate the "
+                "chosen replica instead"
+            )
+        else:
+            raise StorageError(f"cannot batch-scan layout kind {kind!r}")
+
+    def iter_row_batches(self, layout: StoredLayout) -> Iterator[ColumnBatch]:
+        """Row-layout records, one (bulk-decoded) batch per slotted page."""
+        if layout.extent is None:
+            return
+        serializer = RecordSerializer(layout.plan.schema)
+        decode_many = serializer.decode_many
+        fields = tuple(layout.plan.schema.names())
+        for page_id in layout.extent.page_ids:
+            frame = self.pool.fetch(page_id)
+            try:
+                page = SlottedPage(self.page_size, frame.data)
+                blobs = [blob for _, blob in page.records()]
+            finally:
+                self.pool.unpin(page_id)
+            if blobs:
+                yield ColumnBatch.from_rows(fields, decode_many(blobs))
+
+    def iter_column_batches(
+        self,
+        layout: StoredLayout,
+        group_indexes: Sequence[int],
+        *,
+        batch_size: int = DEFAULT_BATCH_ROWS,
+    ) -> Iterator[ColumnBatch]:
+        """Positionally aligned batches over the given column groups.
+
+        Each group's chunks decode whole (via the codec ``decode_all`` bulk
+        path); a per-group cursor then serves aligned ``batch_size`` slices
+        so groups with different chunk geometries merge without per-value
+        round-trips.
+        """
+        fields = tuple(
+            f
+            for i in group_indexes
+            for f in layout.column_groups[i].fields
+        )
+        cursors = [
+            _ColumnCursor(self._iter_group_chunks(layout, i))
+            for i in group_indexes
+        ]
+        while True:
+            lead = cursors[0].take(batch_size)
+            if lead is None:
+                return
+            n = len(lead[0])
+            columns = list(lead)
+            for cursor in cursors[1:]:
+                more = cursor.take(n)
+                if more is None or len(more[0]) != n:
+                    raise StorageError(
+                        "column groups disagree on row count"
+                    )
+                columns.extend(more)
+            yield ColumnBatch.from_columns(fields, columns)
+
+    def _iter_group_chunks(
+        self, layout: StoredLayout, group_index: int
+    ) -> Iterator[list]:
+        """One group's chunks as lists of per-field value vectors."""
+        store = layout.column_groups[group_index]
+        plan = layout.plan
+        if len(store.fields) == 1:
+            dtype = plan.schema.field(store.fields[0]).dtype
+            codec = get_codec(plan.codec_for(store.fields[0]))
+            decode_all = codec.decode_all
+            for page_index, _rows in store.chunks:
+                page_id = store.extent.page_ids[page_index]
+                frame = self.pool.fetch(page_id)
+                try:
+                    data = BytePage(self.page_size, frame.data).read()
+                finally:
+                    self.pool.unpin(page_id)
+                values = decode_all(data, dtype)
+                if values:
+                    yield [values]
+        else:
+            serializer = RecordSerializer(plan.schema.project(store.fields))
+            for page_id in store.extent.page_ids:
+                frame = self.pool.fetch(page_id)
+                try:
+                    page = SlottedPage(self.page_size, frame.data)
+                    blobs = [blob for _, blob in page.records()]
+                finally:
+                    self.pool.unpin(page_id)
+                if blobs:
+                    yield list(zip(*serializer.decode_many(blobs)))
+
+    def iter_folded_batches(
+        self,
+        layout: StoredLayout,
+        indices: Sequence[int] | None = None,
+        *,
+        batch_size: int = DEFAULT_BATCH_ROWS,
+    ) -> Iterator[ColumnBatch]:
+        """Un-nested folded records, coalesced into ~``batch_size`` batches."""
+        plan = layout.plan
+        fields = tuple(plan.group_fields) + tuple(plan.nest_fields)
+        single = len(plan.nest_fields) == 1
+        rows: list[tuple] = []
+        for row in self.iter_folded(layout, indices, bulk=True):
+            key = row[:-1]
+            nested = row[-1]
+            if single:
+                rows.extend(key + (item,) for item in nested)
+            else:
+                rows.extend(key + tuple(item) for item in nested)
+            if len(rows) >= batch_size:
+                yield ColumnBatch.from_rows(fields, rows)
+                rows = []
+        if rows:
+            yield ColumnBatch.from_rows(fields, rows)
+
+    def iter_array_batches(
+        self, layout: StoredLayout
+    ) -> Iterator[ColumnBatch]:
+        """Array leaves as single-column batches, one per page."""
+        if layout.extent is None:
+            return
+        dtype = layout.array_dtype or layout.plan.schema.fields[0].dtype
+        serializer = VectorSerializer(dtype)
+        for page_id in layout.extent.page_ids:
+            frame = self.pool.fetch(page_id)
+            try:
+                page = BytePage(self.page_size, frame.data)
+                values = serializer.decode_bulk(page.read())
+            finally:
+                self.pool.unpin(page_id)
+            if values:
+                yield ColumnBatch.from_columns(("value",), [values])
 
     def get_array_element(self, layout: StoredLayout, index: Sequence[int] | int) -> Any:
         """Direct-offset lookup of one array element (multidim supported)."""

@@ -5,6 +5,12 @@ oriented system, or any other interface"). This executor is the minimal
 query-processing layer the examples and benchmarks need: projection,
 predicate, order, limit — all pushed into the access methods — plus
 client-side grouped aggregation.
+
+Execution is batch-at-a-time: plain queries push ``limit`` into
+:meth:`Table.scan` (index probes and order-satisfied scans stop reading
+early), and aggregations consume :meth:`Table.scan_batches` directly,
+folding each batch into scalar accumulators (count/sum/min/max/avg states)
+without materializing per-group member lists.
 """
 
 from __future__ import annotations
@@ -72,15 +78,26 @@ def execute(table: "Table", spec: QuerySpec) -> list[tuple]:
         fieldlist=list(spec.fieldlist) if spec.fieldlist else None,
         predicate=spec.predicate,
         order=list(spec.order) if spec.order else None,
+        limit=spec.limit,
     )
-    if spec.limit is not None:
-        out: list[tuple] = []
-        for row in rows:
-            out.append(row)
-            if len(out) >= spec.limit:
-                break
-        return out
     return list(rows)
+
+
+#: min/max slots start at this sentinel (not None: a None *value* must flow
+#: into comparisons and fail the same way builtin min()/max() would).
+_UNSET = object()
+
+
+class _AggState:
+    """Scalar accumulator states for one group (no member-row buffering)."""
+
+    __slots__ = ("count", "sums", "mins", "maxs")
+
+    def __init__(self, n_sums: int, n_minmax: int):
+        self.count = 0
+        self.sums = [0] * n_sums
+        self.mins: list[Any] = [_UNSET] * n_minmax
+        self.maxs: list[Any] = [_UNSET] * n_minmax
 
 
 def _execute_aggregation(table: "Table", spec: QuerySpec) -> list[tuple]:
@@ -91,32 +108,67 @@ def _execute_aggregation(table: "Table", spec: QuerySpec) -> list[tuple]:
     if not needed:
         # count(*) with no grouping: scan the narrowest thing available.
         needed = [table.scan_schema().names()[0]]
-    rows = list(
-        table.scan(fieldlist=needed, predicate=spec.predicate)
-    )
     positions = {name: i for i, name in enumerate(needed)}
-    group_idx = [positions[g] for g in spec.group_by]
+    n_group = len(spec.group_by)
 
-    groups: dict[tuple, list[tuple]] = {}
-    order: list[tuple] = []
-    for row in rows:
-        key = tuple(row[i] for i in group_idx)
-        if key not in groups:
-            groups[key] = []
-            order.append(key)
-        groups[key].append(row)
+    # Aggregates fold into scalar states: one shared count per group plus a
+    # running sum / min / max slot per (func, source) pair. avg = sum/count
+    # of its own source's non-degenerate slot.
+    sum_fields: list[str] = []
+    minmax_specs: list[tuple[str, str]] = []  # (func, source)
+    for agg in spec.aggregates:
+        if agg.func in ("sum", "avg") and agg.source not in sum_fields:
+            sum_fields.append(agg.source)
+        if agg.func in ("min", "max"):
+            minmax_specs.append((agg.func, agg.source))
+    sum_idx = [positions[f] for f in sum_fields]
+    minmax_idx = [positions[src] for _, src in minmax_specs]
+    states: dict[tuple, _AggState] = {}
+
+    for batch in table.scan_batches(
+        fieldlist=needed, predicate=spec.predicate
+    ):
+        for row in batch:
+            key = row[:n_group]
+            state = states.get(key)
+            if state is None:
+                state = states[key] = _AggState(
+                    len(sum_fields), len(minmax_specs)
+                )
+            state.count += 1
+            for slot, i in enumerate(sum_idx):
+                state.sums[slot] += row[i]
+            for slot, i in enumerate(minmax_idx):
+                value = row[i]
+                func, _ = minmax_specs[slot]
+                if func == "min":
+                    if state.mins[slot] is _UNSET or value < state.mins[slot]:
+                        state.mins[slot] = value
+                else:
+                    if state.maxs[slot] is _UNSET or value > state.maxs[slot]:
+                        state.maxs[slot] = value
 
     out: list[tuple] = []
-    for key in order:
-        members = groups[key]
+    for key, state in states.items():  # dicts preserve first-seen order
         result: list[Any] = list(key)
         for agg in spec.aggregates:
-            fn = _AGGREGATES[agg.func]
             if agg.source is None:
-                result.append(len(members))
-            else:
-                values = [m[positions[agg.source]] for m in members]
-                result.append(fn(values))
+                result.append(state.count)
+            elif agg.func == "count":
+                result.append(state.count)
+            elif agg.func == "sum":
+                result.append(state.sums[sum_fields.index(agg.source)])
+            elif agg.func == "avg":
+                total = state.sums[sum_fields.index(agg.source)]
+                result.append(total / state.count if state.count else None)
+            elif agg.func == "min":
+                result.append(
+                    state.mins[minmax_specs.index(("min", agg.source))]
+                )
+            else:  # max
+                result.append(
+                    state.maxs[minmax_specs.index(("max", agg.source))]
+                )
         out.append(tuple(result))
     if spec.order:
         names = list(spec.group_by) + [a.output_name for a in spec.aggregates]

@@ -13,13 +13,26 @@ A predicate can be built three ways:
 * :func:`from_scalar` — converting a parsed algebra condition such as
   ``r.lat >= 42.1 and r.lat < 42.3``;
 * any object implementing the small :class:`Predicate` protocol.
+
+Batch execution contract (the scan pipeline's hot path):
+
+* :meth:`Predicate.compile` turns the predicate into a single Python
+  closure ``record -> truthy`` built **once per scan**: ranges become
+  chained comparisons (``lo <= r[i] <= hi``), conjunctions/disjunctions
+  are compiled into one generated expression, and scalar residuals are
+  translated from the algebra AST into Python source. The closure must
+  agree with :meth:`Predicate.matches` on every record.
+* :meth:`Predicate.filter_batch` evaluates the predicate against a batch's
+  ``field -> value vector`` mapping and returns a selection mask (one
+  truthy/falsy entry per row). Range-shaped predicates produce the mask
+  with per-column list comprehensions — no per-row method dispatch.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.algebra import ast
 from repro.algebra.transforms import eval_scalar
@@ -46,6 +59,40 @@ class Predicate:
 
     def fields_used(self) -> set[str]:
         return set(self.ranges())
+
+    def compile(
+        self, positions: Mapping[str, int]
+    ) -> Callable[[Sequence[Any]], Any]:
+        """A one-argument closure equivalent to ``matches`` (built once).
+
+        ``positions`` maps field names to tuple positions of the records
+        the closure will see. The default binds :meth:`matches`; subclasses
+        override with specialized closures (chained comparisons, generated
+        conjunction source) that avoid per-record dict lookups and method
+        dispatch.
+        """
+        matches = self.matches
+        frozen = dict(positions)
+        return lambda record: matches(record, frozen)
+
+    def filter_batch(
+        self, columns: Mapping[str, Sequence[Any]], n_rows: int
+    ) -> list:
+        """Selection mask for one batch: a truthy/falsy entry per row.
+
+        ``columns`` maps every available field to its value vector (all
+        vectors ``n_rows`` long). The generic implementation zips only the
+        :meth:`fields_used` columns through the compiled closure, so
+        subclasses with accurate ``fields_used`` get batch evaluation for
+        free; range-shaped predicates override with per-column masks.
+        """
+        used = sorted(self.fields_used())
+        fn = self.compile({name: i for i, name in enumerate(used)})
+        if not used:
+            verdict = bool(fn(()))
+            return [verdict] * n_rows
+        vectors = [columns[name] for name in used]
+        return [fn(record) for record in zip(*vectors)]
 
 
 @dataclass(frozen=True)
@@ -75,6 +122,34 @@ class Range(Predicate):
     def fields_used(self) -> set[str]:
         return {self.field}
 
+    def compile(
+        self, positions: Mapping[str, int]
+    ) -> Callable[[Sequence[Any]], Any]:
+        try:
+            i = positions[self.field]
+        except KeyError:
+            raise QueryError(f"unknown predicate field {self.field!r}") from None
+        lo, hi = self.lo, self.hi
+        if lo == NEG_INF:
+            return lambda record: record[i] <= hi
+        if hi == POS_INF:
+            return lambda record: lo <= record[i]
+        return lambda record: lo <= record[i] <= hi
+
+    def filter_batch(
+        self, columns: Mapping[str, Sequence[Any]], n_rows: int
+    ) -> list:
+        try:
+            column = columns[self.field]
+        except KeyError:
+            raise QueryError(f"unknown predicate field {self.field!r}") from None
+        lo, hi = self.lo, self.hi
+        if lo == NEG_INF:
+            return [value <= hi for value in column]
+        if hi == POS_INF:
+            return [lo <= value for value in column]
+        return [lo <= value <= hi for value in column]
+
 
 class Rect(Predicate):
     """A conjunction of ranges — the case study's spatial rectangle."""
@@ -94,6 +169,20 @@ class Rect(Predicate):
 
     def fields_used(self) -> set[str]:
         return set(self._ranges)
+
+    def compile(
+        self, positions: Mapping[str, int]
+    ) -> Callable[[Sequence[Any]], Any]:
+        return _compile_junction(
+            list(self._ranges.values()), positions, " and "
+        )
+
+    def filter_batch(
+        self, columns: Mapping[str, Sequence[Any]], n_rows: int
+    ) -> list:
+        return _mask_junction(
+            list(self._ranges.values()), columns, n_rows, all_of=True
+        )
 
     def __repr__(self) -> str:
         inner = ", ".join(
@@ -130,6 +219,16 @@ class And(Predicate):
             used |= part.fields_used()
         return used
 
+    def compile(
+        self, positions: Mapping[str, int]
+    ) -> Callable[[Sequence[Any]], Any]:
+        return _compile_junction(list(self.parts), positions, " and ")
+
+    def filter_batch(
+        self, columns: Mapping[str, Sequence[Any]], n_rows: int
+    ) -> list:
+        return _mask_junction(list(self.parts), columns, n_rows, all_of=True)
+
 
 class Or(Predicate):
     """Disjunction; per-field ranges are the union's bounding interval."""
@@ -162,6 +261,16 @@ class Or(Predicate):
             used |= part.fields_used()
         return used
 
+    def compile(
+        self, positions: Mapping[str, int]
+    ) -> Callable[[Sequence[Any]], Any]:
+        return _compile_junction(list(self.parts), positions, " or ")
+
+    def filter_batch(
+        self, columns: Mapping[str, Sequence[Any]], n_rows: int
+    ) -> list:
+        return _mask_junction(list(self.parts), columns, n_rows, all_of=False)
+
 
 class Not(Predicate):
     """Negation; contributes no prunable ranges."""
@@ -174,6 +283,17 @@ class Not(Predicate):
 
     def fields_used(self) -> set[str]:
         return self.part.fields_used()
+
+    def compile(
+        self, positions: Mapping[str, int]
+    ) -> Callable[[Sequence[Any]], Any]:
+        inner = self.part.compile(positions)
+        return lambda record: not inner(record)
+
+    def filter_batch(
+        self, columns: Mapping[str, Sequence[Any]], n_rows: int
+    ) -> list:
+        return [not kept for kept in self.part.filter_batch(columns, n_rows)]
 
 
 class ScalarPredicate(Predicate):
@@ -196,6 +316,27 @@ class ScalarPredicate(Predicate):
     def fields_used(self) -> set[str]:
         return self.condition.fields_used()
 
+    def compile(
+        self, positions: Mapping[str, int]
+    ) -> Callable[[Sequence[Any]], Any]:
+        """Translate the condition AST into one Python closure.
+
+        Comparisons, arithmetic, and logical connectives compile to native
+        Python source (constants bound by name); anything the translator
+        does not recognize falls back to an ``eval_scalar`` closure.
+        """
+        bindings: dict[str, Any] = {}
+        source = _scalar_source(self.condition, positions, bindings)
+        if source is None:
+            condition = self.condition
+            frozen = dict(positions)
+            return lambda record: eval_scalar(condition, record, frozen)
+        namespace = {"__builtins__": {}}
+        namespace.update(bindings)
+        return eval(  # noqa: S307 - source built from our own AST
+            f"lambda record: {source}", namespace
+        )
+
     def __repr__(self) -> str:
         return f"ScalarPredicate({self.condition.to_text()})"
 
@@ -203,6 +344,115 @@ class ScalarPredicate(Predicate):
 def from_scalar(condition: ast.Scalar) -> ScalarPredicate:
     """Convert a parsed algebra condition into a predicate."""
     return ScalarPredicate(condition)
+
+
+# ---------------------------------------------------------------------------
+# predicate compilation helpers
+# ---------------------------------------------------------------------------
+
+_COMPARISON_OPS = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+_ARITH_OPS = {"+": "+", "-": "-", "*": "*", "/": "/", "%": "%"}
+
+
+def _scalar_source(
+    expr: ast.Scalar, positions: Mapping[str, int], bindings: dict[str, Any]
+) -> str | None:
+    """Python source for a scalar AST over ``record``, or None if some node
+    has no translation (the caller then falls back to ``eval_scalar``).
+
+    Constants are bound by generated name in ``bindings`` rather than
+    embedded as literals, so arbitrary values (strings, infinities) work.
+    """
+    if isinstance(expr, ast.Const):
+        name = f"_c{len(bindings)}"
+        bindings[name] = expr.value
+        return name
+    if isinstance(expr, ast.FieldRef):
+        if expr.name not in positions:
+            return None
+        return f"record[{positions[expr.name]}]"
+    if isinstance(expr, ast.Comparison):
+        op = _COMPARISON_OPS.get(expr.op)
+        left = _scalar_source(expr.left, positions, bindings)
+        right = _scalar_source(expr.right, positions, bindings)
+        if op is None or left is None or right is None:
+            return None
+        return f"({left} {op} {right})"
+    if isinstance(expr, ast.Arith):
+        op = _ARITH_OPS.get(expr.op)
+        left = _scalar_source(expr.left, positions, bindings)
+        right = _scalar_source(expr.right, positions, bindings)
+        if op is None or left is None or right is None:
+            return None
+        return f"({left} {op} {right})"
+    if isinstance(expr, ast.Logical):
+        parts = [
+            _scalar_source(operand, positions, bindings)
+            for operand in expr.operands
+        ]
+        if any(part is None for part in parts):
+            return None
+        if expr.op == "not":
+            return f"(not {parts[0]})"
+        if expr.op in ("and", "or"):
+            return "(" + f" {expr.op} ".join(parts) + ")"
+        return None
+    return None
+
+
+def _compile_junction(
+    parts: Sequence[Predicate], positions: Mapping[str, int], joiner: str
+) -> Callable[[Sequence[Any]], Any]:
+    """One closure combining ``parts`` with ``and``/``or`` short-circuiting.
+
+    Each part compiles once; the combination is generated source calling
+    the bound sub-closures, so an N-way conjunction is a single frame with
+    native short-circuit evaluation rather than an ``all()`` of dispatches.
+    """
+    if len(parts) == 1:
+        return parts[0].compile(positions)
+    namespace: dict[str, Any] = {"__builtins__": {}}
+    terms = []
+    for i, part in enumerate(parts):
+        if isinstance(part, Range) and part.field in positions:
+            # Inline ranges as chained comparisons instead of calls.
+            name_lo, name_hi = f"_lo{i}", f"_hi{i}"
+            position = positions[part.field]
+            if part.lo == NEG_INF:
+                namespace[name_hi] = part.hi
+                terms.append(f"(record[{position}] <= {name_hi})")
+            elif part.hi == POS_INF:
+                namespace[name_lo] = part.lo
+                terms.append(f"({name_lo} <= record[{position}])")
+            else:
+                namespace[name_lo] = part.lo
+                namespace[name_hi] = part.hi
+                terms.append(
+                    f"({name_lo} <= record[{position}] <= {name_hi})"
+                )
+        else:
+            namespace[f"_p{i}"] = part.compile(positions)
+            terms.append(f"_p{i}(record)")
+    return eval(  # noqa: S307 - source assembled from fixed templates
+        f"lambda record: {joiner.join(terms)}", namespace
+    )
+
+
+def _mask_junction(
+    parts: Sequence[Predicate],
+    columns: Mapping[str, Sequence[Any]],
+    n_rows: int,
+    all_of: bool,
+) -> list:
+    """Combine per-part selection masks column-wise (And/Rect/Or)."""
+    mask = parts[0].filter_batch(columns, n_rows)
+    for part in parts[1:]:
+        other = part.filter_batch(columns, n_rows)
+        if all_of:
+            mask = [a and b for a, b in zip(mask, other)]
+        else:
+            mask = [a or b for a, b in zip(mask, other)]
+    return mask
 
 
 def _extract_ranges(condition: ast.Scalar) -> dict[str, tuple[float, float]]:
