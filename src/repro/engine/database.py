@@ -270,6 +270,12 @@ class RodentStore:
     def table(self, name: str) -> Table:
         return Table(self, self.catalog.entry(name))
 
+    def query(self, table: str):
+        """A fluent :class:`~repro.query.frontend.Q` builder on ``table``."""
+        from repro.query.frontend import Q
+
+        return Q(self, table)
+
     def tables(self) -> list[str]:
         return self.catalog.names()
 

@@ -127,6 +127,32 @@ class TableStats:
         return selectivity
 
 
+def join_cardinality(
+    left_rows: float,
+    right_rows: float,
+    key_stats: Sequence[tuple["FieldStats | None", "FieldStats | None"]],
+) -> float:
+    """Textbook equi-join cardinality estimate.
+
+    ``|L ⋈ R| ≈ |L| · |R| / Π max(V(L, k_l), V(R, k_r))`` over the join-key
+    pairs; ``key_stats`` carries each pair's :class:`FieldStats` (either
+    side ``None`` when unknown — the left side of a multi-way join mixes
+    several tables, so stats are resolved per key, not per table). A pair
+    with no distinct-value information on either side contributes no
+    reduction (a conservative upper bound). The query planner uses this to
+    order joins and to pick hash-build sides.
+    """
+    cardinality = float(left_rows) * float(right_rows)
+    for left_field, right_field in key_stats:
+        distinct = 1
+        if left_field is not None:
+            distinct = max(distinct, left_field.distinct)
+        if right_field is not None:
+            distinct = max(distinct, right_field.distinct)
+        cardinality /= max(1, distinct)
+    return cardinality
+
+
 def _build_histogram(
     values: Sequence[float], lo: float, hi: float
 ) -> list[int]:

@@ -154,6 +154,11 @@ class Table:
         return self._entry.name
 
     @property
+    def store(self) -> "RodentStore":
+        """The owning store (the query planner resolves join tables here)."""
+        return self._db
+
+    @property
     def logical_schema(self) -> Schema:
         return self._entry.logical_schema
 
@@ -183,6 +188,27 @@ class Table:
     def scan_schema(self) -> Schema:
         """Schema of the tuples a scan produces (folded layouts un-nest)."""
         return _scan_schema(self.plan)
+
+    @property
+    def stats(self):
+        """Collected :class:`~repro.engine.stats.TableStats`, or ``None``."""
+        return self._entry.stats
+
+    def estimated_row_count(self, predicate: Predicate | None = None) -> float:
+        """Expected rows a scan with ``predicate`` produces.
+
+        The base count is the table's actual row count; the predicate's
+        prunable ranges scale it by histogram selectivity (independence
+        assumption). Residual conditions beyond the ranges are ignored, so
+        this is an upper-bound style estimate — what the planner needs for
+        join ordering and build-side choice.
+        """
+        base = float(self.row_count)
+        if predicate is None or self._entry.stats is None:
+            return base
+        return base * self._entry.stats.predicate_selectivity(
+            predicate.ranges()
+        )
 
     # ==================================================================
     # scan
@@ -824,9 +850,15 @@ class Table:
 
         return fetch_rows_by_position(self, positions)
 
-    def _index_positions(
+    def _index_candidate(
         self, predicate: Predicate | None
-    ) -> list[int] | None:
+    ) -> tuple[str, tuple[str, ...]] | None:
+        """Which index (if any) a scan would probe — decision only, no I/O.
+
+        Returns ``("spatial", (x, y))`` or ``("field", (name,))``, mirroring
+        the gates :meth:`_index_positions` applies before probing; the
+        planner uses this to label the access path without paying the probe.
+        """
         if (
             predicate is None
             or self.plan.kind != LAYOUT_ROWS
@@ -837,29 +869,41 @@ class Table:
             return None
         ranges = predicate.ranges()
         stats = self._entry.stats
-
-        best: list[int] | None = None
-        for (x_field, y_field), index in self._entry.spatial_indexes.items():
+        for (x_field, y_field) in self._entry.spatial_indexes:
+            index = self._entry.spatial_indexes[(x_field, y_field)]
             if index.stale or x_field not in ranges or y_field not in ranges:
                 continue
             if not self._selective_enough(stats, ranges, (x_field, y_field)):
                 continue
+            return "spatial", (x_field, y_field)
+        for field_name, index in self._entry.indexes.items():
+            if index.stale or field_name not in ranges:
+                continue
+            lo, hi = ranges[field_name]
+            if lo == float("-inf") or hi == float("inf"):
+                continue
+            if not self._selective_enough(stats, ranges, (field_name,)):
+                continue
+            return "field", (field_name,)
+        return None
+
+    def _index_positions(
+        self, predicate: Predicate | None
+    ) -> list[int] | None:
+        candidate = self._index_candidate(predicate)
+        if candidate is None:
+            return None
+        kind, fields = candidate
+        ranges = predicate.ranges()
+        if kind == "spatial":
+            x_field, y_field = fields
+            index = self._entry.spatial_indexes[(x_field, y_field)]
             x_lo, x_hi = ranges[x_field]
             y_lo, y_hi = ranges[y_field]
-            best = index.positions_in_box(x_lo, x_hi, y_lo, y_hi)
-            break
-        if best is None:
-            for field_name, index in self._entry.indexes.items():
-                if index.stale or field_name not in ranges:
-                    continue
-                lo, hi = ranges[field_name]
-                if lo == float("-inf") or hi == float("inf"):
-                    continue
-                if not self._selective_enough(stats, ranges, (field_name,)):
-                    continue
-                best = index.positions_in_range(lo, hi)
-                break
-        return best
+            return index.positions_in_box(x_lo, x_hi, y_lo, y_hi)
+        (field_name,) = fields
+        lo, hi = ranges[field_name]
+        return self._entry.indexes[field_name].positions_in_range(lo, hi)
 
     def _selective_enough(
         self, stats, ranges: dict, fields: tuple[str, ...]
@@ -997,16 +1041,46 @@ class Table:
         """Estimated cost of the scan, in milliseconds (§4.1 method 4)."""
         order_keys = normalize_order(order)
         needed = self._needed_fields(fieldlist, predicate, order_keys)
-        total = self._layout_scan_cost(self.layout, needed, predicate)
-        model = self._db.cost_model
-        for overflow in self._entry.overflow:
-            total = total + estimate(
-                model, overflow.total_pages(), 1
-            )
+        total = self._full_scan_estimate(needed, predicate)
         via_index = self._index_cost(predicate)
         if via_index is not None and via_index.ms < total.ms:
             return via_index
         return total
+
+    def _full_scan_estimate(
+        self,
+        needed: Sequence[str] | None,
+        predicate: Predicate | None,
+    ) -> CostEstimate:
+        """Main-layout scan cost plus one pass per overflow region (the
+        shared scan branch of :meth:`scan_cost` and :meth:`access_path`)."""
+        total = self._layout_scan_cost(self.layout, needed, predicate)
+        model = self._db.cost_model
+        for overflow in self._entry.overflow:
+            total = total + estimate(model, overflow.total_pages(), 1)
+        return total
+
+    def access_path(
+        self,
+        fieldlist: Sequence[str] | None = None,
+        predicate: Predicate | None = None,
+        order: Order | None = None,
+    ) -> tuple[str, CostEstimate]:
+        """The access method a scan with these arguments will actually use.
+
+        Returns ``("index", cost)`` or ``("scan", cost)``. Unlike
+        :meth:`scan_cost` — which returns the cheaper of the two estimates —
+        this mirrors the runtime gate (:meth:`_index_candidate`: a fresh,
+        range-covered, selective-enough index), so ``Q.explain()`` reports
+        the path :meth:`scan_batches` will take, with its estimated cost.
+        """
+        order_keys = normalize_order(order)
+        needed = self._needed_fields(fieldlist, predicate, order_keys)
+        if self._index_candidate(predicate) is not None:
+            via_index = self._index_cost(predicate)
+            if via_index is not None:
+                return "index", via_index
+        return "scan", self._full_scan_estimate(needed, predicate)
 
     def _index_cost(self, predicate: Predicate | None) -> CostEstimate | None:
         """Estimated cost of the secondary-index path, from statistics."""
@@ -1149,6 +1223,17 @@ class Table:
         method 6): every prefix of the stored sort keys."""
         stored = tuple(self.plan.sort_keys)
         return [stored[: i + 1] for i in range(len(stored))]
+
+    def order_satisfied(self, order: Order | None) -> bool:
+        """True when a scan with ``order`` will not buffer-and-sort.
+
+        The public face of the runtime gate scans use: the stored sort keys
+        must prefix-cover ``order`` and no unordered overflow/pending rows
+        may trail the main layout. The query planner consults this (rather
+        than re-deriving it from :meth:`order_list`) so its sort-cost
+        estimates track exactly what :meth:`scan_batches` will do.
+        """
+        return self._order_satisfied(normalize_order(order))
 
     # ==================================================================
     # inserts, overflow, compaction (paper §5 reorganization states)

@@ -1,4 +1,13 @@
-"""Query layer: predicates, executor, and the fluent front end."""
+"""Query layer: a plan-based compiler over the storage access methods.
+
+Stages (front to back): :class:`Q` (fluent builder) accumulates a
+:class:`QuerySpec`; the planner (:mod:`repro.query.planner`) lowers it to
+the logical IR (:mod:`repro.query.plan`), applies pushdown rewrites and
+cost-based access-path/join-order choices, and emits the batch physical
+operators of :mod:`repro.query.operators`; :func:`execute` is the
+compile-and-run wrapper. Predicates (:mod:`repro.query.expressions`) are
+shared with the storage layer's ``scan`` API.
+"""
 
 from repro.query.executor import Aggregate, QuerySpec, execute
 from repro.query.expressions import (
@@ -12,10 +21,12 @@ from repro.query.expressions import (
     from_scalar,
 )
 from repro.query.frontend import Q
+from repro.query.plan import JoinClause
 
 __all__ = [
     "Aggregate",
     "And",
+    "JoinClause",
     "Not",
     "Or",
     "Predicate",

@@ -1,36 +1,36 @@
-"""A small scan-based query executor.
+"""Declarative query specs and the compile-and-run entry point.
 
-The paper leaves the front end open ("it may be a SQL database, an array
-oriented system, or any other interface"). This executor is the minimal
-query-processing layer the examples and benchmarks need: projection,
-predicate, order, limit — all pushed into the access methods — plus
-client-side grouped aggregation.
+This module is the front door of the query compiler. A :class:`QuerySpec`
+is the declarative description a :class:`~repro.query.frontend.Q` builder
+accumulates — projection, predicate, joins, grouping, order, limit — and
+:func:`execute` compiles it through the planner
+(:mod:`repro.query.planner`: logical plan, pushdown rewrites, cost-based
+access paths, join ordering) into the batch operators of
+:mod:`repro.query.operators` and materializes the result.
 
-Execution is batch-at-a-time: plain queries push ``limit`` into
-:meth:`Table.scan` (index probes and order-satisfied scans stop reading
-early), and aggregations consume :meth:`Table.scan_batches` directly,
-folding each batch into scalar accumulators (count/sum/min/max/avg states)
-without materializing per-group member lists.
+Historically this module *was* the executor (a single-table scan wrapper
+plus a hand-rolled aggregation loop); the aggregation machinery now lives
+in :class:`repro.query.operators.GroupByOp` and ``execute`` stays only as
+the stable, API-compatible entry point.
+
+Aggregate null semantics follow SQL: ``count(field)`` counts non-``None``
+values while ``count(*)`` counts rows; ``sum``/``avg``/``min``/``max``
+skip ``None`` and yield ``None`` when every input value is ``None``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import QueryError
 from repro.query.expressions import Predicate
+from repro.query.plan import JoinClause
 
 if TYPE_CHECKING:  # pragma: no cover - circular import guard
     from repro.engine.table import Table
 
-_AGGREGATES: dict[str, Callable[[list], Any]] = {
-    "count": len,
-    "sum": sum,
-    "min": min,
-    "max": max,
-    "avg": lambda values: sum(values) / len(values) if values else None,
-}
+_AGGREGATE_FUNCS = ("avg", "count", "max", "min", "sum")
 
 
 @dataclass(frozen=True)
@@ -42,10 +42,10 @@ class Aggregate:
     alias: str | None = None
 
     def __post_init__(self):
-        if self.func not in _AGGREGATES:
+        if self.func not in _AGGREGATE_FUNCS:
             raise QueryError(
                 f"unknown aggregate {self.func!r}; "
-                f"available: {sorted(_AGGREGATES)}"
+                f"available: {sorted(_AGGREGATE_FUNCS)}"
             )
         if self.func != "count" and self.source is None:
             raise QueryError(f"aggregate {self.func} requires a source field")
@@ -59,7 +59,7 @@ class Aggregate:
 
 @dataclass
 class QuerySpec:
-    """A declarative query against one table."""
+    """A declarative query: one base table plus optional equi-joins."""
 
     table: str
     fieldlist: tuple[str, ...] | None = None
@@ -68,115 +68,16 @@ class QuerySpec:
     limit: int | None = None
     group_by: tuple[str, ...] = ()
     aggregates: tuple[Aggregate, ...] = ()
+    joins: tuple[JoinClause, ...] = field(default_factory=tuple)
 
 
 def execute(table: "Table", spec: QuerySpec) -> list[tuple]:
-    """Run ``spec`` against ``table`` and materialize the result."""
-    if spec.aggregates:
-        return _execute_aggregation(table, spec)
-    rows = table.scan(
-        fieldlist=list(spec.fieldlist) if spec.fieldlist else None,
-        predicate=spec.predicate,
-        order=list(spec.order) if spec.order else None,
-        limit=spec.limit,
-    )
-    return list(rows)
+    """Compile ``spec`` against base ``table``, run it, materialize rows.
 
+    Join clauses are resolved against ``table``'s owning store. This is a
+    thin wrapper over :func:`repro.query.planner.compile_query`; use the
+    planner directly to inspect or re-run the operator tree.
+    """
+    from repro.query.planner import compile_query
 
-#: min/max slots start at this sentinel (not None: a None *value* must flow
-#: into comparisons and fail the same way builtin min()/max() would).
-_UNSET = object()
-
-
-class _AggState:
-    """Scalar accumulator states for one group (no member-row buffering)."""
-
-    __slots__ = ("count", "sums", "mins", "maxs")
-
-    def __init__(self, n_sums: int, n_minmax: int):
-        self.count = 0
-        self.sums = [0] * n_sums
-        self.mins: list[Any] = [_UNSET] * n_minmax
-        self.maxs: list[Any] = [_UNSET] * n_minmax
-
-
-def _execute_aggregation(table: "Table", spec: QuerySpec) -> list[tuple]:
-    needed: list[str] = list(spec.group_by)
-    for agg in spec.aggregates:
-        if agg.source is not None and agg.source not in needed:
-            needed.append(agg.source)
-    if not needed:
-        # count(*) with no grouping: scan the narrowest thing available.
-        needed = [table.scan_schema().names()[0]]
-    positions = {name: i for i, name in enumerate(needed)}
-    n_group = len(spec.group_by)
-
-    # Aggregates fold into scalar states: one shared count per group plus a
-    # running sum / min / max slot per (func, source) pair. avg = sum/count
-    # of its own source's non-degenerate slot.
-    sum_fields: list[str] = []
-    minmax_specs: list[tuple[str, str]] = []  # (func, source)
-    for agg in spec.aggregates:
-        if agg.func in ("sum", "avg") and agg.source not in sum_fields:
-            sum_fields.append(agg.source)
-        if agg.func in ("min", "max"):
-            minmax_specs.append((agg.func, agg.source))
-    sum_idx = [positions[f] for f in sum_fields]
-    minmax_idx = [positions[src] for _, src in minmax_specs]
-    states: dict[tuple, _AggState] = {}
-
-    for batch in table.scan_batches(
-        fieldlist=needed, predicate=spec.predicate
-    ):
-        for row in batch:
-            key = row[:n_group]
-            state = states.get(key)
-            if state is None:
-                state = states[key] = _AggState(
-                    len(sum_fields), len(minmax_specs)
-                )
-            state.count += 1
-            for slot, i in enumerate(sum_idx):
-                state.sums[slot] += row[i]
-            for slot, i in enumerate(minmax_idx):
-                value = row[i]
-                func, _ = minmax_specs[slot]
-                if func == "min":
-                    if state.mins[slot] is _UNSET or value < state.mins[slot]:
-                        state.mins[slot] = value
-                else:
-                    if state.maxs[slot] is _UNSET or value > state.maxs[slot]:
-                        state.maxs[slot] = value
-
-    out: list[tuple] = []
-    for key, state in states.items():  # dicts preserve first-seen order
-        result: list[Any] = list(key)
-        for agg in spec.aggregates:
-            if agg.source is None:
-                result.append(state.count)
-            elif agg.func == "count":
-                result.append(state.count)
-            elif agg.func == "sum":
-                result.append(state.sums[sum_fields.index(agg.source)])
-            elif agg.func == "avg":
-                total = state.sums[sum_fields.index(agg.source)]
-                result.append(total / state.count if state.count else None)
-            elif agg.func == "min":
-                result.append(
-                    state.mins[minmax_specs.index(("min", agg.source))]
-                )
-            else:  # max
-                result.append(
-                    state.maxs[minmax_specs.index(("max", agg.source))]
-                )
-        out.append(tuple(result))
-    if spec.order:
-        names = list(spec.group_by) + [a.output_name for a in spec.aggregates]
-        idx = {n: i for i, n in enumerate(names)}
-        for name, ascending in reversed(spec.order):
-            if name not in idx:
-                raise QueryError(f"cannot order aggregate result by {name!r}")
-            out.sort(key=lambda r: r[idx[name]], reverse=not ascending)
-    if spec.limit is not None:
-        out = out[: spec.limit]
-    return out
+    return compile_query(table, spec).rows()

@@ -15,22 +15,37 @@ Database Front End" box (Figure 1)::
     )
 
     per_taxi = Q(store, "Traces").group_by("id").agg(count="*").run()
+
+    enriched = (
+        Q(store, "Sales")
+        .join("Customers", on="customerid")
+        .group_by("region")
+        .agg(revenue="sum:price")
+        .run()
+    )
+
+``run()`` compiles the accumulated :class:`QuerySpec` through the query
+planner (logical plan, pushdown rewrites, cost-based access paths, hash
+joins — see :mod:`repro.query.planner`); ``explain()`` returns the chosen
+physical plan tree with per-operator cardinality and cost estimates.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.errors import QueryError
 from repro.query.executor import Aggregate, QuerySpec, execute
 from repro.query.expressions import And, Predicate
+from repro.query.plan import JoinClause
 
 if TYPE_CHECKING:  # pragma: no cover - circular import guard
     from repro.engine.database import RodentStore
+    from repro.query.planner import PlanExplain
 
 
 class Q:
-    """Query builder bound to one table of a store."""
+    """Query builder bound to one base table of a store."""
 
     def __init__(self, store: "RodentStore", table: str):
         self._store = store
@@ -50,12 +65,36 @@ class Q:
             self._spec.predicate = And(self._spec.predicate, predicate)
         return self
 
+    def join(
+        self,
+        table: str,
+        on: str | tuple[str, str] | Mapping[str, str] | Sequence[tuple[str, str]],
+    ) -> "Q":
+        """Equi-join another table of the same store.
+
+        ``on`` names the join keys: a single field name (same column on
+        both sides), a ``(left, right)`` pair, a ``{left: right}`` mapping,
+        or a sequence of pairs for composite keys. Left keys refer to
+        output columns of the query so far (base table or earlier joins);
+        right keys to columns of ``table``. When a joined column's name
+        collides with an existing output column it is exposed as
+        ``"<table>.<field>"``.
+        """
+        self._spec.joins = self._spec.joins + (
+            JoinClause(table, _normalize_on(on)),
+        )
+        return self
+
     def order_by(self, *keys: str | tuple[str, bool]) -> "Q":
         normalized: list[tuple[str, bool]] = []
         for key in keys:
             if isinstance(key, str):
-                descending = key.startswith("-")
-                normalized.append((key.lstrip("-"), not descending))
+                # A single leading "-" flags descending; only that prefix
+                # is stripped, so field names may themselves contain "-".
+                if key.startswith("-"):
+                    normalized.append((key[1:], False))
+                else:
+                    normalized.append((key, True))
             else:
                 normalized.append((key[0], bool(key[1])))
         self._spec.order = tuple(normalized)
@@ -96,13 +135,49 @@ class Q:
     def run(self) -> list[tuple]:
         return execute(self._store.table(self._table), self._spec)
 
-    def explain(self):
-        """The access-method cost estimate for this query."""
-        return self._store.table(self._table).scan_cost(
-            fieldlist=list(self._spec.fieldlist) if self._spec.fieldlist else None,
-            predicate=self._spec.predicate,
-            order=list(self._spec.order) if self._spec.order else None,
-        )
+    def explain(self) -> "PlanExplain":
+        """The compiled physical plan with per-node cost/cardinality.
+
+        The result renders as an operator tree (``print(q.explain())``)
+        and exposes the root's cumulative estimate as ``pages`` /
+        ``seeks`` / ``ms`` for numeric use.
+        """
+        from repro.query.planner import explain_query
+
+        return explain_query(self._store.table(self._table), self._spec)
 
     def spec(self) -> QuerySpec:
         return self._spec
+
+
+def _normalize_on(
+    on: str | tuple[str, str] | Mapping[str, str] | Sequence[tuple[str, str]],
+) -> tuple[tuple[str, str], ...]:
+    if isinstance(on, str):
+        return ((on, on),)
+    if isinstance(on, Mapping):
+        pairs = tuple((str(l), str(r)) for l, r in on.items())
+    elif isinstance(on, Sequence):
+        items = list(on)
+        if len(items) == 2 and all(isinstance(x, str) for x in items):
+            pairs = ((items[0], items[1]),)
+        else:
+            pairs = tuple()
+            for item in items:
+                if (
+                    not isinstance(item, Sequence)
+                    or isinstance(item, str)
+                    or len(item) != 2
+                ):
+                    raise QueryError(
+                        "join 'on' pairs must be (left_field, right_field)"
+                    )
+                pairs = pairs + ((str(item[0]), str(item[1])),)
+    else:
+        raise QueryError(
+            "join 'on' must be a field name, a (left, right) pair, a "
+            "mapping, or a sequence of pairs"
+        )
+    if not pairs:
+        raise QueryError("join requires at least one key pair")
+    return pairs

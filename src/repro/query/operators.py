@@ -1,0 +1,544 @@
+"""Physical batch operators — the executable half of the query compiler.
+
+Every operator consumes and produces :class:`~repro.layout.renderer.ColumnBatch`
+streams (batch-at-a-time, like the scan pipeline underneath), exposes its
+output column names as ``fields``, and carries the planner's per-node
+estimates (``est_rows``, ``est_cost``) so ``Q.explain()`` can render the
+tree. Operators hold no cost logic themselves: the planner
+(:mod:`repro.query.planner`) annotates them after lowering.
+
+The leaf is :class:`TableScanOp`, a thin adapter over
+:meth:`Table.scan_batches` — predicate/projection/order/limit pushdown,
+grid-cell pruning, column-group selection, and the index-vs-scan choice all
+happen inside the access method. Above it sit :class:`FilterOp` (residual
+predicates), :class:`ProjectOp`, :class:`HashJoinOp` (equi-join, hash the
+estimated-smaller side), :class:`GroupByOp` (scalar accumulators, no
+member-row buffering), :class:`SortOp`, and :class:`LimitOp`.
+
+Null semantics follow SQL: join keys containing ``None`` never match, and
+``count(field)`` / ``sum`` / ``avg`` / ``min`` / ``max`` skip ``None``
+values (``count(*)`` counts every row).
+
+Calling :meth:`Operator.batches` starts a fresh execution; operators are
+re-runnable because each call re-reads the scans and rebuilds any state
+(hash tables, accumulators).
+"""
+
+from __future__ import annotations
+
+import operator as _operator
+from collections import defaultdict
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
+
+from repro.engine.cost import CostEstimate
+from repro.errors import QueryError
+from repro.layout.renderer import DEFAULT_BATCH_ROWS, ColumnBatch
+from repro.query.expressions import Predicate
+from repro.types.values import multisort
+
+if TYPE_CHECKING:  # pragma: no cover - circular import guard
+    from repro.engine.table import Table
+    from repro.query.executor import Aggregate
+
+
+class Operator:
+    """Base physical operator: a re-runnable ColumnBatch stream."""
+
+    #: Output column names, parallel to every produced batch's fields.
+    fields: tuple[str, ...] = ()
+    #: Planner annotations (cumulative cost of the subtree rooted here).
+    est_rows: float = 0.0
+    est_cost: CostEstimate = CostEstimate.zero()
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.removesuffix("Op")
+
+    def inputs(self) -> tuple["Operator", ...]:
+        return ()
+
+    def detail(self) -> str:
+        """One-line operator-specific description for ``explain``."""
+        return ""
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        raise NotImplementedError
+
+    def rows(self) -> list[tuple]:
+        """Execute and materialize the full result."""
+        return [row for batch in self.batches() for row in batch.rows()]
+
+
+class RowsOp(Operator):
+    """Source operator over materialized rows (tests, literal inputs)."""
+
+    def __init__(self, fields: Sequence[str], rows: Sequence[tuple]):
+        self.fields = tuple(fields)
+        self._rows = [tuple(r) for r in rows]
+        self.est_rows = float(len(self._rows))
+
+    def detail(self) -> str:
+        return f"{len(self._rows)} rows"
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        for start in range(0, len(self._rows), DEFAULT_BATCH_ROWS):
+            yield ColumnBatch.from_rows(
+                self.fields, self._rows[start : start + DEFAULT_BATCH_ROWS]
+            )
+
+
+class TableScanOp(Operator):
+    """Leaf: one table access with everything pushed down.
+
+    ``access`` records the planner's access-path verdict (``"scan"`` or
+    ``"index"``, from :meth:`Table.access_path`) for display; the actual
+    choice is re-made inside :meth:`Table.scan_batches` with the same
+    inputs, so the two always agree.
+    """
+
+    def __init__(
+        self,
+        table: "Table",
+        fieldlist: Sequence[str] | None = None,
+        predicate: Predicate | None = None,
+        order: Sequence[tuple[str, bool]] | None = None,
+        limit: int | None = None,
+        access: str = "scan",
+    ):
+        self.table = table
+        self.fieldlist = list(fieldlist) if fieldlist is not None else None
+        self.predicate = predicate
+        self.order = list(order) if order else None
+        self.limit = limit
+        self.access = access
+        if self.fieldlist is not None:
+            self.fields = tuple(self.fieldlist)
+        else:
+            self.fields = tuple(table.scan_schema().names())
+
+    @property
+    def name(self) -> str:
+        return "IndexScan" if self.access == "index" else "TableScan"
+
+    def detail(self) -> str:
+        parts = [self.table.name]
+        if self.fieldlist is not None:
+            parts.append(f"fields={self.fieldlist}")
+        if self.predicate is not None:
+            parts.append(f"predicate={self.predicate!r}")
+        if self.order:
+            parts.append(
+                "order=["
+                + ", ".join(
+                    f"{n}{'' if asc else ' desc'}" for n, asc in self.order
+                )
+                + "]"
+            )
+        if self.limit is not None:
+            parts.append(f"limit={self.limit}")
+        return " ".join(parts)
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        for rows in self.table.scan_batches(
+            fieldlist=self.fieldlist,
+            predicate=self.predicate,
+            order=self.order,
+            limit=self.limit,
+        ):
+            yield ColumnBatch.from_rows(self.fields, rows)
+
+
+class FilterOp(Operator):
+    """Residual predicate over the child's output (post-join predicates,
+    conjuncts that could not be pushed into any single scan)."""
+
+    def __init__(self, child: Operator, predicate: Predicate):
+        self.child = child
+        self.predicate = predicate
+        self.fields = child.fields
+        missing = predicate.fields_used() - set(child.fields)
+        if missing:
+            raise QueryError(
+                f"predicate references unavailable field(s) {sorted(missing)}"
+            )
+
+    def inputs(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def detail(self) -> str:
+        return repr(self.predicate)
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        # Upstream operators emit row-backed batches, so the compiled
+        # closure is the right evaluation shape here; columnar mask
+        # evaluation stays inside Table.scan_batches where columnar
+        # batches actually occur.
+        positions = {name: i for i, name in enumerate(self.fields)}
+        row_filter = self.predicate.compile(positions)
+        for batch in self.child.batches():
+            kept = list(filter(row_filter, batch.rows()))
+            if kept:
+                yield ColumnBatch.from_rows(self.fields, kept)
+
+
+class ProjectOp(Operator):
+    """Narrow/reorder columns (applied above joins and sorts; single-table
+    projections are pushed into the scan instead)."""
+
+    def __init__(self, child: Operator, fields: Sequence[str]):
+        self.child = child
+        self.fields = tuple(fields)
+        positions = {name: i for i, name in enumerate(child.fields)}
+        try:
+            self._idx = [positions[f] for f in fields]
+        except KeyError as exc:
+            raise QueryError(
+                f"unknown projection field {exc.args[0]!r}"
+            ) from None
+
+    def inputs(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def detail(self) -> str:
+        return str(list(self.fields))
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        idx = self._idx
+        if len(idx) == 1:
+            i = idx[0]
+            project: Callable[[list], list] = lambda rows: [
+                (row[i],) for row in rows
+            ]
+        else:
+            getter = _operator.itemgetter(*idx)
+            project = lambda rows: list(map(getter, rows))
+        for batch in self.child.batches():
+            yield ColumnBatch.from_rows(self.fields, project(batch.rows()))
+
+
+def _key_fn(idx: Sequence[int]) -> Callable[[tuple], Any]:
+    """Join-key extractor; single keys stay scalar (no tuple allocation)."""
+    if len(idx) == 1:
+        i = idx[0]
+        return lambda row: row[i]
+    return _operator.itemgetter(*idx)
+
+
+class HashJoinOp(Operator):
+    """Equi-join: hash the build side, stream the probe side.
+
+    Output rows are always ``left_row + right_row`` regardless of which
+    side is built, so the planner's build-side choice (the estimated
+    smaller input) never changes results. ``None`` join keys match nothing.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+        build_left: bool = True,
+    ):
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise QueryError("hash join needs matching, non-empty key lists")
+        self.left = left
+        self.right = right
+        self.left_keys = tuple(left_keys)
+        self.right_keys = tuple(right_keys)
+        self.build_left = build_left
+        self.fields = left.fields + right.fields
+        left_pos = {name: i for i, name in enumerate(left.fields)}
+        right_pos = {name: i for i, name in enumerate(right.fields)}
+        try:
+            self._left_idx = [left_pos[k] for k in left_keys]
+            self._right_idx = [right_pos[k] for k in right_keys]
+        except KeyError as exc:
+            raise QueryError(f"unknown join field {exc.args[0]!r}") from None
+
+    def inputs(self) -> tuple[Operator, ...]:
+        return (self.left, self.right)
+
+    def detail(self) -> str:
+        keys = ", ".join(
+            f"{a} = {b}" for a, b in zip(self.left_keys, self.right_keys)
+        )
+        side = "left" if self.build_left else "right"
+        return f"on {keys} [build={side}]"
+
+    @staticmethod
+    def _null_key(key: Any, composite: bool) -> bool:
+        return (None in key) if composite else (key is None)
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        composite = len(self.left_keys) > 1
+        null_key = self._null_key
+        if self.build_left:
+            build, probe = self.left, self.right
+            build_key = _key_fn(self._left_idx)
+            probe_key = _key_fn(self._right_idx)
+        else:
+            build, probe = self.right, self.left
+            build_key = _key_fn(self._right_idx)
+            probe_key = _key_fn(self._left_idx)
+        table: dict[Any, list[tuple]] = defaultdict(list)
+        for batch in build.batches():
+            for row in batch.rows():
+                key = build_key(row)
+                if null_key(key, composite):
+                    continue
+                table[key].append(row)
+        if not table:
+            return
+        get = table.get
+        build_is_left = self.build_left
+        for batch in probe.batches():
+            out: list[tuple] = []
+            extend = out.extend
+            for row in batch.rows():
+                key = probe_key(row)
+                if null_key(key, composite):
+                    continue
+                matches = get(key)
+                if not matches:
+                    continue
+                if build_is_left:
+                    extend(b + row for b in matches)
+                else:
+                    extend(row + b for b in matches)
+            if out:
+                yield ColumnBatch.from_rows(self.fields, out)
+
+
+#: min/max slots treat ``None`` as "unset"; safe because None *values* are
+#: skipped before reaching the slot (SQL null semantics).
+class _AggState:
+    """Scalar accumulators for one group — no member-row buffering."""
+
+    __slots__ = ("count", "counts", "sums", "sum_counts", "mins", "maxs")
+
+    def __init__(self, n_counts: int, n_sums: int, n_minmax: int):
+        self.count = 0  # count(*): every row
+        self.counts = [0] * n_counts  # count(field): non-null rows
+        self.sums = [0] * n_sums
+        self.sum_counts = [0] * n_sums  # non-null denominators for avg
+        self.mins: list[Any] = [None] * n_minmax
+        self.maxs: list[Any] = [None] * n_minmax
+
+
+class GroupByOp(Operator):
+    """Grouped aggregation folded into scalar accumulator states.
+
+    One pipeline-breaking pass: every input batch folds into per-group
+    scalar slots (shared row count, per-source non-null counts, running
+    sums, mins, maxs), then the result is emitted in first-seen group
+    order. ``count(field)`` / ``sum`` / ``avg`` / ``min`` / ``max`` skip
+    ``None`` values; ``count(*)`` counts all rows; aggregates over a group
+    whose values are all ``None`` yield ``None``.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        keys: Sequence[str],
+        aggregates: Sequence["Aggregate"],
+    ):
+        self.child = child
+        self.keys = tuple(keys)
+        self.aggregates = tuple(aggregates)
+        self.fields = self.keys + tuple(
+            a.output_name for a in self.aggregates
+        )
+        positions = {name: i for i, name in enumerate(child.fields)}
+        try:
+            self._key_idx = [positions[k] for k in keys]
+            # Slot layout: one list per accumulator family, deduplicated by
+            # source field so sum+avg over the same column share a slot.
+            self._count_fields: list[str] = []
+            self._sum_fields: list[str] = []
+            self._minmax_specs: list[tuple[str, str]] = []
+            for agg in self.aggregates:
+                if agg.source is None:
+                    continue
+                if agg.func == "count" and agg.source not in self._count_fields:
+                    self._count_fields.append(agg.source)
+                if agg.func in ("sum", "avg") and agg.source not in self._sum_fields:
+                    self._sum_fields.append(agg.source)
+                if agg.func in ("min", "max"):
+                    spec = (agg.func, agg.source)
+                    if spec not in self._minmax_specs:
+                        self._minmax_specs.append(spec)
+            self._count_idx = [positions[f] for f in self._count_fields]
+            self._sum_idx = [positions[f] for f in self._sum_fields]
+            self._minmax_idx = [positions[s] for _, s in self._minmax_specs]
+        except KeyError as exc:
+            raise QueryError(
+                f"unknown aggregation field {exc.args[0]!r}"
+            ) from None
+
+    def inputs(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def detail(self) -> str:
+        aggs = ", ".join(a.output_name for a in self.aggregates)
+        return f"keys={list(self.keys)} aggs=[{aggs}]"
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        key_idx = self._key_idx
+        count_idx = self._count_idx
+        sum_idx = self._sum_idx
+        minmax_idx = self._minmax_idx
+        minmax_specs = self._minmax_specs
+        n_counts, n_sums, n_minmax = (
+            len(count_idx), len(sum_idx), len(minmax_idx)
+        )
+        key_of = _key_fn(key_idx) if key_idx else None
+        single_key = len(key_idx) == 1
+        states: dict[tuple, _AggState] = {}
+        for batch in self.child.batches():
+            for row in batch.rows():
+                if key_of is None:
+                    key = ()
+                elif single_key:
+                    key = (key_of(row),)
+                else:
+                    key = key_of(row)
+                state = states.get(key)
+                if state is None:
+                    state = states[key] = _AggState(n_counts, n_sums, n_minmax)
+                state.count += 1
+                for slot, i in enumerate(count_idx):
+                    if row[i] is not None:
+                        state.counts[slot] += 1
+                for slot, i in enumerate(sum_idx):
+                    value = row[i]
+                    if value is not None:
+                        state.sums[slot] += value
+                        state.sum_counts[slot] += 1
+                for slot, i in enumerate(minmax_idx):
+                    value = row[i]
+                    if value is None:
+                        continue
+                    func, _ = minmax_specs[slot]
+                    if func == "min":
+                        current = state.mins[slot]
+                        if current is None or value < current:
+                            state.mins[slot] = value
+                    else:
+                        current = state.maxs[slot]
+                        if current is None or value > current:
+                            state.maxs[slot] = value
+        out: list[tuple] = []
+        for key, state in states.items():  # dicts preserve first-seen order
+            result: list[Any] = list(key)
+            for agg in self.aggregates:
+                result.append(self._finalize(agg, state))
+            out.append(tuple(result))
+        if out:
+            yield ColumnBatch.from_rows(self.fields, out)
+
+    def _finalize(self, agg: "Aggregate", state: _AggState) -> Any:
+        if agg.source is None:  # count(*)
+            return state.count
+        if agg.func == "count":
+            return state.counts[self._count_fields.index(agg.source)]
+        if agg.func == "sum":
+            slot = self._sum_fields.index(agg.source)
+            return state.sums[slot] if state.sum_counts[slot] else None
+        if agg.func == "avg":
+            slot = self._sum_fields.index(agg.source)
+            n = state.sum_counts[slot]
+            return state.sums[slot] / n if n else None
+        if agg.func == "min":
+            return state.mins[self._minmax_specs.index(("min", agg.source))]
+        return state.maxs[self._minmax_specs.index(("max", agg.source))]
+
+
+class SortOp(Operator):
+    """Pipeline breaker: buffer everything, stable multi-key sort."""
+
+    def __init__(
+        self, child: Operator, keys: Sequence[tuple[str, bool]]
+    ):
+        self.child = child
+        self.keys = tuple(keys)
+        positions = {name: i for i, name in enumerate(child.fields)}
+        self.fields = child.fields
+        self._idx: list[int] = []
+        self._desc: list[bool] = []
+        for name, ascending in keys:
+            if name not in positions:
+                raise QueryError(f"cannot order result by {name!r}")
+            self._idx.append(positions[name])
+            self._desc.append(not ascending)
+
+    def inputs(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def detail(self) -> str:
+        return ", ".join(
+            f"{name}{'' if asc else ' desc'}" for name, asc in self.keys
+        )
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        collected: list[tuple] = []
+        for batch in self.child.batches():
+            collected.extend(batch.rows())
+        if not collected:
+            return
+        rows = multisort(collected, self._idx, self._desc)
+        for start in range(0, len(rows), DEFAULT_BATCH_ROWS):
+            yield ColumnBatch.from_rows(
+                self.fields, rows[start : start + DEFAULT_BATCH_ROWS]
+            )
+
+
+class LimitOp(Operator):
+    """Stop the stream after ``count`` rows."""
+
+    def __init__(self, child: Operator, count: int):
+        if count < 0:
+            raise QueryError("limit must be non-negative")
+        self.child = child
+        self.count = count
+        self.fields = child.fields
+
+    def inputs(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def detail(self) -> str:
+        return str(self.count)
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        remaining = self.count
+        if remaining <= 0:
+            return
+        for batch in self.child.batches():
+            if batch.n_rows >= remaining:
+                yield ColumnBatch.from_rows(
+                    self.fields, batch.rows()[:remaining]
+                )
+                return
+            remaining -= batch.n_rows
+            yield batch
+
+
+def format_plan(op: Operator, indent: str = "") -> str:
+    """Render a physical plan tree with per-node cost/cardinality."""
+    cost = op.est_cost
+    detail = op.detail()
+    line = (
+        f"{op.name}{' ' + detail if detail else ''}"
+        f"  rows≈{op.est_rows:,.0f}"
+        f"  cost≈{cost.ms:.2f}ms (pages={cost.pages:.0f} seeks={cost.seeks:.0f})"
+    )
+    lines = [indent + line]
+    kids = op.inputs()
+    for i, child in enumerate(kids):
+        last = i == len(kids) - 1
+        connector = "└─ " if last else "├─ "
+        pad = "   " if last else "│  "
+        sub = format_plan(child, "").splitlines()
+        lines.append(indent + connector + sub[0])
+        lines.extend(indent + pad + line for line in sub[1:])
+    return "\n".join(lines)

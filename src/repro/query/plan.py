@@ -1,0 +1,187 @@
+"""Logical query plan IR — the compiler's middle layer.
+
+The query stack is a three-stage compiler::
+
+    Q (frontend)  ──►  QuerySpec  ──►  logical plan  ──►  physical operators
+                       declarative     this module        query/operators.py
+                                       (planner lowers,   (ColumnBatch in,
+                                       query/planner.py)   ColumnBatch out)
+
+A logical node describes *what* to compute (relational semantics) with no
+commitment to access paths, join algorithms, or evaluation order beyond the
+tree shape. The planner (:mod:`repro.query.planner`) applies rewrite rules —
+predicate/projection/limit pushdown into :class:`Scan`, join reordering by
+estimated cardinality — and then lowers each node to a batch operator.
+
+Nodes are plain frozen dataclasses so rewrites build new trees instead of
+mutating; :func:`format_tree` renders any tree for debugging and for the
+logical half of ``Q.explain()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.query.executor import Aggregate
+    from repro.query.expressions import Predicate
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """One ``.join(table, on=...)`` step: equi-join key pairs.
+
+    ``on`` is a tuple of ``(left_field, right_field)`` pairs; ``left_field``
+    names a column of the accumulated left-side output (base table or any
+    previously joined table), ``right_field`` a column of ``table``.
+    """
+
+    table: str
+    on: Tuple[Tuple[str, str], ...]
+
+
+class LogicalNode:
+    """Base class for logical plan nodes."""
+
+    def children(self) -> tuple["LogicalNode", ...]:
+        return ()
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class Scan(LogicalNode):
+    """Read one stored table.
+
+    After pushdown the planner folds projection (``fieldlist``), a
+    conjunctive ``predicate``, sort ``order``, and ``limit`` into this node;
+    the physical layer hands them to :meth:`Table.scan_batches`, where grid
+    cell pruning, column-group selection, sorted-page pruning, and the
+    index-vs-scan choice live.
+    """
+
+    table: str
+    fieldlist: tuple[str, ...] | None = None
+    predicate: "Predicate | None" = None
+    order: tuple[tuple[str, bool], ...] = ()
+    limit: int | None = None
+
+    def describe(self) -> str:
+        parts = [self.table]
+        if self.fieldlist is not None:
+            parts.append(f"fields={list(self.fieldlist)}")
+        if self.predicate is not None:
+            parts.append(f"predicate={self.predicate!r}")
+        if self.order:
+            parts.append(f"order={list(self.order)}")
+        if self.limit is not None:
+            parts.append(f"limit={self.limit}")
+        return "Scan " + " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Filter(LogicalNode):
+    """Keep rows matching ``predicate`` (residual after pushdown)."""
+
+    child: LogicalNode
+    predicate: "Predicate"
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Filter {self.predicate!r}"
+
+
+@dataclass(frozen=True)
+class Project(LogicalNode):
+    """Narrow and reorder columns to ``fields``."""
+
+    child: LogicalNode
+    fields: tuple[str, ...]
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Project {list(self.fields)}"
+
+
+@dataclass(frozen=True)
+class Join(LogicalNode):
+    """Equi-join of two subtrees on ``on`` = ((left_field, right_field), ...)."""
+
+    left: LogicalNode
+    right: LogicalNode
+    on: tuple[tuple[str, str], ...]
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        keys = ", ".join(f"{a} = {b}" for a, b in self.on)
+        return f"Join on {keys}"
+
+
+@dataclass(frozen=True)
+class GroupBy(LogicalNode):
+    """Grouped (or global, when ``keys`` is empty) aggregation."""
+
+    child: LogicalNode
+    keys: tuple[str, ...]
+    aggregates: tuple["Aggregate", ...] = field(default_factory=tuple)
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        aggs = ", ".join(a.output_name for a in self.aggregates)
+        keys = list(self.keys) if self.keys else "()"
+        return f"GroupBy keys={keys} aggs=[{aggs}]"
+
+
+@dataclass(frozen=True)
+class Sort(LogicalNode):
+    """Order rows by ``keys`` = ((field, ascending), ...)."""
+
+    child: LogicalNode
+    keys: tuple[tuple[str, bool], ...]
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{name}{'' if asc else ' desc'}" for name, asc in self.keys
+        )
+        return f"Sort {keys}"
+
+
+@dataclass(frozen=True)
+class Limit(LogicalNode):
+    """Keep the first ``count`` rows."""
+
+    child: LogicalNode
+    count: int
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Limit {self.count}"
+
+
+def format_tree(node: LogicalNode, indent: str = "") -> str:
+    """Render a logical plan as an indented tree (one node per line)."""
+    lines = [indent + node.describe()]
+    kids = node.children()
+    for i, child in enumerate(kids):
+        connector = "└─ " if i == len(kids) - 1 else "├─ "
+        pad = indent + ("   " if i == len(kids) - 1 else "│  ")
+        sub = format_tree(child, "")
+        first, *rest = sub.splitlines()
+        lines.append(indent + connector + first)
+        lines.extend(pad + line for line in rest)
+    return "\n".join(lines)

@@ -1,0 +1,432 @@
+"""Plan-based query stack: planner-vs-reference equivalence + join oracle.
+
+Two safety nets for the query compiler (QuerySpec → logical plan →
+physical operators):
+
+* an **equivalence sweep**: for every layout kind the renderer supports,
+  planner-executed results must match a naive reference evaluation built
+  on :meth:`Table.scan_reference` (the tuple-at-a-time executable spec)
+  for projection / predicate / order / limit / aggregation combinations;
+* a **join oracle**: hash-join results must equal a nested-loop join over
+  the same scans, including multi-key joins, collision-qualified columns,
+  join reordering, and SQL null-key semantics.
+
+Also here: the `order_by` single-prefix fix, `count(field)` null
+semantics, and `explain()` plan-tree rendering.
+"""
+
+import pytest
+
+from repro.engine.database import RodentStore
+from repro.errors import QueryError
+from repro.query import Q, QuerySpec, Range, Rect
+from repro.query.executor import Aggregate, execute
+from repro.query.expressions import And, Or
+from repro.query.operators import (
+    GroupByOp,
+    HashJoinOp,
+    RowsOp,
+    TableScanOp,
+)
+from repro.types import Schema
+
+SCHEMA = Schema.of("t:int", "x:int", "y:int", "g:int")
+
+#: Every layout kind the renderer supports (mirrors tests/test_batch_scan).
+LAYOUTS = {
+    "rows": "T",
+    "rows_sorted": "orderby[t](T)",
+    "rows_delta": "delta[t](orderby[t](T))",
+    "columns": "columns(T)",
+    "grouped": "columns[[t, g], [x, y]](T)",
+    "columns_lz": "compress[lz](columns(T))",
+    "mirror": "mirror(rows(T), columns(T))",
+    "grid": "grid[x, y],[25, 25](T)",
+    "grid_zorder_delta": (
+        "compress[varint; x, y](delta[x, y](zorder(grid[x, y],[25, 25](T))))"
+    ),
+    "folded": "fold[t, x, y; g](T)",
+    "array": "transpose(project[x, y](T))",
+}
+
+
+def make_records(n=220):
+    return [(i, (i * 7) % 53 - 26, (i * i) % 41, i % 5) for i in range(n)]
+
+
+@pytest.fixture(scope="module")
+def tables():
+    out = {}
+    for name, layout in LAYOUTS.items():
+        store = RodentStore(page_size=1024, pool_capacity=64)
+        store.create_table("T", SCHEMA, layout=layout)
+        out[name] = (store, store.load("T", make_records()))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# reference evaluation (naive, tuple-at-a-time, buffers group members)
+# ---------------------------------------------------------------------------
+
+
+def reference_eval(table, spec):
+    names = table.scan_schema().names()
+    pos = {n: i for i, n in enumerate(names)}
+    rows = list(table.scan_reference())
+    if spec.predicate is not None:
+        rows = [r for r in rows if spec.predicate.matches(r, pos)]
+    limit = None if spec.limit is None else max(0, spec.limit)
+    if spec.aggregates:
+        groups: dict[tuple, list] = {}
+        for r in rows:
+            key = tuple(r[pos[k]] for k in spec.group_by)
+            groups.setdefault(key, []).append(r)
+        out = []
+        for key, members in groups.items():
+            values = list(key)
+            for agg in spec.aggregates:
+                if agg.source is None:
+                    values.append(len(members))
+                    continue
+                data = [
+                    m[pos[agg.source]]
+                    for m in members
+                    if m[pos[agg.source]] is not None
+                ]
+                if agg.func == "count":
+                    values.append(len(data))
+                elif agg.func == "sum":
+                    values.append(sum(data) if data else None)
+                elif agg.func == "avg":
+                    values.append(sum(data) / len(data) if data else None)
+                elif agg.func == "min":
+                    values.append(min(data) if data else None)
+                else:
+                    values.append(max(data) if data else None)
+            out.append(tuple(values))
+        out_names = list(spec.group_by) + [
+            a.output_name for a in spec.aggregates
+        ]
+        opos = {n: i for i, n in enumerate(out_names)}
+        for name, ascending in reversed(spec.order):
+            out.sort(key=lambda r: r[opos[name]], reverse=not ascending)
+        return out if limit is None else out[:limit]
+    for name, ascending in reversed(spec.order):
+        rows.sort(key=lambda r: r[pos[name]], reverse=not ascending)
+    if limit is not None:
+        rows = rows[:limit]
+    if spec.fieldlist:
+        idx = [pos[f] for f in spec.fieldlist]
+        rows = [tuple(r[i] for i in idx) for r in rows]
+    return rows
+
+
+SPECS = {
+    "full": QuerySpec(table="T"),
+    "project": QuerySpec(table="T", fieldlist=("x",)),
+    "project_predicate": QuerySpec(
+        table="T", fieldlist=("y", "t"), predicate=Range("x", -10, 10)
+    ),
+    "rect_order_limit": QuerySpec(
+        table="T",
+        predicate=Rect({"x": (-5, 20), "y": (0, 30)}),
+        order=(("t", False),),
+        limit=17,
+    ),
+    "or_multisort": QuerySpec(
+        table="T",
+        predicate=Or(Range("x", -26, -10), Range("y", 0, 5)),
+        order=(("x", True), ("t", False)),
+    ),
+    "group_all_aggs": QuerySpec(
+        table="T",
+        group_by=("g",),
+        aggregates=(
+            Aggregate("count", None, "n"),
+            Aggregate("sum", "x", "sx"),
+            Aggregate("min", "y"),
+            Aggregate("max", "t"),
+            Aggregate("avg", "x"),
+        ),
+    ),
+    "group_count_field": QuerySpec(
+        table="T",
+        group_by=("g",),
+        aggregates=(Aggregate("count", "x", "nx"),),
+        order=(("g", True),),
+    ),
+    "global_agg": QuerySpec(
+        table="T", aggregates=(Aggregate("avg", "y", "my"),)
+    ),
+    "pred_group_order_limit": QuerySpec(
+        table="T",
+        predicate=Range("t", 50, 150),
+        group_by=("g",),
+        aggregates=(Aggregate("sum", "t", "st"),),
+        order=(("st", False),),
+        limit=3,
+    ),
+}
+
+ARRAY_SPECS = {
+    "full": QuerySpec(table="T"),
+    "predicate_limit": QuerySpec(
+        table="T", predicate=Range("value", 0, 30), limit=40
+    ),
+    "global_agg": QuerySpec(
+        table="T",
+        aggregates=(Aggregate("count", None, "n"), Aggregate("sum", "value")),
+    ),
+}
+
+
+@pytest.mark.parametrize("layout", sorted(LAYOUTS))
+def test_planner_matches_reference(tables, layout):
+    _, table = tables[layout]
+    specs = ARRAY_SPECS if layout == "array" else SPECS
+    for name, spec in specs.items():
+        got = execute(table, spec)
+        want = reference_eval(table, spec)
+        assert got == want, f"layout={layout} spec={name}"
+
+
+# ---------------------------------------------------------------------------
+# joins vs a nested-loop oracle
+# ---------------------------------------------------------------------------
+
+DIM_SCHEMA = Schema.of("g:int", "label:int")
+DIM = [(i, (i + 1) * 100) for i in range(5)]
+CODE_SCHEMA = Schema.of("label:int", "code:int")
+CODES = [((i + 1) * 100, i * 7) for i in range(4)]  # label 500 has no code
+
+
+@pytest.fixture()
+def join_store():
+    store = RodentStore(page_size=1024, pool_capacity=64)
+    store.create_table("T", SCHEMA)
+    store.load("T", make_records())
+    store.create_table("D", DIM_SCHEMA)
+    store.load("D", DIM)
+    store.create_table("E", CODE_SCHEMA)
+    store.load("E", CODES)
+    return store
+
+
+def nested_loop(left_rows, right_rows, pairs):
+    out = []
+    for l in left_rows:
+        for r in right_rows:
+            if all(
+                l[li] is not None and l[li] == r[ri] for li, ri in pairs
+            ):
+                out.append(l + r)
+    return out
+
+
+def test_join_matches_nested_loop_oracle(join_store):
+    got = Q(join_store, "T").join("D", on="g").run()
+    t_rows = list(join_store.table("T").scan_reference())
+    d_rows = list(join_store.table("D").scan_reference())
+    want = nested_loop(t_rows, d_rows, [(3, 0)])
+    assert sorted(got) == sorted(want)
+    # Output schema: base fields then joined fields, collisions qualified.
+    fields = Q(join_store, "T").join("D", on="g").explain().root.fields
+    assert fields == ("t", "x", "y", "g", "D.g", "label")
+
+
+def test_three_way_join_oracle(join_store):
+    got = (
+        Q(join_store, "T")
+        .join("D", on="g")
+        .join("E", on="label")
+        .select("t", "label", "code")
+        .run()
+    )
+    t_rows = list(join_store.table("T").scan_reference())
+    d_rows = list(join_store.table("D").scan_reference())
+    e_rows = list(join_store.table("E").scan_reference())
+    td = nested_loop(t_rows, d_rows, [(3, 0)])
+    tde = nested_loop(td, e_rows, [(5, 0)])
+    want = [(r[0], r[5], r[7]) for r in tde]
+    assert sorted(got) == sorted(want)
+
+
+def test_join_with_predicate_pushdown_and_residual(join_store):
+    q = (
+        Q(join_store, "T")
+        .join("D", on="g")
+        .where(And(Range("x", -10, 15), Range("D.g", 1, 3)))
+    )
+    got = q.run()
+    t_rows = list(join_store.table("T").scan_reference())
+    d_rows = list(join_store.table("D").scan_reference())
+    want = [
+        row
+        for row in nested_loop(t_rows, d_rows, [(3, 0)])
+        if -10 <= row[1] <= 15 and 1 <= row[4] <= 3
+    ]
+    assert sorted(got) == sorted(want)
+    # The x-range pushes into the T scan; the qualified D.g range stays
+    # residual (the scan below knows nothing about qualified names).
+    text = str(q.explain())
+    assert "Filter" in text and "D.g" in text
+
+
+def test_join_group_by(join_store):
+    got = (
+        Q(join_store, "T")
+        .join("D", on="g")
+        .group_by("label")
+        .agg(n="*", sx="sum:x")
+        .order_by("label")
+        .run()
+    )
+    records = make_records()
+    want = []
+    for g, label in DIM:
+        members = [r for r in records if r[3] == g]
+        if members:
+            want.append((label, len(members), sum(r[1] for r in members)))
+    want.sort()
+    assert got == want
+
+
+def test_join_composite_key(join_store):
+    store = join_store
+    store.create_table("P", Schema.of("a:int", "b:int", "tag:int"))
+    pairs = [(i % 5, i % 3, i) for i in range(15)]
+    store.load("P", pairs)
+    got = (
+        Q(store, "T")
+        .join("P", on=[("g", "a"), ("g", "b")])
+        .select("t", "tag")
+        .run()
+    )
+    t_rows = list(store.table("T").scan_reference())
+    want = [
+        (t[0], p[2])
+        for t in t_rows
+        for p in pairs
+        if t[3] == p[0] and t[3] == p[1]
+    ]
+    assert sorted(got) == sorted(want)
+
+
+def test_join_unknown_key_raises(join_store):
+    with pytest.raises(QueryError):
+        Q(join_store, "T").join("D", on="nope").run()
+
+
+def test_join_same_table_twice_raises(join_store):
+    with pytest.raises(QueryError):
+        Q(join_store, "T").join("D", on="g").join("D", on="g").run()
+
+
+def test_hash_join_null_keys_never_match():
+    left = RowsOp(("a", "k"), [(1, 1), (2, None), (3, 2)])
+    right = RowsOp(("k2", "b"), [(1, 10), (None, 20), (2, 30)])
+    for build_left in (True, False):
+        op = HashJoinOp(left, right, ["k"], ["k2"], build_left=build_left)
+        assert sorted(op.rows()) == [(1, 1, 1, 10), (3, 2, 2, 30)]
+
+
+def test_join_ordering_prefers_small_table():
+    store = RodentStore(page_size=1024, pool_capacity=64)
+    store.create_table("Big", Schema.of("k:int", "v:int"))
+    store.load("Big", [(i % 40, i) for i in range(800)])
+    store.create_table("Small", Schema.of("k2:int", "w:int"))
+    store.load("Small", [(i, i * 2) for i in range(10)])
+    explain = (
+        Q(store, "Big").join("Small", on=("k", "k2")).explain()
+    )
+    joins = [
+        op
+        for op in _walk(explain.root)
+        if isinstance(op, HashJoinOp)
+    ]
+    assert len(joins) == 1
+    # The estimated-smaller side is the hash build side.
+    assert joins[0].build_left is False
+    assert "build=right" in str(explain)
+
+
+def _walk(op):
+    yield op
+    for child in op.inputs():
+        yield from _walk(child)
+
+
+# ---------------------------------------------------------------------------
+# satellite fixes: order_by prefix, count(field) nulls
+# ---------------------------------------------------------------------------
+
+
+def test_order_by_strips_single_prefix_only(join_store):
+    assert Q(join_store, "T").order_by("-x").spec().order == (("x", False),)
+    assert Q(join_store, "T").order_by("--x").spec().order == (("-x", False),)
+    assert Q(join_store, "T").order_by("x").spec().order == (("x", True),)
+
+
+def test_count_field_skips_none_values():
+    src = RowsOp(
+        ("g", "v"),
+        [(1, 10), (1, None), (2, None), (2, None), (1, 5)],
+    )
+    op = GroupByOp(
+        src,
+        ("g",),
+        (
+            Aggregate("count", None, "all_rows"),
+            Aggregate("count", "v", "nv"),
+            Aggregate("sum", "v", "sv"),
+            Aggregate("avg", "v", "av"),
+            Aggregate("min", "v", "minv"),
+            Aggregate("max", "v", "maxv"),
+        ),
+    )
+    assert sorted(op.rows()) == [
+        (1, 3, 2, 15, 7.5, 5, 10),
+        (2, 2, 0, None, None, None, None),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# explain: plan tree with per-node cost/cardinality
+# ---------------------------------------------------------------------------
+
+
+def test_explain_renders_plan_tree(join_store):
+    explain = (
+        Q(join_store, "T")
+        .join("D", on="g")
+        .group_by("label")
+        .agg(n="*")
+        .explain()
+    )
+    text = str(explain)
+    assert "HashJoin" in text
+    assert "GroupBy" in text
+    assert "TableScan" in text
+    assert "rows≈" in text and "cost≈" in text
+    assert explain.pages > 0  # numeric compatibility with the old API
+    assert explain.ms > 0
+    assert explain.est_rows > 0
+
+
+def test_explain_reports_index_access_path():
+    store = RodentStore(page_size=1024, pool_capacity=64)
+    store.create_table("T", SCHEMA)
+    table = store.load("T", make_records())
+    table.create_index("t")
+    q = Q(store, "T").where(Range("t", 0, 10))
+    kind, cost = table.access_path(predicate=Range("t", 0, 10))
+    assert kind == "index"
+    assert "IndexScan" in str(q.explain())
+    # The displayed path matches what the scan actually does.
+    assert q.run() == reference_eval(
+        table, QuerySpec(table="T", predicate=Range("t", 0, 10))
+    )
+
+
+def test_store_query_convenience(join_store):
+    assert join_store.query("T").limit(3).run() == make_records()[:3]
