@@ -33,6 +33,10 @@ def data():
 def pages_per_query(records, queries, cells_per_side):
     lat_stride, lon_stride = grid_strides_for(BOSTON, cells_per_side)
     store = RodentStore(page_size=PAGE_SIZE, pool_capacity=64)
+    # This sweep isolates grid *geometry*: cell-directory pruning only, so
+    # zone maps (which also prune on the data's actual per-cell extents)
+    # stay off to keep the paper ablation's shape.
+    store.zone_pruning = False
     store.create_table(
         "Traces", TRACE_SCHEMA, layout=n3_expr(lat_stride, lon_stride)
     )

@@ -72,6 +72,9 @@ class RodentStore:
         self.catalog = Catalog()
         self.renderer = LayoutRenderer(self.pool)
         self.cost_model = cost_model or CostModel(page_size=page_size)
+        #: Zone-map scan pruning (per-page/chunk/cell min-max synopses).
+        #: Settable at runtime; benchmarks flip it for before/after runs.
+        self.zone_pruning = True
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -280,6 +283,37 @@ class RodentStore:
         return self.catalog.names()
 
     # -- measurement ---------------------------------------------------------
+
+    def storage_stats(self) -> dict:
+        """Cumulative storage-layer counters: buffer pool and disk.
+
+        Buffer-pool hit rate and eviction counts expose whether a workload
+        fits in memory; the disk counters are the paper's pages/seeks
+        metric since store creation (use :meth:`run_cold` for per-query
+        deltas). Pruned scans show up as fewer pool fetches (hits+misses)
+        and fewer disk ``page_reads``.
+        """
+        pool = self.pool.stats
+        disk = self.disk.stats
+        return {
+            "buffer_pool": {
+                "capacity": self.pool.capacity,
+                "resident_pages": len(self.pool),
+                "hits": pool.hits,
+                "misses": pool.misses,
+                "fetches": pool.hits + pool.misses,
+                "evictions": pool.evictions,
+                "flushes": pool.flushes,
+                "hit_rate": pool.hit_rate,
+            },
+            "disk": {
+                "page_reads": disk.page_reads,
+                "page_writes": disk.page_writes,
+                "read_seeks": disk.read_seeks,
+                "write_seeks": disk.write_seeks,
+                "allocated_pages": self.disk.num_pages,
+            },
+        }
 
     def run_cold(self, query: Callable[[], Any]) -> tuple[Any, IOStats]:
         """Run ``query`` against a cold cache, returning (result, I/O delta).

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.algebra.physical import PhysicalPlan
 from repro.engine.stats import FieldStats, TableStats
+from repro.engine.synopsis import FieldZone, LayoutSynopsis, ZoneSynopsis
 from repro.errors import CatalogError
 from repro.layout.renderer import (
     CellEntry,
@@ -35,6 +36,56 @@ FORMAT_VERSION = 1
 
 
 # -- layout (de)serialization -------------------------------------------------
+
+
+def _zone_to_dict(zone: ZoneSynopsis) -> dict:
+    return {
+        "rows": zone.row_count,
+        "fields": {
+            name: [fz.min_value, fz.max_value, fz.null_count, fz.distinct_hint]
+            for name, fz in zone.fields.items()
+        },
+    }
+
+
+def _zone_from_dict(data: dict) -> ZoneSynopsis:
+    return ZoneSynopsis(
+        row_count=data["rows"],
+        fields={
+            name: FieldZone(mn, mx, nulls, distinct)
+            for name, (mn, mx, nulls, distinct) in data["fields"].items()
+        },
+    )
+
+
+def synopsis_to_dict(synopsis: LayoutSynopsis | None) -> dict | None:
+    if synopsis is None:
+        return None
+    return {
+        "page_zones": [_zone_to_dict(z) for z in synopsis.page_zones],
+        "group_zones": [
+            [_zone_to_dict(z) for z in zones]
+            for zones in synopsis.group_zones
+        ],
+        "cell_zones": [_zone_to_dict(z) for z in synopsis.cell_zones],
+        "folded_zones": [_zone_to_dict(z) for z in synopsis.folded_zones],
+    }
+
+
+def synopsis_from_dict(data: dict | None) -> LayoutSynopsis | None:
+    if data is None:
+        return None
+    return LayoutSynopsis(
+        page_zones=[_zone_from_dict(z) for z in data.get("page_zones", [])],
+        group_zones=[
+            [_zone_from_dict(z) for z in zones]
+            for zones in data.get("group_zones", [])
+        ],
+        cell_zones=[_zone_from_dict(z) for z in data.get("cell_zones", [])],
+        folded_zones=[
+            _zone_from_dict(z) for z in data.get("folded_zones", [])
+        ],
+    )
 
 
 def layout_to_dict(layout: StoredLayout) -> dict:
@@ -69,6 +120,7 @@ def layout_to_dict(layout: StoredLayout) -> dict:
         "folded_directory": layout.folded_directory,
         "folded_keys": [list(k) for k in layout.folded_keys],
         "page_row_counts": layout.page_row_counts,
+        "synopsis": synopsis_to_dict(layout.synopsis),
     }
 
 
@@ -110,6 +162,7 @@ def layout_from_dict(data: dict, plan: PhysicalPlan) -> StoredLayout:
         folded_directory=[tuple(f) for f in data.get("folded_directory", [])],
         folded_keys=[tuple(k) for k in data.get("folded_keys", [])],
         page_row_counts=list(data.get("page_row_counts", [])),
+        synopsis=synopsis_from_dict(data.get("synopsis")),
     )
 
 

@@ -127,6 +127,28 @@ class TableStats:
         return selectivity
 
 
+def zone_survival_fraction(selectivity: float, rows_per_zone: float) -> float:
+    """Expected fraction of zones a pruned scan must still read.
+
+    A zone (page, column chunk, grid cell) survives zone-map pruning when
+    at least one of its rows matches; under the textbook
+    random-placement assumption that is ``1 - (1 - s)^r`` for selectivity
+    ``s`` and ``r`` rows per zone. Real layouts are usually *clustered* on
+    the predicate field, which prunes far better — so this is an upper
+    bound, which is the safe direction for a cost model. Loaded tables
+    report exact counts from their synopses instead
+    (:meth:`repro.engine.table.Table.pruned_pages`); this function serves
+    the design-time estimator, which costs layouts that do not exist yet.
+    """
+    s = min(1.0, max(0.0, selectivity))
+    if s <= 0.0:
+        return 0.0
+    if s >= 1.0:
+        return 1.0
+    r = max(1.0, rows_per_zone)
+    return min(1.0, 1.0 - (1.0 - s) ** r)
+
+
 def join_cardinality(
     left_rows: float,
     right_rows: float,

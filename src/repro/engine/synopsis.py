@@ -1,0 +1,384 @@
+"""Per-zone min/max synopses (zone maps) and the pruning decisions they drive.
+
+A *zone* is the natural storage unit of a layout — a slotted row page, one
+codec-encoded column chunk, a grid cell, a folded record's nested vectors, an
+array page. At render time the :class:`~repro.layout.renderer.LayoutRenderer`
+summarizes every zone into a :class:`ZoneSynopsis` (per-field min/max,
+null count, and a distinct-value hint) and attaches the collection to the
+:class:`~repro.layout.renderer.StoredLayout` as a :class:`LayoutSynopsis`.
+
+At scan time, :mod:`repro.engine.table` extracts per-field intervals from the
+query predicate (:func:`predicate_intervals`, built on
+:meth:`repro.query.expressions.Predicate.ranges` — *necessary* conditions
+only, so pruning can never drop a matching record) and intersects them
+against the zone maps **before** any page is fetched or decoded:
+
+* row / array layouts — a per-page *skip set* (:func:`rows_page_skip`);
+* column layouts — surviving *row intervals* shared by every scanned group
+  (:func:`column_keep_intervals`), so groups with different chunk geometries
+  stay positionally aligned while pruned chunks are never read;
+* grid / folded layouts — per-cell / per-record keep masks
+  (:func:`grid_cell_keep`, :func:`folded_keep`) that refine the existing
+  cell-directory and key-range pruning with min/max over *all* fields.
+
+The same metadata answers the planner's question "how many pages will this
+scan skip?" exactly and without I/O (:func:`column_pruned_pages`, the skip
+sets' sizes), which is what ``Q.explain()`` reports as ``pages_pruned``.
+
+Pruning is always conservative: zones whose min/max are unknown (all-null,
+non-numeric against numeric bounds, or fields excluded because they are
+stored delta-encoded) are kept.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.layout.renderer import StoredLayout
+    from repro.query.expressions import Predicate
+
+#: Per-zone distinct counting stops growing the sample set at this size.
+_DISTINCT_CAP = 4096
+
+
+class FieldZone:
+    """Min/max + null count + distinct hint of one field within one zone."""
+
+    __slots__ = ("min_value", "max_value", "null_count", "distinct_hint")
+
+    def __init__(
+        self,
+        min_value: Any = None,
+        max_value: Any = None,
+        null_count: int = 0,
+        distinct_hint: int = 0,
+    ):
+        self.min_value = min_value
+        self.max_value = max_value
+        self.null_count = null_count
+        self.distinct_hint = distinct_hint
+
+    def __repr__(self) -> str:
+        return (
+            f"FieldZone([{self.min_value!r}, {self.max_value!r}] "
+            f"nulls={self.null_count} distinct≈{self.distinct_hint})"
+        )
+
+
+class ZoneSynopsis:
+    """Synopsis of one zone: row count plus per-field :class:`FieldZone`."""
+
+    __slots__ = ("row_count", "fields")
+
+    def __init__(self, row_count: int = 0, fields: dict | None = None):
+        self.row_count = row_count
+        self.fields: dict[str, FieldZone] = fields if fields is not None else {}
+
+    def update(self, names: Sequence[str], rows: Iterable[Sequence]) -> None:
+        """Fold more records into this synopsis (incremental maintenance).
+
+        Used for in-memory pending/overflow accumulation: inserts extend the
+        zone instead of recomputing it from scratch.
+        """
+        n = 0
+        zones = [self.fields.setdefault(name, FieldZone()) for name in names]
+        for row in rows:
+            n += 1
+            for zone, value in zip(zones, row):
+                if value is None:
+                    zone.null_count += 1
+                    continue
+                if zone.min_value is None:
+                    zone.min_value = zone.max_value = value
+                    zone.distinct_hint = 1
+                else:
+                    if value < zone.min_value:
+                        zone.min_value = value
+                        zone.distinct_hint += 1
+                    elif value > zone.max_value:
+                        zone.max_value = value
+                        zone.distinct_hint += 1
+        self.row_count += n
+
+    def __repr__(self) -> str:
+        return f"<ZoneSynopsis rows={self.row_count} fields={self.fields}>"
+
+
+@dataclass
+class LayoutSynopsis:
+    """All zone maps of one stored layout, keyed by the layout's geometry.
+
+    Exactly one of the collections is populated per layout kind; the lists
+    are parallel to the layout's own directories (``extent.page_ids``,
+    ``ColumnGroupStore.chunks`` / group pages, ``cell_directory``,
+    ``folded_directory``).
+    """
+
+    page_zones: list[ZoneSynopsis] = field(default_factory=list)
+    group_zones: list[list[ZoneSynopsis]] = field(default_factory=list)
+    cell_zones: list[ZoneSynopsis] = field(default_factory=list)
+    folded_zones: list[ZoneSynopsis] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# synopsis construction (render-time)
+# ---------------------------------------------------------------------------
+
+
+def _field_zone(values: Sequence[Any]) -> FieldZone:
+    zone = FieldZone()
+    seen: set = set()
+    for value in values:
+        if value is None:
+            zone.null_count += 1
+            continue
+        if zone.min_value is None:
+            zone.min_value = zone.max_value = value
+        elif value < zone.min_value:
+            zone.min_value = value
+        elif value > zone.max_value:
+            zone.max_value = value
+        if len(seen) < _DISTINCT_CAP:
+            seen.add(value)
+    zone.distinct_hint = len(seen)
+    return zone
+
+
+def zone_from_columns(
+    names: Sequence[str],
+    columns: Sequence[Sequence[Any]],
+    skip_fields: Sequence[str] = (),
+) -> ZoneSynopsis:
+    """Summarize parallel value vectors (one per field) into a zone.
+
+    ``skip_fields`` are recorded only in the row count — used for fields
+    whose stored values differ from their logical values (delta encoding),
+    where min/max over stored bytes would prune incorrectly.
+    """
+    row_count = len(columns[0]) if columns else 0
+    fields: dict[str, FieldZone] = {}
+    for name, column in zip(names, columns):
+        if name in skip_fields:
+            continue
+        fields[name] = _field_zone(column)
+    return ZoneSynopsis(row_count, fields)
+
+
+def zone_from_rows(
+    names: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    skip_fields: Sequence[str] = (),
+) -> ZoneSynopsis:
+    """Summarize record tuples into a zone (row-oriented counterpart)."""
+    if not rows:
+        return ZoneSynopsis(0, {})
+    columns = list(zip(*rows))
+    zone = zone_from_columns(names, columns, skip_fields)
+    zone.row_count = len(rows)
+    return zone
+
+
+def zone_from_parts(
+    row_count: int, parts: Mapping[str, Sequence[Any]]
+) -> ZoneSynopsis:
+    """Zone over heterogeneous per-field value collections.
+
+    Folded records use this: group-key fields contribute a single value,
+    nested fields contribute their whole vectors, and ``row_count`` is the
+    number of un-nested rows the record expands to.
+    """
+    return ZoneSynopsis(
+        row_count, {name: _field_zone(values) for name, values in parts.items()}
+    )
+
+
+# ---------------------------------------------------------------------------
+# predicate intervals and the zone overlap test
+# ---------------------------------------------------------------------------
+
+
+def predicate_intervals(
+    predicate: "Predicate | None",
+) -> dict[str, tuple[float, float]]:
+    """Bounded per-field intervals a predicate implies (prunable fields).
+
+    Delegates to :meth:`Predicate.ranges` — whose contract already
+    guarantees necessary conditions — and drops fully unbounded entries.
+    """
+    if predicate is None:
+        return {}
+    out: dict[str, tuple[float, float]] = {}
+    for name, (lo, hi) in predicate.ranges().items():
+        if lo == float("-inf") and hi == float("inf"):
+            continue
+        out[name] = (lo, hi)
+    return out
+
+
+def _comparable(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def zone_may_match(
+    zone: ZoneSynopsis, intervals: Mapping[str, tuple[float, float]]
+) -> bool:
+    """False only when *no* row of the zone can satisfy the intervals."""
+    if zone.row_count == 0:
+        return False
+    for name, (lo, hi) in intervals.items():
+        fz = zone.fields.get(name)
+        if fz is None:
+            continue  # field not summarized here (e.g. delta-encoded)
+        mn, mx = fz.min_value, fz.max_value
+        if mn is None or mx is None:
+            # No non-null values: a range predicate cannot match nulls.
+            if fz.null_count >= zone.row_count:
+                return False
+            continue
+        if not (_comparable(mn) and _comparable(mx)):
+            continue  # non-numeric zone vs numeric bounds: keep
+        if mx < lo or mn > hi:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# per-layout pruning decisions (metadata only, no I/O)
+# ---------------------------------------------------------------------------
+
+
+def rows_page_skip(
+    layout: "StoredLayout", intervals: Mapping[str, tuple[float, float]]
+) -> set[int] | None:
+    """Page indexes (positions in the extent) a rows/array scan can skip."""
+    synopsis = layout.synopsis
+    if synopsis is None or not synopsis.page_zones or not intervals:
+        return None
+    skip = {
+        i
+        for i, zone in enumerate(synopsis.page_zones)
+        if not zone_may_match(zone, intervals)
+    }
+    return skip or None
+
+
+def _group_chunk_rows(layout: "StoredLayout", group_index: int) -> list[int]:
+    """Row count per chunk (single-field) or per page (mini-record group)."""
+    store = layout.column_groups[group_index]
+    if len(store.fields) == 1:
+        return [rows for _, rows in store.chunks]
+    assert layout.synopsis is not None
+    return [z.row_count for z in layout.synopsis.group_zones[group_index]]
+
+
+def column_keep_intervals(
+    layout: "StoredLayout",
+    group_indexes: Sequence[int],
+    intervals: Mapping[str, tuple[float, float]],
+) -> list[tuple[int, int]] | None:
+    """Surviving row intervals after chunk-zone pruning, or ``None``.
+
+    A row survives only if no scanned group's covering chunk rules it out,
+    so the pruned ranges of *all* groups union before complementing —
+    pruning in one group skips the aligned rows (and often whole chunks)
+    of every other group. ``None`` means pruning does not apply (no
+    synopsis, or nothing pruned); an empty list means nothing survives.
+    """
+    synopsis = layout.synopsis
+    if synopsis is None or not synopsis.group_zones or not intervals:
+        return None
+    pruned: list[tuple[int, int]] = []
+    saw_zones = False
+    for gi in group_indexes:
+        zones = synopsis.group_zones[gi]
+        if not zones:
+            continue
+        start = 0
+        for zone in zones:
+            end = start + zone.row_count
+            saw_zones = True
+            if zone.row_count and not zone_may_match(zone, intervals):
+                pruned.append((start, end))
+            start = end
+    if not saw_zones or not pruned:
+        return None
+    return _complement(_merge_intervals(pruned), layout.row_count)
+
+
+def _merge_intervals(
+    intervals: list[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    intervals = sorted(intervals)
+    merged: list[tuple[int, int]] = []
+    for lo, hi in intervals:
+        if merged and lo <= merged[-1][1]:
+            if hi > merged[-1][1]:
+                merged[-1] = (merged[-1][0], hi)
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def _complement(
+    merged: list[tuple[int, int]], total: int
+) -> list[tuple[int, int]]:
+    keep: list[tuple[int, int]] = []
+    cursor = 0
+    for lo, hi in merged:
+        if lo > cursor:
+            keep.append((cursor, lo))
+        cursor = max(cursor, hi)
+    if cursor < total:
+        keep.append((cursor, total))
+    return keep
+
+
+def _overlaps_keep(
+    keep: Sequence[tuple[int, int]], start: int, end: int
+) -> bool:
+    """Does chunk row range [start, end) intersect any kept interval?"""
+    i = bisect_right(keep, (start, float("inf"))) - 1
+    if i >= 0 and keep[i][1] > start:
+        return True
+    i += 1
+    return i < len(keep) and keep[i][0] < end
+
+
+def column_pruned_pages(
+    layout: "StoredLayout",
+    group_indexes: Sequence[int],
+    keep: Sequence[tuple[int, int]],
+) -> int:
+    """Pages a pruned column scan will not fetch, given keep intervals."""
+    skipped = 0
+    for gi in group_indexes:
+        start = 0
+        for rows in _group_chunk_rows(layout, gi):
+            end = start + rows
+            if rows and not _overlaps_keep(keep, start, end):
+                skipped += 1
+            start = end
+    return skipped
+
+
+def grid_cell_keep(
+    layout: "StoredLayout", intervals: Mapping[str, tuple[float, float]]
+) -> list[bool] | None:
+    """Keep flag per cell-directory entry, or ``None`` when not applicable."""
+    synopsis = layout.synopsis
+    if synopsis is None or not synopsis.cell_zones or not intervals:
+        return None
+    return [zone_may_match(z, intervals) for z in synopsis.cell_zones]
+
+
+def folded_keep(
+    layout: "StoredLayout", intervals: Mapping[str, tuple[float, float]]
+) -> list[bool] | None:
+    """Keep flag per folded-directory entry, or ``None`` when not applicable."""
+    synopsis = layout.synopsis
+    if synopsis is None or not synopsis.folded_zones or not intervals:
+        return None
+    return [zone_may_match(z, intervals) for z in synopsis.folded_zones]

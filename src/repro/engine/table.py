@@ -57,6 +57,7 @@ from repro.algebra.transforms import (
     select_records,
     undelta_records,
 )
+from repro.engine import synopsis as zonemaps
 from repro.engine.catalog import CatalogEntry
 from repro.engine.cost import CostEstimate, CostModel, estimate
 from repro.errors import QueryError, StorageError
@@ -143,6 +144,9 @@ class Table:
         self._db = db
         self._entry = entry
         self._pending: list[tuple] = []
+        # Incrementally maintained zone map over the pending buffer, so
+        # pruned scans can skip the pending batch without touching it.
+        self._pending_zone: zonemaps.ZoneSynopsis | None = None
         self._cursor: Iterator[tuple] | None = None
         self._cursor_order: tuple[tuple[str, bool], ...] = ()
         self._cursor_pos = -1
@@ -435,12 +439,26 @@ class Table:
                 seen.add(name)
         return needed
 
+    def _prune_intervals(
+        self, predicate: Predicate | None
+    ) -> dict[str, tuple[float, float]]:
+        """Per-field pruning intervals, empty when zone pruning is off."""
+        if predicate is None or not getattr(self._db, "zone_pruning", True):
+            return {}
+        return zonemaps.predicate_intervals(predicate)
+
     def _batches_with_overflow(
         self,
         needed: Sequence[str] | None,
         predicate: Predicate | None,
     ) -> tuple[Iterator[ColumnBatch], list[str]]:
-        """Main-layout batches with overflow + pending as trailing batches."""
+        """Main-layout batches with overflow + pending as trailing batches.
+
+        Overflow regions are row-major renders with their own page zone
+        maps, and the pending buffer keeps an incrementally maintained
+        zone — both prune against the same predicate intervals as the main
+        layout.
+        """
         main_batches, avail = self._batch_stored(
             self.layout, needed, predicate
         )
@@ -452,12 +470,25 @@ class Table:
             project_idx = [schema_names.index(f) for f in avail]
             projector = _batch_projector(project_idx)
         overflow_layouts = list(self._entry.overflow)
+        intervals = self._prune_intervals(predicate)
         pending = [tuple(r) for r in self._pending]
+        if (
+            pending
+            and intervals
+            and self._pending_zone is not None
+            and not zonemaps.zone_may_match(self._pending_zone, intervals)
+        ):
+            pending = []
 
         def chained() -> Iterator[ColumnBatch]:
             yield from main_batches
             for overflow in overflow_layouts:
-                for batch in renderer.iter_row_batches(overflow):
+                skip = (
+                    zonemaps.rows_page_skip(overflow, intervals)
+                    if intervals
+                    else None
+                )
+                for batch in renderer.iter_row_batches(overflow, skip=skip):
                     if projector is None:
                         yield batch
                     else:
@@ -489,19 +520,41 @@ class Table:
             pruned = self._iter_sorted_rows_range(layout, predicate)
             if pruned is not None:
                 return _chunk_rows(pruned, tuple(names)), names
-            batches = renderer.iter_row_batches(layout)
             if plan.delta_fields:
+                # Delta reconstruction needs every preceding record, so
+                # page skipping is disabled (zones exclude delta fields
+                # anyway — stored values are not the logical values).
+                batches = renderer.iter_row_batches(layout)
                 positions = {n: i for i, n in enumerate(names)}
                 idx = [positions[f] for f in plan.delta_fields]
-                batches = _undelta_batches(batches, idx, tuple(names))
-            return batches, names
+                return _undelta_batches(batches, idx, tuple(names)), names
+            intervals = self._prune_intervals(predicate)
+            skip = (
+                zonemaps.rows_page_skip(layout, intervals)
+                if intervals
+                else None
+            )
+            return renderer.iter_row_batches(layout, skip=skip), names
         if plan.kind == LAYOUT_COLUMNS:
             groups = select_column_groups(layout, needed)
             avail = [f for _, g in groups for f in g.fields]
-            batches = renderer.iter_column_batches(
-                layout, [i for i, _ in groups]
-            )
+            indexes = [i for i, _ in groups]
             delta_here = [f for f in plan.delta_fields if f in avail]
+            keep = None
+            if not delta_here:
+                intervals = self._prune_intervals(predicate)
+                if intervals:
+                    keep = zonemaps.column_keep_intervals(
+                        layout, indexes, intervals
+                    )
+            if keep is not None:
+                return (
+                    renderer.iter_pruned_column_batches(
+                        layout, indexes, keep
+                    ),
+                    avail,
+                )
+            batches = renderer.iter_column_batches(layout, indexes)
             if delta_here:
                 positions = {n: i for i, n in enumerate(avail)}
                 idx = [positions[f] for f in delta_here]
@@ -511,12 +564,14 @@ class Table:
             return (
                 renderer.iter_batches(
                     layout,
-                    grid_entries=self._grid_prune_entries(layout, predicate),
+                    grid_entries=self._grid_prune_entries(
+                        layout, predicate, zones=True
+                    ),
                 ),
                 plan.schema.names(),
             )
         if plan.kind == LAYOUT_FOLDED:
-            indices = self._folded_indices(layout, predicate)
+            indices = self._folded_indices(layout, predicate, zones=True)
             return (
                 renderer.iter_batches(layout, folded_indices=indices),
                 _scan_schema(plan).names(),
@@ -525,7 +580,13 @@ class Table:
             chosen = self._cheaper_mirror(layout, needed, predicate)
             return self._batch_stored(chosen, needed, predicate)
         if plan.kind == LAYOUT_ARRAY:
-            return renderer.iter_array_batches(layout), ["value"]
+            intervals = self._prune_intervals(predicate)
+            skip = (
+                zonemaps.rows_page_skip(layout, intervals)
+                if intervals
+                else None
+            )
+            return renderer.iter_array_batches(layout, skip=skip), ["value"]
         raise StorageError(f"cannot scan layout kind {plan.kind!r}")
 
     def _iter_with_overflow(
@@ -636,18 +697,41 @@ class Table:
         return rows, avail
 
     def _grid_prune_entries(
-        self, layout: StoredLayout, predicate: Predicate | None
+        self,
+        layout: StoredLayout,
+        predicate: Predicate | None,
+        zones: bool = False,
     ):
         """Cell-directory entries a predicate cannot rule out, or ``None``
-        when no pruning applies (shared by batch and reference paths)."""
+        when no pruning applies.
+
+        Cell-bound pruning on the grid dimensions is always on; ``zones``
+        additionally intersects each cell's zone map (min/max over *every*
+        stored field) against the predicate intervals — the batch-scan and
+        costing path. The tuple-at-a-time reference path keeps
+        ``zones=False`` so it stays a zone-map-free oracle.
+        """
         if predicate is None:
             return None
         ranges = predicate.ranges()
         dims = layout.plan.grid.dims if layout.plan.grid else ()
         usable = {d: ranges[d] for d in dims if d in ranges}
-        if not usable:
+        keep = None
+        if zones:
+            intervals = self._prune_intervals(predicate)
+            if intervals:
+                keep = zonemaps.grid_cell_keep(layout, intervals)
+        if not usable and keep is None:
             return None
-        return layout.cells_overlapping(usable)
+        if keep is None:
+            return layout.cells_overlapping(usable)
+        # One pass: zone verdict (parallel to the directory) plus the
+        # bounds test, delegated so both share one cell-bound convention.
+        return [
+            entry
+            for entry, kept in zip(layout.cell_directory, keep)
+            if kept and layout.entry_overlaps(entry, usable)
+        ]
 
     def _iter_grid(
         self, layout: StoredLayout, predicate: Predicate | None
@@ -675,9 +759,18 @@ class Table:
                     yield key + tuple(item)
 
     def _folded_indices(
-        self, layout: StoredLayout, predicate: Predicate | None
+        self,
+        layout: StoredLayout,
+        predicate: Predicate | None,
+        zones: bool = False,
     ) -> list[int] | None:
-        """Folded-record indices surviving group-key range pruning."""
+        """Folded-record indices surviving group-key range pruning.
+
+        ``zones`` additionally intersects each record's zone map (min/max
+        of the *nested* vectors too, not just the group key) against the
+        predicate intervals; the reference path keeps ``zones=False`` so it
+        stays a zone-map-free oracle.
+        """
         if predicate is None or not layout.folded_keys:
             return None
         ranges = predicate.ranges()
@@ -686,10 +779,17 @@ class Table:
             for position, name in enumerate(layout.plan.group_fields)
             if name in ranges
         ]
-        if not constrained:
+        zone_keep = None
+        if zones:
+            intervals = self._prune_intervals(predicate)
+            if intervals:
+                zone_keep = zonemaps.folded_keep(layout, intervals)
+        if not constrained and zone_keep is None:
             return None
         out = []
         for i, key in enumerate(layout.folded_keys):
+            if zone_keep is not None and not zone_keep[i]:
+                continue
             keep = True
             for position, (lo, hi) in constrained:
                 value = key[position]
@@ -714,23 +814,10 @@ class Table:
         touching O(log n + matching) pages instead of all of them.
         """
         plan = layout.plan
-        if (
-            not plan.sort_keys
-            or plan.delta_fields
-            or predicate is None
-            or not layout.page_row_counts
-            or layout.extent is None
-        ):
+        bounds = self._sorted_range_bounds(layout, predicate)
+        if bounds is None:
             return None
-        lead, ascending = plan.sort_keys[0]
-        if not ascending:
-            return None  # descending pruning omitted for clarity
-        ranges = predicate.ranges()
-        if lead not in ranges:
-            return None
-        lo, hi = ranges[lead]
-        if lo == float("-inf") and hi == float("inf"):
-            return None
+        lead, lo, hi = bounds
         lead_pos = plan.schema.index_of(lead)
         renderer = self._db.renderer
 
@@ -1001,10 +1088,7 @@ class Table:
         order_keys = normalize_order(order)
         if self._cursor is None or order_keys != self._cursor_order:
             start = getattr(self, "_cursor_pos", -1) + 1
-            iterator = self.scan(order=order)
-            for _ in range(start):
-                next(iterator, None)
-            self._cursor = iterator
+            self._cursor = self._scan_from(start, order)
             self._cursor_order = order_keys
         try:
             value = next(self._cursor)
@@ -1013,6 +1097,24 @@ class Table:
             raise QueryError("next() past the end of the table") from None
         self._cursor_pos = getattr(self, "_cursor_pos", -1) + 1
         return value
+
+    def _scan_from(self, start: int, order: Order | None) -> Iterator[tuple]:
+        """Row iterator positioned at row ``start``: whole batches ahead of
+        the target are counted and dropped without per-tuple ``next()``
+        calls (the cursor-rebuild path after ``get_element``)."""
+        if start <= 0:
+            return self.scan(order=order)
+
+        def generate() -> Iterator[tuple]:
+            remaining = start
+            for batch in self.scan_batches(order=order):
+                if remaining >= len(batch):
+                    remaining -= len(batch)
+                    continue
+                yield from (batch[remaining:] if remaining else batch)
+                remaining = 0
+
+        return generate()
 
     def _project_records(
         self, records: list[tuple], fieldlist: Sequence[str] | None
@@ -1082,6 +1184,123 @@ class Table:
                 return "index", via_index
         return "scan", self._full_scan_estimate(needed, predicate)
 
+    def pruned_pages(
+        self,
+        predicate: Predicate | None = None,
+        fieldlist: Sequence[str] | None = None,
+    ) -> int:
+        """Exact number of data pages zone-map pruning will skip.
+
+        Computed purely from the layout synopses and the predicate's
+        per-field intervals — no data page is touched — and mirrors the
+        decisions :meth:`scan_batches` makes (including overflow regions),
+        so ``Q.explain()`` can report it per scan node before execution.
+        """
+        if predicate is None or not self.is_loaded:
+            return 0
+        intervals = self._prune_intervals(predicate)
+        if not intervals:
+            return 0
+        needed = self._needed_fields(fieldlist, predicate, ())
+        total = self._layout_pruned_pages(self.layout, needed, predicate)
+        for overflow in self._entry.overflow:
+            skip = zonemaps.rows_page_skip(overflow, intervals)
+            if skip:
+                total += len(skip)
+        return total
+
+    def _layout_pruned_pages(
+        self,
+        layout: StoredLayout,
+        needed: Sequence[str] | None,
+        predicate: Predicate | None,
+    ) -> int:
+        """Pages of ``layout`` the batch scan will skip (metadata only)."""
+        intervals = self._prune_intervals(predicate)
+        if not intervals:
+            return 0
+        plan = layout.plan
+        if plan.kind == LAYOUT_ROWS:
+            if plan.delta_fields or self._sorted_prune_applies(
+                layout, predicate
+            ):
+                return 0
+            skip = zonemaps.rows_page_skip(layout, intervals)
+            return len(skip) if skip else 0
+        if plan.kind == LAYOUT_ARRAY:
+            skip = zonemaps.rows_page_skip(layout, intervals)
+            return len(skip) if skip else 0
+        if plan.kind == LAYOUT_COLUMNS:
+            groups = select_column_groups(layout, needed)
+            avail = [f for _, g in groups for f in g.fields]
+            if any(f in avail for f in plan.delta_fields):
+                return 0
+            indexes = [i for i, _ in groups]
+            keep = zonemaps.column_keep_intervals(layout, indexes, intervals)
+            if keep is None:
+                return 0
+            return zonemaps.column_pruned_pages(layout, indexes, keep)
+        if plan.kind == LAYOUT_GRID:
+            entries = self._grid_prune_entries(layout, predicate, zones=True)
+            if entries is None:
+                return 0
+            renderer = self._db.renderer
+            all_pages = renderer.pages_for_cells(
+                layout, layout.cell_directory
+            )
+            kept_pages = renderer.pages_for_cells(layout, entries)
+            return len(all_pages) - len(kept_pages)
+        if plan.kind == LAYOUT_FOLDED:
+            indices = self._folded_indices(layout, predicate, zones=True)
+            if indices is None or layout.extent is None:
+                return 0
+            touched = self._db.renderer.pages_for_stream_ranges(
+                layout, [layout.folded_directory[i] for i in indices]
+            )
+            return len(layout.extent.page_ids) - len(touched)
+        if plan.kind == LAYOUT_MIRROR:
+            chosen = self._cheaper_mirror(layout, needed, predicate)
+            return self._layout_pruned_pages(chosen, needed, predicate)
+        return 0
+
+    def _sorted_prune_applies(
+        self, layout: StoredLayout, predicate: Predicate | None
+    ) -> bool:
+        """Will :meth:`_iter_sorted_rows_range` handle this scan instead?
+
+        Shares that method's gate (:meth:`_sorted_range_bounds`) but does
+        no binary-search page fetches — pure metadata, usable from the
+        costing paths.
+        """
+        return self._sorted_range_bounds(layout, predicate) is not None
+
+    def _sorted_range_bounds(
+        self, layout: StoredLayout, predicate: Predicate | None
+    ) -> tuple[str, float, float] | None:
+        """The (leading key, lo, hi) a sorted-rows range scan can use, or
+        ``None`` — the single gate shared by the runtime path
+        (:meth:`_iter_sorted_rows_range`) and its metadata twin
+        (:meth:`_sorted_prune_applies`), so the two can never diverge."""
+        plan = layout.plan
+        if (
+            not plan.sort_keys
+            or plan.delta_fields
+            or predicate is None
+            or not layout.page_row_counts
+            or layout.extent is None
+        ):
+            return None
+        lead, ascending = plan.sort_keys[0]
+        if not ascending:
+            return None  # descending pruning omitted for clarity
+        ranges = predicate.ranges()
+        if lead not in ranges:
+            return None
+        lo, hi = ranges[lead]
+        if lo == float("-inf") and hi == float("inf"):
+            return None
+        return lead, lo, hi
+
     def _index_cost(self, predicate: Predicate | None) -> CostEstimate | None:
         """Estimated cost of the secondary-index path, from statistics."""
         if (
@@ -1145,37 +1364,31 @@ class Table:
                             math.ceil(math.log2(pages + 1))
                             + max(1, math.ceil(pages * fraction)),
                         )
+            pruned = self._layout_pruned_pages(layout, needed, predicate)
+            if pruned:
+                pages = min(pages, layout.total_pages() - pruned)
             return estimate(model, pages, 1)
         if plan.kind == LAYOUT_FOLDED:
-            indices = self._folded_indices(layout, predicate)
+            indices = self._folded_indices(layout, predicate, zones=True)
             if indices is not None and layout.extent is not None:
-                from repro.storage.page import BYTES_HEADER_SIZE
-
-                capacity = self._db.renderer.page_size - BYTES_HEADER_SIZE
-                touched: set[int] = set()
-                for i in indices:
-                    offset, length = layout.folded_directory[i]
-                    first = offset // capacity
-                    last = (offset + max(length, 1) - 1) // capacity
-                    touched.update(range(first, last + 1))
-                pages = sorted(touched)
+                pages = self._db.renderer.pages_for_stream_ranges(
+                    layout, [layout.folded_directory[i] for i in indices]
+                )
                 return estimate(model, len(pages), _count_runs(pages))
             return estimate(model, layout.total_pages(), 1)
         if plan.kind == LAYOUT_ARRAY:
-            return estimate(model, layout.total_pages(), 1)
+            pages = layout.total_pages()
+            pages -= self._layout_pruned_pages(layout, needed, predicate)
+            return estimate(model, max(1, pages), 1)
         if plan.kind == LAYOUT_COLUMNS:
             groups = [g for _, g in select_column_groups(layout, needed)]
             pages = sum(len(g.extent.page_ids) for g in groups)
-            return estimate(model, pages, max(1, len(groups)))
+            pages -= self._layout_pruned_pages(layout, needed, predicate)
+            return estimate(model, max(1, pages), max(1, len(groups)))
         if plan.kind == LAYOUT_GRID:
-            entries = layout.cell_directory
-            if predicate is not None and plan.grid is not None:
-                ranges = predicate.ranges()
-                usable = {
-                    d: ranges[d] for d in plan.grid.dims if d in ranges
-                }
-                if usable:
-                    entries = layout.cells_overlapping(usable)
+            entries = self._grid_prune_entries(layout, predicate, zones=True)
+            if entries is None:
+                entries = layout.cell_directory
             pages = self._db.renderer.pages_for_cells(layout, entries)
             return estimate(model, len(pages), _count_runs(pages))
         if plan.kind == LAYOUT_MIRROR:
@@ -1249,6 +1462,13 @@ class Table:
         transformed = self._apply_record_pipeline(coerced)
         self._pending.extend(transformed)
         if transformed:
+            # Incremental synopsis over the pending buffer: each insert
+            # extends the running zone instead of rescanning the buffer.
+            if self._pending_zone is None:
+                self._pending_zone = zonemaps.ZoneSynopsis()
+            self._pending_zone.update(
+                self.scan_schema().names(), transformed
+            )
             self._mark_indexes_stale()
         return len(transformed)
 
@@ -1286,6 +1506,7 @@ class Table:
         )
         self._entry.overflow.append(overflow)
         self._pending = []
+        self._pending_zone = None
         return overflow
 
     @property

@@ -177,6 +177,10 @@ def _run_layout(
     collect_samples: bool = False,
 ) -> tuple[LayoutResult, list[list[tuple]] | None]:
     store = RodentStore(page_size=page_size, pool_capacity=64, cost_model=model)
+    # Figure 2 reproduces the paper's designs as-is: zone-map pruning (a
+    # later addition) would collapse the N1/N2 baselines and change the
+    # figure's shape, so it is pinned off for this experiment.
+    store.zone_pruning = False
     store.create_table("Traces", TRACE_SCHEMA, layout=expr)
     table = store.load("Traces", records)
     pages = seeks = found = 0.0

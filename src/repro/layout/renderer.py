@@ -38,6 +38,7 @@ Read paths come in two granularities:
 from __future__ import annotations
 
 import struct
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Sequence
 
@@ -56,6 +57,12 @@ from repro.algebra.transforms import (
     undelta_records,
 )
 from repro.compression import get_codec
+from repro.engine.synopsis import (
+    LayoutSynopsis,
+    zone_from_columns,
+    zone_from_parts,
+    zone_from_rows,
+)
 from repro.errors import StorageError
 from repro.storage.buffer import BufferPool
 from repro.storage.page import (
@@ -198,6 +205,110 @@ class _ColumnCursor:
         return out
 
 
+class _GroupSlicer:
+    """Random-access reader over one column group's chunks by row range.
+
+    Used by the zone-map-pruned column scan: each scanned group serves
+    arbitrary (ascending) row intervals, decoding only the chunks those
+    rows live in. The most recently decoded chunk is cached, so a
+    sequential sweep over keep-intervals decodes each surviving chunk once.
+    """
+
+    __slots__ = (
+        "_renderer",
+        "_store",
+        "_single",
+        "_dtype",
+        "_codec",
+        "_serializer",
+        "_starts",
+        "_counts",
+        "_cached_index",
+        "_cached_columns",
+    )
+
+    def __init__(self, renderer: "LayoutRenderer", layout: "StoredLayout", group_index: int):
+        self._renderer = renderer
+        store = layout.column_groups[group_index]
+        self._store = store
+        plan = layout.plan
+        self._single = len(store.fields) == 1
+        if self._single:
+            counts = [rows for _, rows in store.chunks]
+            self._dtype = plan.schema.field(store.fields[0]).dtype
+            self._codec = get_codec(plan.codec_for(store.fields[0]))
+            self._serializer = None
+        else:
+            assert layout.synopsis is not None
+            counts = [
+                z.row_count for z in layout.synopsis.group_zones[group_index]
+            ]
+            self._dtype = self._codec = None
+            self._serializer = RecordSerializer(
+                plan.schema.project(store.fields)
+            )
+        self._counts = counts
+        starts: list[int] = []
+        total = 0
+        for count in counts:
+            starts.append(total)
+            total += count
+        self._starts = starts
+        self._cached_index = -1
+        self._cached_columns: list | None = None
+
+    def _chunk_columns(self, chunk_index: int) -> list:
+        if chunk_index == self._cached_index:
+            assert self._cached_columns is not None
+            return self._cached_columns
+        renderer = self._renderer
+        if self._single:
+            page_index, _rows = self._store.chunks[chunk_index]
+            page_id = self._store.extent.page_ids[page_index]
+        else:
+            page_id = self._store.extent.page_ids[chunk_index]
+        frame = renderer.pool.fetch(page_id)
+        try:
+            if self._single:
+                data = BytePage(renderer.page_size, frame.data).read()
+            else:
+                page = SlottedPage(renderer.page_size, frame.data)
+                blobs = [blob for _, blob in page.records()]
+        finally:
+            renderer.pool.unpin(page_id)
+        if self._single:
+            columns = [self._codec.decode_all(data, self._dtype)]
+        else:
+            records = self._serializer.decode_many(blobs)
+            if records:
+                columns = [list(c) for c in zip(*records)]
+            else:
+                columns = [[] for _ in self._store.fields]
+        self._cached_index = chunk_index
+        self._cached_columns = columns
+        return columns
+
+    def slice(self, start: int, end: int) -> list[list]:
+        """Per-field value vectors covering rows [start, end)."""
+        parts: list[list] = [[] for _ in self._store.fields]
+        i = max(0, bisect_right(self._starts, start) - 1)
+        while i < len(self._counts):
+            chunk_start = self._starts[i]
+            chunk_len = self._counts[i]
+            if chunk_start >= end:
+                break
+            if chunk_len == 0 or chunk_start + chunk_len <= start:
+                i += 1
+                continue
+            lo = max(0, start - chunk_start)
+            hi = min(end - chunk_start, chunk_len)
+            columns = self._chunk_columns(i)
+            for part, column in zip(parts, columns):
+                part.extend(column[lo:hi])
+            i += 1
+        return parts
+
+
 @dataclass
 class Extent:
     """A contiguous run of page ids belonging to one storage object."""
@@ -254,6 +365,9 @@ class StoredLayout:
     folded_keys: list[tuple] = field(default_factory=list)
     # Records per page, for rows layouts (enables direct get_element).
     page_row_counts: list[int] = field(default_factory=list)
+    # Per-zone min/max synopses (zone maps), computed at render time;
+    # ``None`` for layouts rendered before synopses existed.
+    synopsis: LayoutSynopsis | None = None
 
     def total_pages(self) -> int:
         """Number of pages this layout occupies on disk."""
@@ -272,21 +386,30 @@ class StoredLayout:
         """
         if self.plan.grid is None:
             raise StorageError("layout is not gridded")
-        dims = self.plan.grid.dims
-        out: list[CellEntry] = []
-        for entry in self.cell_directory:
-            keep = True
-            for dim, (lo, hi) in zip(dims, entry.bounds):
-                query = ranges.get(dim)
-                if query is None:
-                    continue
-                qlo, qhi = query
-                if hi <= qlo or lo > qhi:
-                    keep = False
-                    break
-            if keep:
-                out.append(entry)
-        return out
+        return [
+            entry
+            for entry in self.cell_directory
+            if self.entry_overlaps(entry, ranges)
+        ]
+
+    def entry_overlaps(
+        self, entry: "CellEntry", ranges: dict[str, tuple[float, float]]
+    ) -> bool:
+        """Can ``entry``'s cell bounds intersect the query ranges?
+
+        The single home of the half-open cell-bound convention
+        (``[lo, hi)`` per dimension vs inclusive query intervals) — every
+        pruning path must test through here so they can never diverge.
+        """
+        assert self.plan.grid is not None
+        for dim, (lo, hi) in zip(self.plan.grid.dims, entry.bounds):
+            query = ranges.get(dim)
+            if query is None:
+                continue
+            qlo, qhi = query
+            if hi <= qlo or lo > qhi:
+                return False
+        return True
 
 
 class LayoutRenderer:
@@ -330,11 +453,24 @@ class LayoutRenderer:
         serializer = RecordSerializer(plan.schema)
         pages = self._pack_slotted(serializer.encode(r) for r in records)
         extent = self._write_pages(pages)
+        names = tuple(plan.schema.names())
+        zones = []
+        start = 0
+        for page in pages:
+            zones.append(
+                zone_from_rows(
+                    names,
+                    records[start : start + page.slot_count],
+                    plan.delta_fields,
+                )
+            )
+            start += page.slot_count
         return StoredLayout(
             plan=plan,
             row_count=len(records),
             extent=extent,
             page_row_counts=[p.slot_count for p in pages],
+            synopsis=LayoutSynopsis(page_zones=zones),
         )
 
     def _pack_slotted(self, blobs: Iterator[bytes]) -> list[SlottedPage]:
@@ -372,6 +508,7 @@ class LayoutRenderer:
         )
         values_by_group = evaluated.value  # parallel to groups
         layout = StoredLayout(plan=plan, row_count=0)
+        group_zones: list[list] = []
         row_count = None
         for group_fields, values in zip(groups, values_by_group):
             if row_count is None:
@@ -379,26 +516,29 @@ class LayoutRenderer:
             elif row_count != len(values):
                 raise StorageError("column groups disagree on row count")
             if len(group_fields) == 1:
-                store = self._render_value_column(
+                store, zones = self._render_value_column(
                     plan, group_fields[0], values
                 )
             else:
-                store = self._render_minirecord_group(
+                store, zones = self._render_minirecord_group(
                     plan, group_fields, values
                 )
             layout.column_groups.append(store)
+            group_zones.append(zones)
         layout.row_count = row_count or 0
+        layout.synopsis = LayoutSynopsis(group_zones=group_zones)
         return layout
 
     def _render_value_column(
         self, plan: PhysicalPlan, field_name: str, values: list
-    ) -> ColumnGroupStore:
+    ) -> tuple[ColumnGroupStore, list]:
         dtype = plan.schema.field(field_name).dtype
         codec = get_codec(plan.codec_for(field_name))
         capacity = self.page_size - BYTES_HEADER_SIZE
         target_rows = self._target_rows(dtype, capacity)
         pages: list[BytePage] = []
         chunks: list[tuple[int, int]] = []
+        zones: list = []
         start = 0
         while start < len(values):
             rows = min(target_rows, len(values) - start)
@@ -413,15 +553,23 @@ class LayoutRenderer:
             page = BytePage(self.page_size)
             page.write(encoded)
             chunks.append((len(pages), rows))
+            zones.append(
+                zone_from_columns(
+                    (field_name,),
+                    [values[start : start + rows]],
+                    plan.delta_fields,
+                )
+            )
             pages.append(page)
             start += rows
         if not pages:  # empty column still owns one (empty) page
             page = BytePage(self.page_size)
             page.write(codec.encode([], dtype))
             chunks.append((0, 0))
+            zones.append(zone_from_columns((field_name,), [[]]))
             pages.append(page)
         extent = self._write_pages(pages)
-        return ColumnGroupStore((field_name,), extent, chunks)
+        return ColumnGroupStore((field_name,), extent, chunks), zones
 
     def _target_rows(self, dtype: Any, capacity: int) -> int:
         width = dtype.fixed_size if dtype.fixed_size else dtype.estimated_size()
@@ -429,12 +577,24 @@ class LayoutRenderer:
 
     def _render_minirecord_group(
         self, plan: PhysicalPlan, group_fields: tuple[str, ...], values: list
-    ) -> ColumnGroupStore:
+    ) -> tuple[ColumnGroupStore, list]:
         sub_schema = plan.schema.project(group_fields)
         serializer = RecordSerializer(sub_schema)
         pages = self._pack_slotted(serializer.encode(v) for v in values)
         extent = self._write_pages(pages)
-        return ColumnGroupStore(tuple(group_fields), extent)
+        names = tuple(group_fields)
+        zones: list = []
+        start = 0
+        for page in pages:
+            zones.append(
+                zone_from_rows(
+                    names,
+                    values[start : start + page.slot_count],
+                    plan.delta_fields,
+                )
+            )
+            start += page.slot_count
+        return ColumnGroupStore(tuple(group_fields), extent), zones
 
     # -- grid -------------------------------------------------------------
 
@@ -444,6 +604,8 @@ class LayoutRenderer:
         positions = {name: i for i, name in enumerate(schema.names())}
         stream = bytearray()
         directory: list[CellEntry] = []
+        cell_zones: list = []
+        names = tuple(schema.names())
         total_rows = 0
         for coord, cell in zip(grid.coords, grid.cells):
             blob = self._encode_cell(plan, schema, cell)
@@ -456,6 +618,7 @@ class LayoutRenderer:
                     row_count=len(cell),
                 )
             )
+            cell_zones.append(zone_from_rows(names, cell, plan.delta_fields))
             stream += blob
             total_rows += len(cell)
         extent = self._write_stream(bytes(stream))
@@ -465,6 +628,7 @@ class LayoutRenderer:
             extent=extent,
             cell_directory=directory,
             grid_origin=tuple(grid.origin),
+            synopsis=LayoutSynopsis(cell_zones=cell_zones),
         )
 
     def _encode_cell(
@@ -536,21 +700,32 @@ class LayoutRenderer:
         stream = bytearray()
         directory: list[tuple[int, int]] = []
         keys: list[tuple] = []
+        folded_zones: list = []
+        skip = set(plan.delta_fields)
         for row in evaluated.value:
             key = tuple(row[: len(plan.group_fields)])
             nested = row[len(plan.group_fields)]
             parts = [key_serializer.encode(key), _U32.pack(len(nested))]
+            zone_parts: dict[str, list] = {
+                name: [value]
+                for name, value in zip(plan.group_fields, key)
+                if name not in skip
+            }
             for j, (codec, dtype) in enumerate(nest_codecs):
                 if single:
                     vector = list(nested)
                 else:
                     vector = [item[j] for item in nested]
+                name = plan.nest_fields[j]
+                if name not in skip:
+                    zone_parts[name] = vector
                 encoded = codec.encode(vector, dtype)
                 parts.append(_U32.pack(len(encoded)))
                 parts.append(encoded)
             blob = b"".join(parts)
             directory.append((len(stream), len(blob)))
             keys.append(key)
+            folded_zones.append(zone_from_parts(len(nested), zone_parts))
             stream += blob
         extent = self._write_stream(bytes(stream))
         return StoredLayout(
@@ -559,6 +734,7 @@ class LayoutRenderer:
             extent=extent,
             folded_directory=directory,
             folded_keys=keys,
+            synopsis=LayoutSynopsis(folded_zones=folded_zones),
         )
 
     # -- array -------------------------------------------------------------
@@ -572,9 +748,15 @@ class LayoutRenderer:
         width = dtype.fixed_size or dtype.estimated_size()
         per_page = max(1, (capacity - 8) // max(1, width))
         pages: list[BytePage] = []
+        zones: list = []
         for start in range(0, max(len(leaves), 1), per_page):
             page = BytePage(self.page_size)
             page.write(serializer.encode(leaves[start : start + per_page]))
+            zones.append(
+                zone_from_columns(
+                    ("value",), [leaves[start : start + per_page]]
+                )
+            )
             pages.append(page)
         extent = self._write_pages(pages)
         return StoredLayout(
@@ -584,6 +766,7 @@ class LayoutRenderer:
             array_shape=array_shape,
             array_values_per_page=per_page,
             array_dtype=dtype,
+            synopsis=LayoutSynopsis(page_zones=zones),
         )
 
     # -- mirror ------------------------------------------------------------
@@ -684,11 +867,21 @@ class LayoutRenderer:
         self, layout: StoredLayout, entries: Sequence[CellEntry]
     ) -> list[int]:
         """Distinct page ids covering ``entries``, in storage order."""
+        return self.pages_for_stream_ranges(
+            layout, [(e.offset, e.length) for e in entries]
+        )
+
+    def pages_for_stream_ranges(
+        self, layout: StoredLayout, ranges: Sequence[tuple[int, int]]
+    ) -> list[int]:
+        """Distinct page ids covering ``(offset, length)`` byte ranges of a
+        stream extent (grid cell streams, folded record streams), in
+        storage order — the one place the stream-to-page geometry lives."""
         capacity = self.page_size - BYTES_HEADER_SIZE
         page_indexes: set[int] = set()
-        for entry in entries:
-            first = entry.offset // capacity
-            last = (entry.offset + max(entry.length, 1) - 1) // capacity
+        for offset, length in ranges:
+            first = offset // capacity
+            last = (offset + max(length, 1) - 1) // capacity
             page_indexes.update(range(first, last + 1))
         assert layout.extent is not None
         return [
@@ -815,14 +1008,24 @@ class LayoutRenderer:
         else:
             raise StorageError(f"cannot batch-scan layout kind {kind!r}")
 
-    def iter_row_batches(self, layout: StoredLayout) -> Iterator[ColumnBatch]:
-        """Row-layout records, one (bulk-decoded) batch per slotted page."""
+    def iter_row_batches(
+        self,
+        layout: StoredLayout,
+        skip: "set[int] | None" = None,
+    ) -> Iterator[ColumnBatch]:
+        """Row-layout records, one (bulk-decoded) batch per slotted page.
+
+        ``skip`` holds extent positions of pages zone-map pruning ruled out;
+        skipped pages are never fetched from the buffer pool or decoded.
+        """
         if layout.extent is None:
             return
         serializer = RecordSerializer(layout.plan.schema)
         decode_many = serializer.decode_many
         fields = tuple(layout.plan.schema.names())
-        for page_id in layout.extent.page_ids:
+        for page_index, page_id in enumerate(layout.extent.page_ids):
+            if skip is not None and page_index in skip:
+                continue
             frame = self.pool.fetch(page_id)
             try:
                 page = SlottedPage(self.page_size, frame.data)
@@ -902,6 +1105,37 @@ class LayoutRenderer:
                 if blobs:
                     yield list(zip(*serializer.decode_many(blobs)))
 
+    def iter_pruned_column_batches(
+        self,
+        layout: StoredLayout,
+        group_indexes: Sequence[int],
+        keep: Sequence[tuple[int, int]],
+        *,
+        batch_size: int = DEFAULT_BATCH_ROWS,
+    ) -> Iterator[ColumnBatch]:
+        """Aligned column batches restricted to the ``keep`` row intervals.
+
+        ``keep`` comes from :func:`repro.engine.synopsis.column_keep_intervals`
+        (sorted, disjoint, ascending). Each group serves the same row ranges
+        regardless of its own chunk geometry, so groups stay positionally
+        aligned; chunks entirely outside ``keep`` are never fetched or
+        decoded.
+        """
+        fields = tuple(
+            f
+            for i in group_indexes
+            for f in layout.column_groups[i].fields
+        )
+        slicers = [_GroupSlicer(self, layout, i) for i in group_indexes]
+        for start, end in keep:
+            for batch_start in range(start, end, batch_size):
+                batch_end = min(end, batch_start + batch_size)
+                columns: list[list] = []
+                for slicer in slicers:
+                    columns.extend(slicer.slice(batch_start, batch_end))
+                if columns and columns[0]:
+                    yield ColumnBatch.from_columns(fields, columns)
+
     def iter_folded_batches(
         self,
         layout: StoredLayout,
@@ -928,14 +1162,21 @@ class LayoutRenderer:
             yield ColumnBatch.from_rows(fields, rows)
 
     def iter_array_batches(
-        self, layout: StoredLayout
+        self,
+        layout: StoredLayout,
+        skip: "set[int] | None" = None,
     ) -> Iterator[ColumnBatch]:
-        """Array leaves as single-column batches, one per page."""
+        """Array leaves as single-column batches, one per page.
+
+        ``skip`` holds extent positions of zone-pruned pages (never fetched).
+        """
         if layout.extent is None:
             return
         dtype = layout.array_dtype or layout.plan.schema.fields[0].dtype
         serializer = VectorSerializer(dtype)
-        for page_id in layout.extent.page_ids:
+        for page_index, page_id in enumerate(layout.extent.page_ids):
+            if skip is not None and page_index in skip:
+                continue
             frame = self.pool.fetch(page_id)
             try:
                 page = BytePage(self.page_size, frame.data)

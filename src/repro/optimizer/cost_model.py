@@ -23,7 +23,7 @@ from repro.algebra.physical import (
     PhysicalPlan,
 )
 from repro.engine.cost import CostEstimate, CostModel, estimate
-from repro.engine.stats import TableStats
+from repro.engine.stats import TableStats, zone_survival_fraction
 from repro.optimizer.workload import Query, Workload
 from repro.types.types import FloatType, IntType
 
@@ -177,15 +177,50 @@ class PlanCostEstimator:
             return self._columns_query_cost(plan, query)
         # rows / folded / array: full scan of the object.
         pages = self.storage_pages(plan)
-        if plan.sort_keys and query.predicate is not None:
-            # A leading-sort-key range prunes a contiguous fraction.
-            lead, _ = plan.sort_keys[0]
-            ranges = query.ranges()
-            if lead in ranges:
-                lo, hi = ranges[lead]
-                fraction = self.stats.fields[lead].selectivity(lo, hi)
-                pages = max(1, math.ceil(pages * fraction))
+        if query.predicate is not None:
+            sorted_pruned = False
+            # Delta-encoded layouts serve neither pruning style at runtime:
+            # stored values are not the logical values (no searchable sort
+            # keys, no usable zones) and reconstruction reads every page.
+            if plan.sort_keys and not plan.delta_fields:
+                # A leading-sort-key range prunes a contiguous fraction.
+                lead, _ = plan.sort_keys[0]
+                ranges = query.ranges()
+                if lead in ranges:
+                    lo, hi = ranges[lead]
+                    fraction = self.stats.fields[lead].selectivity(lo, hi)
+                    pages = max(1, math.ceil(pages * fraction))
+                    sorted_pruned = True
+            if not sorted_pruned:
+                # Zone-map pruning: pages whose min/max synopsis rules out
+                # the predicate intervals are never read (this is what the
+                # runtime does whenever the sorted-range path does not
+                # apply). Expected survival under the stats' selectivity
+                # (upper bound; clustered data does better).
+                pages = self._zone_pruned_pages(pages, query, plan)
         return estimate(self.model, pages, 1)
+
+    def _zone_pruned_pages(
+        self,
+        pages: int,
+        query: Query,
+        plan: PhysicalPlan,
+        rows_per_zone: float | None = None,
+    ) -> int:
+        """Expected page count after zone-map pruning (≥1)."""
+        ranges = query.ranges()
+        if not ranges:
+            return pages
+        # Delta-encoded layouts cannot skip zones at runtime: stored values
+        # are not the logical values, and reconstruction needs every
+        # preceding record — so they earn no pruning credit here either.
+        if plan.delta_fields:
+            return pages
+        selectivity = self.stats.predicate_selectivity(ranges)
+        if rows_per_zone is None:
+            rows_per_zone = self.stats.row_count / max(1, pages)
+        survival = zone_survival_fraction(selectivity, rows_per_zone)
+        return max(1, math.ceil(pages * survival))
 
     def _columns_query_cost(
         self, plan: PhysicalPlan, query: Query
@@ -197,6 +232,11 @@ class PlanCostEstimator:
             needed = [groups[0]]
         rows = self.stats.row_count
         pages = sum(self._group_pages(plan, g, rows) for g in needed)
+        if query.predicate is not None:
+            # Chunk-zone pruning skips aligned chunks across every scanned
+            # group; rows-per-zone is per group, not per total page count.
+            rows_per_zone = rows / max(1.0, pages / max(1, len(needed)))
+            pages = self._zone_pruned_pages(pages, query, plan, rows_per_zone)
         return estimate(self.model, pages, len(needed))
 
     def _grid_query_cost(self, plan: PhysicalPlan, query: Query) -> CostEstimate:

@@ -31,7 +31,7 @@ from collections import defaultdict
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 from repro.engine.cost import CostEstimate
-from repro.errors import QueryError
+from repro.errors import QueryError, StorageError
 from repro.layout.renderer import DEFAULT_BATCH_ROWS, ColumnBatch
 from repro.query.expressions import Predicate
 from repro.types.values import multisort
@@ -111,10 +111,30 @@ class TableScanOp(Operator):
         self.order = list(order) if order else None
         self.limit = limit
         self.access = access
+        self._pages_pruned: int | None = None
         if self.fieldlist is not None:
             self.fields = tuple(self.fieldlist)
         else:
             self.fields = tuple(table.scan_schema().names())
+
+    @property
+    def pages_pruned(self) -> int:
+        """Data pages zone-map/directory pruning will skip, from the layout
+        synopses alone (``Table.pruned_pages``). Computed lazily on first
+        access — only ``explain()`` renders it, so plain execution never
+        pays the metadata sweep — and 0 for index probes, which bypass the
+        scan path entirely."""
+        if self._pages_pruned is None:
+            pruned = 0
+            if self.access == "scan" and self.predicate is not None:
+                try:
+                    pruned = self.table.pruned_pages(
+                        self.predicate, self.fieldlist
+                    )
+                except StorageError:
+                    pruned = 0  # unloaded table: no layout metadata yet
+            self._pages_pruned = pruned
+        return self._pages_pruned
 
     @property
     def name(self) -> str:
@@ -126,6 +146,7 @@ class TableScanOp(Operator):
             parts.append(f"fields={self.fieldlist}")
         if self.predicate is not None:
             parts.append(f"predicate={self.predicate!r}")
+            parts.append(f"pages_pruned={self.pages_pruned}")
         if self.order:
             parts.append(
                 "order=["

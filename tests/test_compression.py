@@ -234,3 +234,56 @@ class TestCompressionEffectiveness:
         varint = get_codec("varint").encode(deltas, INT)
         plain = get_codec("none").encode(values, INT)
         assert len(varint) < len(plain) / 3
+
+
+#: (codec, dtype, representative single value) for every valid pairing —
+#: the degenerate chunk shapes the batch scan's bulk path must handle.
+DECODE_ALL_EDGE_CASES = [
+    ("none", INT, 7),
+    ("none", FLOAT, 3.25),
+    ("none", STRING, "x"),
+    ("varint", INT, -13),
+    ("delta", INT, 42),
+    ("delta", FLOAT, -2.5),
+    ("rle", INT, 9),
+    ("rle", STRING, "abc"),
+    ("dict", INT, 3),
+    ("dict", STRING, "k"),
+    ("bitpack", INT, 12),
+    ("for", INT, -100),
+    ("lz", INT, 77),
+    ("lz", STRING, "zz"),
+    ("xor", FLOAT, 1.5),
+]
+
+_EDGE_IDS = [f"{c}-{d.name}" for c, d, _ in DECODE_ALL_EDGE_CASES]
+
+
+class TestDecodeAllEdgeCases:
+    """Empty and single-value chunks through every codec's bulk path.
+
+    Empty chunks occur for empty columns (which still own one page) and
+    single-value chunks whenever a value bisects down to one per page;
+    both previously reached ``decode_all`` only through scan-equivalence
+    suites, never directly.
+    """
+
+    @pytest.mark.parametrize(
+        "codec_name,dtype,_value", DECODE_ALL_EDGE_CASES, ids=_EDGE_IDS
+    )
+    def test_empty_input(self, codec_name, dtype, _value):
+        codec = get_codec(codec_name)
+        encoded = codec.encode([], dtype)
+        assert codec.decode_all(encoded, dtype) == []
+        assert codec.decode(encoded, dtype) == []
+
+    @pytest.mark.parametrize(
+        "codec_name,dtype,value", DECODE_ALL_EDGE_CASES, ids=_EDGE_IDS
+    )
+    def test_single_value(self, codec_name, dtype, value):
+        codec = get_codec(codec_name)
+        encoded = codec.encode([value], dtype)
+        assert codec.decode_all(encoded, dtype) == [value]
+        assert codec.decode_all(encoded, dtype) == codec.decode(
+            encoded, dtype
+        )

@@ -73,10 +73,17 @@ class TestSortedRowsPruning:
         full = table.scan_cost()
         assert pruned.pages < full.pages
 
-    def test_unsorted_rows_not_pruned(self):
+    def test_unsorted_rows_pruned_by_zone_maps_only(self):
+        """Without sort-order pruning, page zone maps still prune clustered
+        values; with zone pruning disabled the scan reads every page."""
         store = RodentStore(page_size=1024)
         store.create_table("T", SCHEMA)
         table = store.load("T", RECORDS)
+        _, io = store.run_cold(
+            lambda: list(table.scan(predicate=Range("t", 0, 10)))
+        )
+        assert io.page_reads < table.layout.total_pages()
+        store.zone_pruning = False
         _, io = store.run_cold(
             lambda: list(table.scan(predicate=Range("t", 0, 10)))
         )
