@@ -10,3 +10,7 @@ N_QUERIES = 25
 PAGE_SIZE = 16_384
 N_VEHICLES = 20
 CELLS_PER_SIDE = 32
+#: Master RNG seed for data/query generation. Every BENCH_*.json records
+#: the seed it ran with, so any report is reproducible bit-for-bit with
+#: ``run_experiments.py --seed <value>``.
+SEED = 7

@@ -3,6 +3,7 @@
 from repro.engine.catalog import Catalog, CatalogEntry
 from repro.engine.cost import CostEstimate, CostModel, estimate
 from repro.engine.database import RodentStore
+from repro.engine.adaptive import AdaptiveController
 from repro.engine.indexes import (
     FieldIndex,
     SpatialIndex,
@@ -14,6 +15,7 @@ from repro.engine.stats import FieldStats, TableStats
 from repro.engine.table import Table, normalize_order, record_pipeline
 
 __all__ = [
+    "AdaptiveController",
     "Catalog",
     "CatalogEntry",
     "CostEstimate",

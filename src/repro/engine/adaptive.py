@@ -1,0 +1,472 @@
+"""The closed adaptive loop: monitor → advise → reorganize (paper §5).
+
+The paper's optimizer "takes as input a relational schema and a workload of
+SQL queries and outputs a recommended storage representation"; offline, a
+designer feeds it a hand-written :class:`~repro.optimizer.workload.Workload`.
+This module closes the loop *online*: every access-method call is observed
+by a per-table :class:`~repro.optimizer.monitor.WorkloadMonitor`, and the
+:class:`AdaptiveController` periodically (every ``check_interval`` observed
+scans, or on :meth:`RodentStore.adapt`) re-runs the advisor against fresh
+statistics, compares the incumbent design's predicted cost with the
+recommendation under a **hysteresis margin**, charges the one-time
+reorganization cost against the amortized benefit, and — when the switch
+clearly pays — drives the :class:`ReorganizationManager` under the table's
+configured policy (eager / new-data-only / lazy).
+
+Safety properties:
+
+* a re-layout goes through :meth:`RodentStore.relayout` → ``load``, which
+  re-renders zone-map synopses for the new layout and clears secondary /
+  spatial indexes, so pruning and access-path choice can never consult
+  metadata describing the old physical design;
+* **lossy designs are never auto-adopted**: a recommendation that projects
+  logical fields away would make future re-layouts (and the next adaptation)
+  unable to re-derive the base records, so the controller falls back to the
+  best non-lossy alternative;
+* internal scans (statistics refresh, record recovery during a rewrite,
+  compaction) run with observation *paused* so the loop cannot feed on its
+  own maintenance traffic or recurse.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.algebra import ast
+from repro.algebra.interpreter import AlgebraInterpreter
+from repro.engine.stats import TableStats
+from repro.optimizer.monitor import DEFAULT_DECAY, WorkloadMonitor
+from repro.optimizer.reorganize import Policy, ReorganizationManager
+from repro.optimizer.workload import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.catalog import CatalogEntry
+    from repro.engine.database import RodentStore
+    from repro.engine.table import Table
+    from repro.query.expressions import Predicate
+
+
+class AdaptiveController:
+    """Per-store adaptivity: observe scans, periodically re-advise, reorganize.
+
+    Args:
+        store: the owning :class:`RodentStore`.
+        enabled: when False (the default), scans are still monitored but
+            reorganizations only happen through :meth:`RodentStore.adapt`.
+        check_interval: observed scans per table between automatic checks.
+        hysteresis: minimum *relative* predicted improvement
+            (``benefit > hysteresis * incumbent_ms``) before a switch is
+            considered — two designs within the margin never thrash.
+        min_observations: observations required before the first check.
+        amortization_queries: workload repetitions over which the one-time
+            rewrite cost must be recovered by the per-execution benefit.
+        strategy: advisor search strategy for online checks.
+        decay: per-observation exponential decay of monitor weights.
+    """
+
+    def __init__(
+        self,
+        store: "RodentStore",
+        enabled: bool = False,
+        check_interval: int = 64,
+        hysteresis: float = 0.15,
+        min_observations: int = 8,
+        amortization_queries: float = 200.0,
+        strategy: str = "exhaustive",
+        decay: float = DEFAULT_DECAY,
+    ):
+        self.store = store
+        self.enabled = enabled
+        self.check_interval = check_interval
+        self.hysteresis = hysteresis
+        self.min_observations = min_observations
+        self.amortization_queries = amortization_queries
+        self.strategy = strategy
+        self.decay = decay
+        self.reorganizer = ReorganizationManager(store)
+        self.adaptations = 0
+        self.checks = 0
+        #: Optional hand-written workloads per table; each check merges the
+        #: monitor's observed workload into them with decay (see
+        #: :meth:`seed_workload`).
+        self.seed_workloads: dict[str, "Workload"] = {}
+        #: Last decision per table (what ``adaptivity_report`` surfaces).
+        self.decisions: dict[str, dict] = {}
+        self._since_check: dict[str, int] = {}
+        self._suspended = 0
+        #: Scans currently being iterated. Automatic reorganization frees
+        #: the old layout's pages, so it must never fire while another
+        #: iterator still reads them — periodic checks and lazy rewrites
+        #: wait until no tracked scan is live. (A generator that was
+        #: created but never started is not tracked; the window between
+        #: creation and first ``next()`` remains the caller's to sequence,
+        #: exactly as with an explicit ``relayout()``.)
+        self._live_scans = 0
+
+    # -- observation plumbing ----------------------------------------------
+
+    @contextmanager
+    def pause(self):
+        """Suppress observation/adaptation for internal maintenance scans."""
+        self._suspended += 1
+        try:
+            yield
+        finally:
+            self._suspended -= 1
+
+    @property
+    def paused(self) -> bool:
+        return self._suspended > 0
+
+    def monitor(self, name: str) -> WorkloadMonitor:
+        """The table's monitor, created on first access."""
+        entry = self.store.catalog.entry(name)
+        if entry.monitor is None:
+            entry.monitor = WorkloadMonitor(name, decay=self.decay)
+        return entry.monitor
+
+    def observe_scan(
+        self,
+        table: "Table",
+        fieldlist: Sequence[str] | None,
+        predicate: "Predicate | None",
+        order_keys: Sequence[tuple[str, bool]],
+    ):
+        """Record one access-method call; may trigger a pending/lazy or
+        periodic adaptation *before* the scan binds its layout.
+
+        Returns ``(monitor, pattern key)`` for result-cardinality feedback,
+        or ``None`` while observation is paused.
+        """
+        if self._suspended:
+            return None
+        monitor = self.monitor(table.name)
+        key = monitor.observe(fieldlist, predicate, order_keys)
+        # Reorganization swaps the layout and frees its pages: defer both
+        # the lazy-policy rewrite and the periodic check while any other
+        # scan is mid-iteration (the observing scan itself has not started).
+        if self._live_scans == 0:
+            if self.reorganizer.pending(table.name) is not None:
+                with self.pause():
+                    if self.reorganizer.on_access(table.name):
+                        self.adaptations += 1  # deferred rewrite fired
+            if self.enabled:
+                count = self._since_check.get(table.name, 0) + 1
+                if (
+                    count >= self.check_interval
+                    and monitor.ticks >= self.min_observations
+                ):
+                    self._since_check[table.name] = 0
+                    self.check(table.name)
+                else:
+                    self._since_check[table.name] = count
+        return monitor, key
+
+    def track_scan(self, stream):
+        """Mark a scan live from first ``next()`` to exhaustion/close.
+
+        Works for batch and row iterators alike; while any tracked scan is
+        live, automatic reorganization is deferred (see ``_live_scans``).
+        """
+
+        def generate():
+            self._live_scans += 1
+            try:
+                yield from stream
+            finally:
+                self._live_scans -= 1
+
+        return generate()
+
+    def count_batches(
+        self, observation, batches: Iterator[list[tuple]]
+    ) -> Iterator[list[tuple]]:
+        """Pass batches through, recording the result cardinality.
+
+        Only *fully consumed* scans record: an abandoned iterator's partial
+        count would poison the pattern's ``avg_rows`` (which the planner
+        falls back to when a table has no statistics). Limited scans are
+        excluded upstream for the same reason — ``limit`` is not part of
+        the access signature.
+        """
+        monitor, key = observation
+
+        def generate() -> Iterator[list[tuple]]:
+            n = 0
+            for batch in batches:
+                n += len(batch)
+                yield batch
+            monitor.record_result(key, n)
+
+        return generate()
+
+    def record_estimate(
+        self, name: str, estimated: float, actual: float
+    ) -> None:
+        """Planner feedback: a scan's estimated vs actual cardinality."""
+        if self._suspended:
+            return
+        self.monitor(name).record_estimate(estimated, actual)
+
+    # -- policy ------------------------------------------------------------
+
+    def set_policy(self, name: str, policy: Policy | str) -> None:
+        """Reorganization policy for ``name`` (eager/new-data-only/lazy)."""
+        self.reorganizer.set_policy(name, policy)
+
+    def seed_workload(self, workload: "Workload") -> None:
+        """Install a hand-written workload the advisor should respect
+        before (and alongside) observed traffic: each check folds the live
+        observations into it via :meth:`Workload.merge_decayed`, so the
+        seed shapes early decisions and fades as real traffic accumulates.
+        """
+        self.seed_workloads[workload.table] = workload
+
+    # -- the check: advise, compare, maybe reorganize ----------------------
+
+    def check(self, name: str, force: bool = False) -> dict:
+        """Run one adaptation cycle for ``name``; returns the decision.
+
+        ``force`` (what :meth:`RodentStore.adapt` passes) waives the
+        minimum-observation gate and the amortization charge — the operator
+        asked, so the rewrite cost is accepted — but never the hysteresis
+        margin: a design that is not clearly better is not installed.
+        """
+        from repro.optimizer.advisor import recommend
+
+        self.checks += 1
+        entry = self.store.catalog.entry(name)
+        decision: dict = {"table": name, "adapted": False}
+        self.decisions[name] = decision
+        monitor = entry.monitor
+        seed = self.seed_workloads.get(name)
+        if (monitor is None or not monitor.patterns) and seed is None:
+            decision["reason"] = "no observed workload"
+            return decision
+        if entry.plan is None or entry.layout is None:
+            decision["reason"] = "table not loaded"
+            return decision
+        if (
+            not force
+            and seed is None
+            and monitor.ticks < self.min_observations
+        ):
+            decision["reason"] = "too few observations"
+            return decision
+
+        workload = (
+            monitor.to_workload()
+            if monitor is not None
+            else Workload(name)
+        )
+        if seed is not None:
+            # The hand-written seed fades as observed evidence accumulates:
+            # at full strength before any traffic, halved for every 20
+            # units of observed decayed weight.
+            fade = 0.5 ** (workload.total_weight / 20.0)
+            workload = seed.merge_decayed(workload, decay=fade)
+        if not workload.queries:
+            decision["reason"] = "no live patterns"
+            return decision
+        with self.pause():
+            stats = self._fresh_stats(entry)
+            if stats is None:
+                decision["reason"] = "no statistics"
+                return decision
+            recommendation = recommend(
+                entry.logical_schema,
+                stats,
+                workload,
+                self.store.cost_model,
+                strategy=self.strategy,
+                incumbent=entry.plan.expr,
+            )
+
+        incumbent_text = entry.plan.expr.to_text()
+        decision["incumbent"] = incumbent_text
+        decision["incumbent_ms"] = recommendation.incumbent_ms
+        chosen = self._choose_non_lossy(entry, recommendation)
+        if chosen is None:
+            decision["reason"] = "no non-lossy improvement"
+            return decision
+        expr, predicted_ms, storage_pages = chosen
+        decision["recommended"] = expr.to_text()
+        decision["predicted_ms"] = round(predicted_ms, 3)
+
+        if decision["recommended"] == incumbent_text:
+            decision["reason"] = "incumbent is optimal"
+            return decision
+        pending = self.reorganizer.pending(name)
+        if pending is not None and pending.to_text() == decision["recommended"]:
+            # A deferred policy already holds this exact design; re-applying
+            # would reset the lazy access counter and fake an adaptation.
+            decision["reason"] = "recommendation already pending under policy"
+            return decision
+        incumbent_ms = recommendation.incumbent_ms
+        if incumbent_ms is None:
+            decision["reason"] = "incumbent cost unknown"
+            return decision
+        benefit = incumbent_ms - predicted_ms
+        margin = self.hysteresis * incumbent_ms
+        if benefit <= margin:
+            decision["reason"] = (
+                f"within hysteresis margin "
+                f"(benefit {benefit:.2f} ms <= {margin:.2f} ms)"
+            )
+            return decision
+        rewrite_ms = self.reorganizer.estimated_rewrite_ms(
+            name, storage_pages
+        )
+        per_execution = benefit / max(1.0, workload.total_weight)
+        amortized = per_execution * self.amortization_queries
+        decision["rewrite_ms"] = round(rewrite_ms, 3)
+        decision["amortized_benefit_ms"] = round(amortized, 3)
+        if not force and amortized < rewrite_ms:
+            decision["reason"] = (
+                f"rewrite cost not amortized "
+                f"({amortized:.2f} ms benefit < {rewrite_ms:.2f} ms rewrite)"
+            )
+            return decision
+
+        if pending is not None:
+            # A different design was pending under a deferred policy; it is
+            # replaced, and the decision log keeps the trace.
+            decision["superseded_pending"] = pending.to_text()
+        with self.pause():
+            self.reorganizer.apply_design(name, expr)
+        self._since_check[name] = 0
+        applied = self.reorganizer.pending(name) is None
+        if applied:
+            # ``adaptations`` counts layouts actually switched; a design
+            # merely *recorded* under lazy/new-data-only shows up as
+            # ``pending_design`` in the report (and as a reorganization
+            # once the deferred rewrite fires).
+            self.adaptations += 1
+        decision["adapted"] = True
+        decision["reason"] = (
+            f"predicted {benefit:.2f} ms/workload benefit over incumbent"
+        )
+        decision["policy"] = self.reorganizer._state(name).policy.value
+        decision["applied_immediately"] = applied
+        return decision
+
+    def check_all(self, force: bool = False) -> dict[str, dict]:
+        return {
+            name: self.check(name, force=force)
+            for name in self.store.catalog.names()
+        }
+
+    # -- helpers -----------------------------------------------------------
+
+    #: Recollect statistics only beyond this relative row-count drift —
+    #: the rescan is O(table), too expensive to pay on every check under a
+    #: steady insert trickle.
+    STATS_DRIFT_FRACTION = 0.1
+
+    def _fresh_stats(self, entry: "CatalogEntry") -> TableStats | None:
+        """Current statistics; recollected when the row count drifted.
+
+        Inserted (pending/overflow) rows are invisible to load-time stats,
+        so a check after sustained inserts re-scans the logical records —
+        but only once the drift exceeds :attr:`STATS_DRIFT_FRACTION` (the
+        rescan is a full O(table) pass, run synchronously inside a check).
+        Falls back to the stale stats when the incumbent layout cannot
+        re-derive them (lossy design installed by hand).
+        """
+        from repro.engine.table import Table
+
+        table = Table(self.store, entry)
+        stats = entry.stats
+        if stats is not None:
+            drift = abs(table.row_count - stats.row_count)
+            if drift <= self.STATS_DRIFT_FRACTION * max(1, stats.row_count):
+                return stats
+        logical = list(entry.logical_schema.names())
+        try:
+            records = list(table.scan(fieldlist=logical))
+        except Exception:
+            return stats
+        entry.stats = TableStats.collect(entry.logical_schema, records)
+        return entry.stats
+
+    def _choose_non_lossy(
+        self, entry: "CatalogEntry", recommendation
+    ) -> tuple[ast.Node, float, int] | None:
+        """Best recommended design that retains every logical field.
+
+        A design that projects fields away cannot be auto-installed: the
+        data it drops would be unrecoverable at the *next* adaptation. The
+        advisor ranks alternatives; walk them best-first until a non-lossy
+        one appears. Returns (expression, predicted ms, storage pages).
+        """
+        from repro.algebra.parser import parse
+
+        interpreter = AlgebraInterpreter(
+            {entry.name: entry.logical_schema}
+        )
+        candidates: list[tuple[ast.Node | str, float]] = [
+            (recommendation.expression, recommendation.predicted_ms)
+        ]
+        candidates.extend(recommendation.alternatives)
+        logical = set(entry.logical_schema.names())
+        for expr, predicted_ms in candidates:
+            try:
+                node = parse(expr) if isinstance(expr, str) else expr
+                plan = interpreter.compile(node)
+                from repro.engine.table import _scan_schema
+
+                produced = set(_scan_schema(plan).names())
+            except Exception:
+                continue
+            if logical <= produced:
+                pages = self._storage_pages(entry, plan)
+                return node, predicted_ms, pages
+        return None
+
+    def _storage_pages(self, entry: "CatalogEntry", plan) -> int:
+        from repro.optimizer.cost_model import PlanCostEstimator
+
+        stats = entry.stats
+        if stats is None:
+            return 1
+        estimator = PlanCostEstimator(
+            stats, self.store.cost_model, self.store.cost_model.page_size
+        )
+        try:
+            return estimator.storage_pages(plan)
+        except Exception:
+            return 1
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self) -> dict:
+        """The ``adaptivity`` section of :meth:`RodentStore.storage_stats`."""
+        io = self.reorganizer.reorganization_io
+        tables = {}
+        for entry in self.store.catalog:
+            if entry.monitor is None:
+                continue
+            table_report = entry.monitor.report()
+            decision = self.decisions.get(entry.name)
+            if decision is not None:
+                table_report["last_decision"] = decision
+            pending = self.reorganizer.pending(entry.name)
+            if pending is not None:
+                table_report["pending_design"] = pending.to_text()
+            tables[entry.name] = table_report
+        return {
+            "enabled": self.enabled,
+            "check_interval": self.check_interval,
+            "hysteresis": self.hysteresis,
+            "min_observations": self.min_observations,
+            "amortization_queries": self.amortization_queries,
+            "checks": self.checks,
+            "adaptations": self.adaptations,
+            "reorganizations": self.reorganizer.reorganizations,
+            "reorganization_io": {
+                "page_reads": io.page_reads,
+                "page_writes": io.page_writes,
+            },
+            "tables": tables,
+        }

@@ -11,7 +11,9 @@ from repro.types.schema import Schema
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.engine.stats import TableStats
+    from repro.engine.synopsis import ZoneSynopsis
     from repro.layout.renderer import StoredLayout
+    from repro.optimizer.monitor import WorkloadMonitor
 
 
 @dataclass
@@ -30,6 +32,15 @@ class CatalogEntry:
     # (x_field, y_field) -> SpatialIndex.
     indexes: dict = field(default_factory=dict)
     spatial_indexes: dict = field(default_factory=dict)
+    # Not-yet-flushed inserted records (stored-record shape) with an
+    # incrementally maintained zone map. Kept on the catalog entry — not on
+    # Table handles — so every handle sees the same pending rows and a
+    # re-layout can fold them into the new representation.
+    pending: list = field(default_factory=list)
+    pending_zone: "ZoneSynopsis | None" = None
+    # Live workload observations feeding the adaptive loop (lazily created
+    # by the AdaptiveController the first time the table is scanned).
+    monitor: "WorkloadMonitor | None" = None
 
 
 class Catalog:

@@ -63,7 +63,12 @@ class RodentStore:
         eviction: str = "lru",
         wal_path: str | None = None,
         cost_model: CostModel | None = None,
+        adaptive: bool = False,
+        adapt_interval: int = 64,
+        adapt_hysteresis: float = 0.15,
     ):
+        from repro.engine.adaptive import AdaptiveController
+
         self.disk = DiskManager(path, page_size=page_size)
         self.pool = BufferPool(self.disk, capacity=pool_capacity, policy=eviction)
         self.wal = WriteAheadLog(wal_path)
@@ -75,6 +80,31 @@ class RodentStore:
         #: Zone-map scan pruning (per-page/chunk/cell min-max synopses).
         #: Settable at runtime; benchmarks flip it for before/after runs.
         self.zone_pruning = True
+        #: The adaptive loop (monitor → advise → reorganize). Scans are
+        #: always monitored; automatic periodic reorganization only runs
+        #: while :attr:`adaptive` is True (or on explicit :meth:`adapt`
+        #: calls).
+        self.adaptivity = AdaptiveController(
+            self,
+            enabled=adaptive,
+            check_interval=adapt_interval,
+            hysteresis=adapt_hysteresis,
+        )
+
+    @property
+    def adaptive(self) -> bool:
+        """Whether automatic periodic reorganization is on.
+
+        A plain settable flag, symmetric with :attr:`zone_pruning`:
+        ``store.adaptive = False`` pauses the automatic loop (monitoring
+        continues; :meth:`adapt` still works). The controller itself —
+        knobs, report, policies — lives at :attr:`adaptivity`.
+        """
+        return self.adaptivity.enabled
+
+    @adaptive.setter
+    def adaptive(self, value: bool) -> None:
+        self.adaptivity.enabled = bool(value)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -151,8 +181,15 @@ class RodentStore:
         evaluated = self._evaluate(entry.plan, {name: (coerced, schema)})
         old_layout = entry.layout
         entry.layout = self.renderer.render(entry.plan, evaluated)
+        # A (re)load swaps the physical design wholesale: synopses were
+        # re-rendered above, and every derived structure describing the old
+        # layout — secondary/spatial indexes, the pending buffer and its
+        # zone — must go with it (re-layouts fold pending rows into
+        # ``records`` before calling here).
         entry.indexes.clear()
         entry.spatial_indexes.clear()
+        entry.pending.clear()
+        entry.pending_zone = None
         self._free_layout(old_layout)
         return Table(self, entry)
 
@@ -189,10 +226,15 @@ class RodentStore:
         new_plan = self._interpreter().compile(expr)
         if source_records is None:
             source_records = self._recover_logical_records(entry)
-        # Swap the plan, then reuse the bulk-load path.
+        old_overflow = entry.overflow
+        # Swap the plan, then reuse the bulk-load path (which re-renders
+        # synopses and invalidates indexes + pending for the new design).
         entry.plan = new_plan
         entry.overflow = []
-        return self.load(name, source_records)
+        table = self.load(name, source_records)
+        for overflow in old_overflow:
+            self._free_layout(overflow)
+        return table
 
     def _recover_logical_records(self, entry: CatalogEntry) -> list[tuple]:
         table = Table(self, entry)
@@ -204,7 +246,11 @@ class RodentStore:
                 f"cannot re-derive logical records: current layout dropped "
                 f"field(s) {missing}; pass source_records"
             )
-        return list(table.scan(fieldlist=logical_fields))
+        # Recovery reads overflow + pending too — they are part of the
+        # logical relation and must survive the re-layout. The scan is
+        # maintenance traffic: keep it out of the workload monitor.
+        with self.adaptivity.pause():
+            return list(table.scan(fieldlist=logical_fields))
 
     def compact_table(self, name: str) -> None:
         """Fold overflow regions back into the main representation."""
@@ -212,7 +258,8 @@ class RodentStore:
         if entry.plan is None or entry.layout is None:
             raise StorageError(f"table {name!r} is not loaded")
         table = Table(self, entry)
-        stored = list(table.scan())
+        with self.adaptivity.pause():  # maintenance scan, not workload
+            stored = list(table.scan())
         residual = structural_residual(entry.plan.expr, "__stored__")
         evaluator = Evaluator(
             {"__stored__": (stored, tuple(table.scan_schema().names()))}
@@ -224,6 +271,9 @@ class RodentStore:
         entry.overflow = []
         entry.indexes.clear()
         entry.spatial_indexes.clear()
+        # ``stored`` already folded the pending rows into the new render.
+        entry.pending.clear()
+        entry.pending_zone = None
         self._free_layout(old_layout)
         for overflow in old_overflow:
             self._free_layout(overflow)
@@ -239,6 +289,21 @@ class RodentStore:
         )
         evaluated = Evaluated(list(records), tuple(schema.names()))
         return self.renderer.render(plan, evaluated)
+
+    def adapt(self, name: str | None = None) -> dict:
+        """Run the adaptive loop now: advise on the observed workload and
+        reorganize when a clearly better design exists.
+
+        Equivalent to the periodic check the controller runs every
+        ``adapt_interval`` observed scans (when ``adaptive=True``), but
+        operator-initiated: the minimum-observation gate and the rewrite
+        amortization charge are waived, the hysteresis margin is not.
+        Returns the decision for ``name``, or ``{table: decision}`` for
+        every table when ``name`` is omitted.
+        """
+        if name is not None:
+            return self.adaptivity.check(name, force=True)
+        return self.adaptivity.check_all(force=True)
 
     # -- persistence ---------------------------------------------------------
 
@@ -296,6 +361,7 @@ class RodentStore:
         pool = self.pool.stats
         disk = self.disk.stats
         return {
+            "adaptivity": self.adaptivity.report(),
             "buffer_pool": {
                 "capacity": self.pool.capacity,
                 "resident_pages": len(self.pool),

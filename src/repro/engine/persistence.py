@@ -228,6 +228,10 @@ def save_catalog(store: "RodentStore", path: str) -> None:
                 else None,
                 "overflow": [layout_to_dict(o) for o in entry.overflow],
                 "stats": stats_to_dict(entry.stats) if entry.stats else None,
+                "pending": [list(r) for r in entry.pending],
+                "monitor": entry.monitor.to_dict()
+                if entry.monitor is not None
+                else None,
             }
         )
     payload = {
@@ -284,6 +288,18 @@ def load_catalog(store: "RodentStore", path: str) -> None:
         ]
         if t.get("stats"):
             entry.stats = stats_from_dict(t["stats"])
+        pending = [tuple(r) for r in t.get("pending", [])]
+        if pending:
+            entry.pending = pending
+            # The pending zone map is derived data: rebuild it from the
+            # restored rows so pruned scans keep skipping the buffer.
+            zone = ZoneSynopsis()
+            zone.update(_scan_schema_of(entry).names(), pending)
+            entry.pending_zone = zone
+        if t.get("monitor"):
+            from repro.optimizer.monitor import WorkloadMonitor
+
+            entry.monitor = WorkloadMonitor.from_dict(t["monitor"])
 
 
 def _scan_schema_of(entry) -> Schema:

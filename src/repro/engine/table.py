@@ -143,13 +143,22 @@ class Table:
     def __init__(self, db: "RodentStore", entry: CatalogEntry):
         self._db = db
         self._entry = entry
-        self._pending: list[tuple] = []
-        # Incrementally maintained zone map over the pending buffer, so
-        # pruned scans can skip the pending batch without touching it.
-        self._pending_zone: zonemaps.ZoneSynopsis | None = None
         self._cursor: Iterator[tuple] | None = None
         self._cursor_order: tuple[tuple[str, bool], ...] = ()
         self._cursor_pos = -1
+
+    @property
+    def _pending(self) -> list[tuple]:
+        """Not-yet-flushed inserts. Lives on the catalog entry — shared by
+        every Table handle and preserved across re-layouts (a relayout
+        recovers them through the scan path before rendering)."""
+        return self._entry.pending
+
+    @property
+    def _pending_zone(self) -> zonemaps.ZoneSynopsis | None:
+        """Incrementally maintained zone map over the pending buffer, so
+        pruned scans can skip the pending batch without touching it."""
+        return self._entry.pending_zone
 
     # -- basic properties ---------------------------------------------------
 
@@ -214,6 +223,38 @@ class Table:
             predicate.ranges()
         )
 
+    def observed_row_estimate(
+        self,
+        fieldlist: Sequence[str] | None,
+        predicate: Predicate | None,
+        order: Order | None = None,
+    ) -> float | None:
+        """Decayed observed result cardinality of this access shape, if the
+        workload monitor has seen it complete before. The planner consults
+        this when table statistics cannot price the scan."""
+        monitor = self._entry.monitor
+        if monitor is None:
+            return None
+        from repro.optimizer.monitor import access_signature
+
+        key, _, _ = access_signature(
+            fieldlist, predicate, normalize_order(order)
+        )
+        pattern = monitor.patterns.get(key)
+        if pattern is None:
+            return None
+        return pattern.avg_rows
+
+    def record_scan_feedback(self, estimated: float, actual: float) -> None:
+        """Planner feedback: a compiled scan's estimated vs actual rows.
+
+        :class:`~repro.query.operators.TableScanOp` reports here after a
+        completed execution; the workload monitor folds it into a decayed
+        q-error that ``adaptivity_report`` exposes, so estimation drift is
+        visible next to the adaptation decisions it influences.
+        """
+        self._db.adaptivity.record_estimate(self.name, estimated, actual)
+
     # ==================================================================
     # scan
     # ==================================================================
@@ -265,6 +306,12 @@ class Table:
         if limit is not None and limit < 0:
             limit = 0  # a negative limit selects nothing, like [:0]
         order_keys = normalize_order(order)
+        # Feed the adaptive loop *before* binding any layout state: a due
+        # periodic adaptation may re-render the table here, and the scan
+        # below then reads the new design.
+        observation = self._db.adaptivity.observe_scan(
+            self, fieldlist, predicate, order_keys
+        )
         needed = self._needed_fields(fieldlist, predicate, order_keys)
         index_rows = self._index_path(predicate)
         if index_rows is not None:
@@ -361,7 +408,18 @@ class Table:
                     remaining -= len(rows)
                 yield rows
 
-        return generate()
+        if observation is None or limit is not None:
+            # Limited scans skip cardinality feedback: limit is not part of
+            # the access signature, so a truncated count would corrupt the
+            # pattern's avg_rows for its unlimited siblings.
+            batches_out = generate()
+        else:
+            batches_out = self._db.adaptivity.count_batches(
+                observation, generate()
+            )
+        # Track liveness so an automatic re-layout (which frees this
+        # layout's pages) can never fire under a mid-iteration reader.
+        return self._db.adaptivity.track_scan(batches_out)
 
     def scan_reference(
         self,
@@ -376,6 +434,11 @@ class Table:
         and the scan benchmarks report before/after against it.
         """
         order_keys = normalize_order(order)
+        # The reference path is workload too (same observation shape as the
+        # batch path, so either pipeline feeds the same model).
+        observation = self._db.adaptivity.observe_scan(
+            self, fieldlist, predicate, order_keys
+        )
         needed = self._needed_fields(fieldlist, predicate, order_keys)
         index_rows = self._index_path(predicate)
         if index_rows is not None:
@@ -415,7 +478,11 @@ class Table:
             full = self.scan_schema().names()
             out_idx = [positions[f] for f in full if f in positions]
             rows = map(_row_projector(out_idx), rows)
-        return rows
+        # Unlike the batch path, no per-row cardinality wrapper (it would
+        # tax the reference pipeline, the benchmark baseline — avg_rows
+        # comes from scan_batches executions of the same shape); liveness
+        # tracking wraps the whole iterator, one hop per scan not per row.
+        return self._db.adaptivity.track_scan(rows)
 
     def _needed_fields(
         self,
@@ -1075,9 +1142,11 @@ class Table:
             else:
                 # fell through all pages; check overflow/pending below
                 pass
-        for position, record in enumerate(self.scan()):
-            if position == index:
-                return record
+        # Positional fallback walk — engine plumbing, not query workload.
+        with self._db.adaptivity.pause():
+            for position, record in enumerate(self.scan()):
+                if position == index:
+                    return record
         raise QueryError(
             f"element index {index} out of range (table has "
             f"{self.row_count} rows)"
@@ -1102,12 +1171,14 @@ class Table:
         """Row iterator positioned at row ``start``: whole batches ahead of
         the target are counted and dropped without per-tuple ``next()``
         calls (the cursor-rebuild path after ``get_element``)."""
-        if start <= 0:
-            return self.scan(order=order)
+        with self._db.adaptivity.pause():  # cursor plumbing, not workload
+            if start <= 0:
+                return self.scan(order=order)
+            batches = self.scan_batches(order=order)
 
         def generate() -> Iterator[tuple]:
             remaining = start
-            for batch in self.scan_batches(order=order):
+            for batch in batches:
                 if remaining >= len(batch):
                     remaining -= len(batch)
                     continue
@@ -1460,13 +1531,13 @@ class Table:
         """
         coerced = [self.logical_schema.coerce_record(r) for r in records]
         transformed = self._apply_record_pipeline(coerced)
-        self._pending.extend(transformed)
+        self._entry.pending.extend(transformed)
         if transformed:
             # Incremental synopsis over the pending buffer: each insert
             # extends the running zone instead of rescanning the buffer.
-            if self._pending_zone is None:
-                self._pending_zone = zonemaps.ZoneSynopsis()
-            self._pending_zone.update(
+            if self._entry.pending_zone is None:
+                self._entry.pending_zone = zonemaps.ZoneSynopsis()
+            self._entry.pending_zone.update(
                 self.scan_schema().names(), transformed
             )
             self._mark_indexes_stale()
@@ -1505,8 +1576,8 @@ class Table:
             self.scan_schema(), self._pending
         )
         self._entry.overflow.append(overflow)
-        self._pending = []
-        self._pending_zone = None
+        self._entry.pending = []
+        self._entry.pending_zone = None
         return overflow
 
     @property

@@ -11,6 +11,7 @@ from repro.optimizer.candidates import (
     suggest_stride,
 )
 from repro.optimizer.cost_model import DesignCost, PlanCostEstimator
+from repro.optimizer.monitor import AccessPattern, WorkloadMonitor
 from repro.optimizer.reorganize import Policy, ReorganizationManager
 from repro.optimizer.search import (
     SearchResult,
@@ -21,6 +22,7 @@ from repro.optimizer.search import (
 from repro.optimizer.workload import Query, Workload
 
 __all__ = [
+    "AccessPattern",
     "DesignCost",
     "PlanCostEstimator",
     "Policy",
@@ -29,6 +31,7 @@ __all__ = [
     "ReorganizationManager",
     "SearchResult",
     "Workload",
+    "WorkloadMonitor",
     "affinity_column_groups",
     "enumerate_candidates",
     "exhaustive_search",

@@ -36,6 +36,10 @@ class Recommendation:
     storage_pages: int
     alternatives: list[tuple[str, float]]  # (expression text, predicted ms)
     evaluated: int
+    #: Predicted cost of the incumbent design under the same workload and
+    #: cost model, when one was supplied — what the adaptive controller
+    #: compares against before it moves any data.
+    incumbent_ms: float | None = None
 
     def describe(self) -> str:
         return (
@@ -52,6 +56,7 @@ def recommend(
     cost_model: CostModel,
     strategy: str = "exhaustive+descent",
     include_mirrors: bool = False,
+    incumbent: ast.Node | str | None = None,
 ) -> Recommendation:
     """Recommend a physical design for ``workload``.
 
@@ -60,11 +65,29 @@ def recommend(
         ``exhaustive+descent`` (default) — exhaustive, then refine grid
         strides by coordinate descent;
         ``annealing`` — simulated annealing over the pool and mutations.
+
+    ``incumbent`` (a storage-algebra expression, text or AST) is the design
+    currently installed; it joins the candidate pool — so the recommendation
+    can never lose to it within the model — and its predicted cost is
+    reported as :attr:`Recommendation.incumbent_ms` for hysteresis checks.
     """
     candidates = enumerate_candidates(
         schema, stats, workload, include_mirrors=include_mirrors
     )
     estimator = PlanCostEstimator(stats, cost_model, cost_model.page_size)
+
+    incumbent_expr: ast.Node | None = None
+    incumbent_ms: float | None = None
+    if incumbent is not None:
+        from repro.algebra.parser import parse
+
+        incumbent_expr = (
+            parse(incumbent) if isinstance(incumbent, str) else incumbent
+        )
+        incumbent_ms = _cost_of(incumbent_expr, schema, estimator, workload)
+        texts = {c.to_text() for c in candidates}
+        if incumbent_expr.to_text() not in texts:
+            candidates = [incumbent_expr, *candidates]
 
     if strategy == "annealing":
         result = simulated_annealing(candidates, schema, estimator, workload)
@@ -82,7 +105,24 @@ def recommend(
         storage_pages=result.best.storage_pages,
         alternatives=ranked[1:6],
         evaluated=result.evaluated,
+        incumbent_ms=incumbent_ms,
     )
+
+
+def _cost_of(
+    expr: ast.Node,
+    schema: Schema,
+    estimator: PlanCostEstimator,
+    workload: Workload,
+) -> float | None:
+    """Predicted workload cost of one expression, or None if uncostable."""
+    from repro.algebra.interpreter import AlgebraInterpreter
+
+    try:
+        plan = AlgebraInterpreter({workload.table: schema}).compile(expr)
+        return estimator.workload_cost(plan, workload).total_ms
+    except Exception:
+        return None
 
 
 def _maybe_descend(
@@ -112,7 +152,11 @@ def recommend_for_table(
     workload: Workload,
     strategy: str = "exhaustive+descent",
 ) -> Recommendation:
-    """Recommend a design for a loaded table, using its collected stats."""
+    """Recommend a design for a loaded table, using its collected stats.
+
+    The table's installed design (when planned) is passed as the incumbent,
+    so the result carries ``incumbent_ms`` for before/after comparison.
+    """
     entry = store.catalog.entry(workload.table)
     if entry.stats is None:
         raise OptimizerError(
@@ -124,4 +168,5 @@ def recommend_for_table(
         workload,
         store.cost_model,
         strategy=strategy,
+        incumbent=entry.plan.expr if entry.plan is not None else None,
     )

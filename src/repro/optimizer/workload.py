@@ -8,7 +8,7 @@ compiles to: a (fieldlist, predicate, order) triple plus a frequency weight.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.query.expressions import Predicate
@@ -34,6 +34,18 @@ class Query:
 
     def ranges(self) -> dict[str, tuple[float, float]]:
         return self.predicate.ranges() if self.predicate else {}
+
+    def signature(self) -> tuple:
+        """Template identity: projection + constrained fields + order.
+
+        Two queries share a signature when they are instances of the same
+        parameterized template (same shape, possibly different constants);
+        the decayed workload merge accumulates their weights.
+        """
+        used = (
+            self.predicate.fields_used() if self.predicate is not None else set()
+        )
+        return (self.fieldlist, tuple(sorted(used)), self.order)
 
 
 @dataclass
@@ -85,3 +97,46 @@ class Workload:
             for name, bounds in query.ranges().items():
                 dims.setdefault(name, []).append(bounds)
         return dims
+
+    def scaled(self, factor: float) -> "Workload":
+        """A copy with every weight multiplied by ``factor`` (decay step)."""
+        out = Workload(self.table)
+        for query in self.queries:
+            out.add(replace(query, weight=query.weight * factor))
+        return out
+
+    def merge_decayed(
+        self, observed: "Workload", decay: float = 0.5
+    ) -> "Workload":
+        """Fold ``observed`` into this workload with exponential decay.
+
+        Existing weights are first scaled by ``decay`` (older evidence
+        fades), then observed queries are merged: a query whose
+        :meth:`Query.signature` matches an existing template accumulates
+        onto it (keeping the newer predicate constants), new templates are
+        appended. :meth:`AdaptiveController.seed_workload
+        <repro.engine.adaptive.AdaptiveController.seed_workload>` uses this
+        to combine a hand-written seed workload with the live monitor's
+        output into one advisor input.
+        """
+        if observed.table != self.table:
+            raise ValueError(
+                f"cannot merge workload for {observed.table!r} into "
+                f"{self.table!r}"
+            )
+        merged = self.scaled(decay)
+        by_signature = {
+            query.signature(): i for i, query in enumerate(merged.queries)
+        }
+        for query in observed.queries:
+            key = query.signature()
+            if key in by_signature:
+                i = by_signature[key]
+                incumbent = merged.queries[i]
+                merged.queries[i] = replace(
+                    query, weight=incumbent.weight + query.weight
+                )
+            else:
+                by_signature[key] = len(merged.queries)
+                merged.add(query)
+        return merged

@@ -160,13 +160,19 @@ class TableScanOp(Operator):
         return " ".join(parts)
 
     def batches(self) -> Iterator[ColumnBatch]:
+        actual = 0
         for rows in self.table.scan_batches(
             fieldlist=self.fieldlist,
             predicate=self.predicate,
             order=self.order,
             limit=self.limit,
         ):
+            actual += len(rows)
             yield ColumnBatch.from_rows(self.fields, rows)
+        # Completed scans report actual-vs-estimated cardinality into the
+        # table's workload monitor (abandoned scans would compare a full
+        # estimate against a partial count, so they stay silent).
+        self.table.record_scan_feedback(self.est_rows, actual)
 
 
 class FilterOp(Operator):

@@ -509,6 +509,17 @@ def _lower_scan(node: lp.Scan, binder: _Binder) -> Operator:
         bound.out_names[f] for f in op.fields
     )
     est = table.estimated_row_count(node.predicate)
+    if table.stats is None:
+        # No collected statistics (e.g. a pending-only table): fall back to
+        # the workload monitor's observed cardinality for this access shape
+        # — the feedback loop closing actual → estimated.
+        observed = table.observed_row_estimate(
+            list(node.fieldlist) if node.fieldlist else None,
+            node.predicate,
+            list(node.order) if node.order else None,
+        )
+        if observed is not None:
+            est = observed
     if node.limit is not None:
         est = min(est, float(node.limit))
     op.est_rows = est

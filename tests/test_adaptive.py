@@ -1,0 +1,484 @@
+"""Tests for the adaptive loop: monitor decay, hysteresis, policies,
+persistence, and the end-to-end monitor → advise → reorganize cycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.database import RodentStore
+from repro.optimizer.monitor import WorkloadMonitor, access_signature
+from repro.optimizer.workload import Query, Workload
+from repro.query.expressions import Range, Rect
+from repro.types.schema import Schema
+
+SCHEMA = Schema.of("t:int", "g:int", "v:int", "w:int")
+
+
+def make_records(n: int) -> list[tuple]:
+    return [(i, i % 10, (i * 7) % 100, (i * 3) % 50) for i in range(n)]
+
+
+def make_store(n: int = 4000, **kwargs) -> RodentStore:
+    store = RodentStore(page_size=1024, pool_capacity=64, **kwargs)
+    store.create_table("T", SCHEMA)
+    store.load("T", make_records(n))
+    return store
+
+
+# ---------------------------------------------------------------------------
+# WorkloadMonitor: decay math and pattern folding
+# ---------------------------------------------------------------------------
+
+
+class TestMonitorDecay:
+    def test_first_observation_has_unit_weight(self):
+        monitor = WorkloadMonitor("T", decay=0.9)
+        key = monitor.observe(("v",), None, ())
+        assert monitor.patterns[key].weight == pytest.approx(1.0)
+        assert monitor.ticks == 1
+
+    def test_repeat_observation_accumulates_with_decay(self):
+        monitor = WorkloadMonitor("T", decay=0.9)
+        key = monitor.observe(("v",), None, ())
+        monitor.observe(("v",), None, ())
+        # w = 1 * 0.9**1 + 1
+        assert monitor.patterns[key].weight == pytest.approx(1.9)
+        monitor.observe(("v",), None, ())
+        assert monitor.patterns[key].weight == pytest.approx(1.9 * 0.9 + 1)
+
+    def test_idle_pattern_fades_against_new_shape(self):
+        monitor = WorkloadMonitor("T", decay=0.5)
+        old = monitor.observe(("t",), None, ())
+        for _ in range(10):
+            new = monitor.observe(("v",), None, ())
+        now = monitor.ticks
+        old_w = monitor.patterns[old].decayed_weight(now, monitor.decay)
+        new_w = monitor.patterns[new].decayed_weight(now, monitor.decay)
+        assert old_w < 0.01
+        assert new_w > 1.5
+
+    def test_same_template_different_constants_is_one_pattern(self):
+        monitor = WorkloadMonitor("T")
+        k1 = monitor.observe(("v",), Range("t", 0, 10), ())
+        k2 = monitor.observe(("v",), Range("t", 50, 90), ())
+        assert k1 == k2
+        assert len(monitor.patterns) == 1
+        # Representative ranges are the running envelope.
+        assert monitor.patterns[k1].ranges["t"] == (0, 90)
+
+    def test_distinct_shapes_are_distinct_patterns(self):
+        monitor = WorkloadMonitor("T")
+        k1 = monitor.observe(("v",), Range("t", 0, 10), ())
+        k2 = monitor.observe(("v", "w"), Range("t", 0, 10), ())
+        k3 = monitor.observe(("v",), Range("t", 0, 10), (("t", True),))
+        assert len({k1, k2, k3}) == 3
+
+    def test_result_cardinality_decayed_mean(self):
+        monitor = WorkloadMonitor("T")
+        key = monitor.observe(("v",), None, ())
+        monitor.record_result(key, 100)
+        assert monitor.patterns[key].avg_rows == pytest.approx(100.0)
+        monitor.record_result(key, 200)
+        assert monitor.patterns[key].avg_rows == pytest.approx(
+            0.8 * 100 + 0.2 * 200
+        )
+
+    def test_to_workload_carries_decayed_weights(self):
+        monitor = WorkloadMonitor("T", decay=0.5)
+        monitor.observe(("t",), None, ())
+        for _ in range(5):
+            monitor.observe(("v",), Range("t", 0, 10), ())
+        workload = monitor.to_workload()
+        assert workload.table == "T"
+        assert workload.queries  # dominant pattern first
+        dominant = workload.queries[0]
+        assert dominant.fieldlist == ("v",)
+        assert dominant.predicate is not None
+        assert dominant.predicate.ranges() == {"t": (0, 10)}
+        weights = [q.weight for q in workload.queries]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_estimation_feedback_q_error(self):
+        monitor = WorkloadMonitor("T")
+        monitor.record_estimate(100.0, 100.0)
+        assert monitor.feedback.mean_q_error == pytest.approx(1.0)
+        monitor.record_estimate(10.0, 100.0)
+        assert monitor.feedback.mean_q_error > 1.5
+
+    def test_pattern_cap_is_enforced(self):
+        from repro.optimizer.monitor import MAX_PATTERNS
+
+        monitor = WorkloadMonitor("T", decay=0.999)  # barely fades
+        for i in range(MAX_PATTERNS + 64):
+            monitor.observe((f"f{i}",), None, ())
+        assert len(monitor.patterns) <= MAX_PATTERNS
+        # The newest pattern survives its own insertion's compaction.
+        newest_key, _, _ = access_signature(
+            (f"f{MAX_PATTERNS + 63}",), None, ()
+        )
+        assert newest_key in monitor.patterns
+
+    def test_signature_ignores_residual_constants(self):
+        key1, ranges1, _ = access_signature(("v",), Range("t", 1, 2), ())
+        key2, ranges2, _ = access_signature(("v",), Range("t", 5, 9), ())
+        assert key1 == key2
+        assert ranges1 != ranges2
+
+    def test_monitor_round_trip(self):
+        monitor = WorkloadMonitor("T", decay=0.7)
+        key = monitor.observe(("v",), Rect({"t": (0, 10), "g": (1, 3)}), ())
+        monitor.record_result(key, 42)
+        monitor.record_estimate(40.0, 42.0)
+        restored = WorkloadMonitor.from_dict(monitor.to_dict())
+        assert restored.table == "T"
+        assert restored.decay == pytest.approx(0.7)
+        assert restored.ticks == monitor.ticks
+        assert set(restored.patterns) == set(monitor.patterns)
+        pattern = restored.patterns[key]
+        assert pattern.ranges == {"t": (0, 10), "g": (1, 3)}
+        assert pattern.avg_rows == pytest.approx(42.0)
+        assert restored.feedback.samples == 1
+
+
+# ---------------------------------------------------------------------------
+# Workload decayed merge
+# ---------------------------------------------------------------------------
+
+
+class TestWorkloadMerge:
+    def test_merge_decays_existing_and_accumulates_matching(self):
+        seed = Workload("T").add(
+            Query("q0", fieldlist=("v",), predicate=Range("t", 0, 10), weight=4.0)
+        )
+        observed = Workload("T").add(
+            Query("o0", fieldlist=("v",), predicate=Range("t", 20, 30), weight=1.0)
+        ).add(Query("o1", fieldlist=("w",), weight=2.0))
+        merged = seed.merge_decayed(observed, decay=0.5)
+        assert len(merged.queries) == 2
+        same_template = merged.queries[0]
+        assert same_template.weight == pytest.approx(4.0 * 0.5 + 1.0)
+        # Newer constants win for the matched template.
+        assert same_template.predicate.ranges() == {"t": (20, 30)}
+        assert merged.queries[1].weight == pytest.approx(2.0)
+
+    def test_merge_rejects_other_table(self):
+        with pytest.raises(ValueError):
+            Workload("A").merge_decayed(Workload("B"))
+
+
+# ---------------------------------------------------------------------------
+# AdaptiveController: hysteresis, amortization, policies
+# ---------------------------------------------------------------------------
+
+
+class TestHysteresis:
+    def test_no_thrash_within_margin(self):
+        # At 500 rows the seek term dominates: columns(T) is predicted only
+        # marginally cheaper than rows, inside the default 15% margin.
+        store = make_store(n=500)
+        table = store.table("T")
+        for _ in range(20):
+            list(table.scan(fieldlist=["v"]))
+        before = store.table("T").plan.expr.to_text()
+        for _ in range(3):
+            decision = store.adapt("T")
+            assert decision["adapted"] is False
+        assert "hysteresis" in store.adaptivity.decisions["T"]["reason"]
+        assert store.table("T").plan.expr.to_text() == before
+        assert store.adaptivity.adaptations == 0
+
+    def test_adopted_design_is_stable(self):
+        # Once adopted, the new incumbent must win the next checks — the
+        # loop settles instead of oscillating.
+        store = make_store(n=4000)
+        table = store.table("T")
+        for _ in range(20):
+            list(table.scan(fieldlist=["v"]))
+        first = store.adapt("T")
+        assert first["adapted"] is True
+        assert store.table("T").plan.kind == "columns"
+        for _ in range(5):
+            list(store.table("T").scan(fieldlist=["v"]))
+            decision = store.adapt("T")
+            assert decision["adapted"] is False
+            assert decision["reason"] == "incumbent is optimal"
+        assert store.adaptivity.adaptations == 1
+
+    def test_periodic_check_requires_enabled(self):
+        store = make_store(n=4000)  # adaptive defaults to off
+        table = store.table("T")
+        for _ in range(200):
+            list(table.scan(fieldlist=["v"], limit=1))
+        assert store.table("T").plan.kind == "rows"
+        assert store.adaptivity.checks == 0
+
+    def test_adaptive_flag_is_a_settable_bool(self):
+        store = make_store(n=4000, adaptive=True, adapt_interval=5)
+        assert store.adaptive is True
+        store.adaptive = False  # symmetric with store.zone_pruning
+        table = store.table("T")
+        for _ in range(40):
+            list(table.scan(fieldlist=["v"]))
+        assert store.table("T").plan.kind == "rows"
+        assert store.adaptivity.checks == 0
+        store.adaptive = True
+        for _ in range(10):
+            list(store.table("T").scan(fieldlist=["v"]))
+        assert store.table("T").plan.kind == "columns"
+
+    def test_automatic_adaptation_defers_while_a_scan_is_in_flight(self):
+        # An automatic re-layout frees the old layout's pages; it must
+        # never fire under a mid-iteration reader.
+        store = make_store(n=4000, adaptive=True, adapt_interval=5)
+        reader = store.table("T").scan()
+        first = next(reader)  # reader is now live on the row layout
+        for _ in range(40):
+            list(store.table("T").scan(fieldlist=["v"]))
+        assert store.table("T").plan.kind == "rows"  # deferred
+        rest = list(reader)  # completes correctly, then releases the gate
+        assert [first] + rest == make_records(4000)
+        for _ in range(10):
+            list(store.table("T").scan(fieldlist=["v"]))
+        assert store.table("T").plan.kind == "columns"  # now it adapts
+
+    def test_amortization_blocks_rare_workloads(self):
+        store = make_store(n=4000, adaptive=True, adapt_interval=4)
+        store.adaptivity.min_observations = 1
+        store.adaptivity.amortization_queries = 0.001  # nothing amortizes
+        table = store.table("T")
+        for _ in range(30):
+            list(table.scan(fieldlist=["v"]))
+        assert store.table("T").plan.kind == "rows"
+        assert "not amortized" in store.adaptivity.decisions["T"]["reason"]
+
+
+class TestPolicyInteraction:
+    def test_limited_or_abandoned_scans_do_not_poison_cardinality(self):
+        store = make_store(n=1000)
+        table = store.table("T")
+        for _ in range(3):
+            list(table.scan(fieldlist=["v"], limit=1))  # truncated
+        it = table.scan(fieldlist=["v"])
+        next(it)
+        it.close()  # abandoned mid-stream
+        monitor = store.catalog.entry("T").monitor
+        pattern = next(iter(monitor.patterns.values()))
+        assert pattern.avg_rows is None  # nothing recorded yet
+        list(table.scan(fieldlist=["v"]))  # one complete unlimited scan
+        assert pattern.avg_rows == pytest.approx(1000.0)
+
+    def test_repeated_checks_do_not_reinstall_pending_design(self):
+        store = make_store(n=4000)
+        store.adaptivity.set_policy("T", "new-data-only")
+        table = store.table("T")
+        for _ in range(20):
+            list(table.scan(fieldlist=["v"]))
+        first = store.adapt("T")
+        assert first["adapted"] is True
+        assert first["applied_immediately"] is False
+        # No data moved: a recorded pending design is not an adaptation.
+        assert store.adaptivity.adaptations == 0
+        for _ in range(3):
+            list(store.table("T").scan(fieldlist=["v"]))
+            decision = store.adapt("T")
+            assert decision["adapted"] is False
+            assert decision["reason"] == (
+                "recommendation already pending under policy"
+            )
+        assert store.adaptivity.adaptations == 0  # no fake adaptations
+
+    def test_lazy_policy_defers_until_access_threshold(self):
+        store = make_store(n=4000)
+        store.adaptivity.set_policy("T", "lazy")
+        store.adaptivity.reorganizer.lazy_access_threshold = 3
+        store.adaptivity.reorganizer.lazy_overflow_fraction = 10.0
+        table = store.table("T")
+        for _ in range(20):
+            list(table.scan(fieldlist=["v"]))
+        decision = store.adapt("T")
+        assert decision["adapted"] is True
+        assert decision["applied_immediately"] is False
+        assert store.table("T").plan.kind == "rows"  # deferred
+        report = store.storage_stats()["adaptivity"]
+        assert report["tables"]["T"]["pending_design"] == "columns(T)"
+        # Live accesses trigger the deferred rewrite at the threshold.
+        list(store.table("T").scan(fieldlist=["v"]))
+        list(store.table("T").scan(fieldlist=["v"]))
+        assert store.table("T").plan.kind == "rows"
+        assert store.adaptivity.adaptations == 0  # nothing moved yet
+        list(store.table("T").scan(fieldlist=["v"]))
+        assert store.table("T").plan.kind == "columns"
+        assert store.adaptivity.adaptations == 1  # deferred rewrite fired
+
+    def test_seed_workload_shapes_decisions_before_traffic(self):
+        store = make_store(n=4000)
+        seed = Workload("T")
+        for i in range(5):
+            seed.add(Query(f"s{i}", fieldlist=("v",), weight=10.0))
+        store.adaptivity.seed_workload(seed)
+        # No observed traffic at all: the seed alone drives the advisor.
+        decision = store.adapt("T")
+        assert decision["adapted"] is True
+        assert store.table("T").plan.kind == "columns"
+
+    def test_eager_policy_applies_immediately(self):
+        store = make_store(n=4000)
+        table = store.table("T")
+        for _ in range(20):
+            list(table.scan(fieldlist=["v"]))
+        decision = store.adapt("T")
+        assert decision["adapted"] is True
+        assert decision["applied_immediately"] is True
+        assert store.table("T").plan.kind == "columns"
+
+
+# ---------------------------------------------------------------------------
+# Post-reorganization staleness: indexes, synopses, pending
+# ---------------------------------------------------------------------------
+
+
+class TestReorganizationStaleness:
+    def test_relayout_invalidates_secondary_indexes(self):
+        store = make_store(n=1000)
+        table = store.table("T")
+        table.create_index("t")
+        assert store.catalog.entry("T").indexes
+        store.relayout("T", "orderby[t](T)")
+        assert not store.catalog.entry("T").indexes  # rebuilt on demand
+        predicate = Range("t", 10, 20)
+        rows = sorted(store.table("T").scan(predicate=predicate))
+        assert rows == sorted(
+            r for r in make_records(1000) if 10 <= r[0] <= 20
+        )
+
+    def test_relayout_rerenders_synopses(self):
+        store = make_store(n=1000)
+        store.relayout("T", "columns(T)")
+        layout = store.catalog.entry("T").layout
+        assert layout.synopsis is not None
+        assert layout.synopsis.group_zones  # columnar zones, not row pages
+        # Pruning stays correct against the new zones.
+        predicate = Range("t", 0, 49)
+        assert store.table("T").pruned_pages(predicate) > 0
+        assert sorted(store.table("T").scan(predicate=predicate)) == sorted(
+            r for r in make_records(1000) if r[0] <= 49
+        )
+
+    def test_pending_rows_shared_across_handles_and_survive_relayout(self):
+        store = make_store(n=100)
+        writer = store.table("T")
+        writer.insert([(1000 + i, 1, 2, 3) for i in range(5)])
+        # A *different* handle sees the pending rows (entry-level buffer).
+        reader = store.table("T")
+        assert reader.row_count == 105
+        store.relayout("T", "columns(T)")
+        after = store.table("T")
+        assert after.row_count == 105
+        assert sum(1 for _ in after.scan()) == 105
+        # Pending was folded into the main representation, not duplicated.
+        assert after.overflow_row_count == 0
+
+    def test_compact_folds_pending_without_duplication(self):
+        store = make_store(n=100)
+        table = store.table("T")
+        table.insert([(2000, 1, 2, 3)])
+        table.flush_inserts()
+        table.insert([(2001, 4, 5, 6)])
+        assert table.row_count == 102
+        table.compact()
+        fresh = store.table("T")
+        assert fresh.row_count == 102
+        assert fresh.overflow_row_count == 0
+        assert sum(1 for _ in fresh.scan()) == 102
+
+
+# ---------------------------------------------------------------------------
+# Persistence round trip of monitor state
+# ---------------------------------------------------------------------------
+
+
+class TestMonitorPersistence:
+    def test_monitor_and_pending_survive_reopen(self, tmp_path):
+        db_path = str(tmp_path / "adaptive.db")
+        catalog_path = str(tmp_path / "catalog.json")
+        store = RodentStore(path=db_path, page_size=1024, pool_capacity=64)
+        store.create_table("T", SCHEMA)
+        table = store.load("T", make_records(300))
+        for _ in range(10):
+            list(table.scan(fieldlist=["v"], predicate=Range("t", 0, 99)))
+        table.insert([(5000, 1, 2, 3), (5001, 4, 5, 6)])
+        monitor_before = store.catalog.entry("T").monitor
+        assert monitor_before is not None and monitor_before.ticks == 10
+        store.save_catalog(catalog_path)
+        store.close()
+
+        reopened = RodentStore.open(db_path, catalog_path, page_size=1024)
+        entry = reopened.catalog.entry("T")
+        assert entry.monitor is not None
+        assert entry.monitor.ticks == 10
+        assert entry.monitor.total_weight() == pytest.approx(
+            monitor_before.total_weight()
+        )
+        assert entry.pending == [(5000, 1, 2, 3), (5001, 4, 5, 6)]
+        assert entry.pending_zone is not None
+        assert reopened.table("T").row_count == 302
+        # The restored workload still drives the advisor.
+        decision = reopened.adapt("T")
+        assert "recommended" in decision or "reason" in decision
+        reopened.close()
+
+
+# ---------------------------------------------------------------------------
+# End to end: the acceptance scenario
+# ---------------------------------------------------------------------------
+
+
+class TestEndToEnd:
+    def test_row_store_converges_to_columns_under_projection_workload(self):
+        store = make_store(
+            n=4000, adaptive=True, adapt_interval=25
+        )
+        table = store.table("T")
+        assert store.table("T").plan.kind == "rows"
+        for _ in range(60):
+            rows = list(table.scan(fieldlist=["v"]))
+            assert len(rows) == 4000
+        # The periodic check adopted a columnar design mid-workload...
+        assert store.table("T").plan.kind == "columns"
+        assert store.adaptivity.adaptations >= 1
+        # ...with zero behavioral diff between the batch, reference, and
+        # compiled-query paths after the switch.
+        fresh = store.table("T")
+        predicate = Range("t", 100, 500)
+        batch = list(fresh.scan(fieldlist=["t", "v"], predicate=predicate))
+        reference = list(
+            fresh.scan_reference(fieldlist=["t", "v"], predicate=predicate)
+        )
+        planned = (
+            store.query("T").select("t", "v").where(predicate).run()
+        )
+        assert batch == reference == planned
+        report = store.storage_stats()["adaptivity"]
+        assert report["adaptations"] >= 1
+        # Post-switch checks keep confirming the new incumbent.
+        last = report["tables"]["T"]["last_decision"]
+        assert last["adapted"] or last["reason"].startswith(
+            ("incumbent", "within hysteresis")
+        )
+
+    def test_feedback_records_actual_vs_estimated(self):
+        store = make_store(n=1000)
+        list(store.query("T").select("v").where(Range("t", 0, 99)).run())
+        monitor = store.catalog.entry("T").monitor
+        assert monitor is not None
+        assert monitor.feedback.samples == 1
+        assert monitor.feedback.mean_q_error < 2.0  # histogram is accurate
+
+    def test_adaptivity_report_shape(self):
+        store = make_store(n=500)
+        list(store.table("T").scan(fieldlist=["v"]))
+        report = store.storage_stats()["adaptivity"]
+        assert report["enabled"] is False
+        assert report["tables"]["T"]["observations"] == 1
+        top = report["tables"]["T"]["top_patterns"]
+        assert top and top[0]["fieldlist"] == ["v"]
