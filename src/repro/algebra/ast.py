@@ -334,16 +334,59 @@ class Partition(_Unary):
     """``partition_C(N)`` — horizontal partitioning (paper §3.5.1).
 
     Records are split into sub-nestings keyed by the value of ``key`` (a
-    scalar expression; a plain field reference reproduces value-based
-    partitioning, an arithmetic expression reproduces range partitioning).
+    scalar expression). Three partitioning methods are supported:
+
+    * ``value`` (the paper's default) — one partition per distinct key
+      value, in first-occurrence order;
+    * ``range`` — ``args`` are ascending split points ``b1 < ... < bk``
+      defining k+1 partitions ``(-inf, b1), [b1, b2), ..., [bk, +inf)``,
+      written ``partition[r.t; range, b1, ..., bk](N)``;
+    * ``hash`` — ``args`` is a single bucket count n, records land in
+      bucket ``stable_hash(key) % n``, written
+      ``partition[r.id; hash, n](N)``.
+
+    The child expression is each partition's physical design: the engine
+    renders every partition as an independent region of that design.
     """
 
     child: Node
     key: Scalar
+    method: str = "value"
+    args: tuple[float, ...] = ()
     op_name = "partition"
 
+    def __post_init__(self):
+        if self.method not in ("value", "range", "hash"):
+            raise AlgebraError(f"unknown partition method {self.method!r}")
+        if self.method == "value" and self.args:
+            raise AlgebraError("value partitioning takes no arguments")
+        if self.method == "range":
+            if not self.args:
+                raise AlgebraError(
+                    "range partitioning requires at least one split point"
+                )
+            if any(b >= a for b, a in zip(self.args, self.args[1:])):
+                raise AlgebraError(
+                    "range partition split points must be strictly ascending"
+                )
+        if self.method == "hash":
+            if (
+                len(self.args) != 1
+                or self.args[0] != int(self.args[0])
+                or not 1 <= int(self.args[0]) <= 4096
+            ):
+                raise AlgebraError(
+                    "hash partitioning takes one bucket count in [1, 4096]"
+                )
+
     def to_text(self) -> str:
-        return f"partition[{self.key.to_text()}]({self.child.to_text()})"
+        if self.method == "value":
+            return f"partition[{self.key.to_text()}]({self.child.to_text()})"
+        rendered = ", ".join(f"{a:g}" for a in self.args)
+        return (
+            f"partition[{self.key.to_text()}; {self.method}, {rendered}]"
+            f"({self.child.to_text()})"
+        )
 
 
 @dataclass(frozen=True)
@@ -645,10 +688,15 @@ def append(elements: dict[str, Scalar], child: Node) -> Append:
     return Append(child, tuple(elements.items()))
 
 
-def partition(key: Scalar | str, child: Node) -> Partition:
+def partition(
+    key: Scalar | str,
+    child: Node,
+    method: str = "value",
+    args: Sequence[float] = (),
+) -> Partition:
     if isinstance(key, str):
         key = FieldRef(key)
-    return Partition(child, key)
+    return Partition(child, key, method, tuple(args))
 
 
 def fold(

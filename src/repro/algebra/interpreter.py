@@ -19,8 +19,10 @@ from repro.algebra.physical import (
     LAYOUT_FOLDED,
     LAYOUT_GRID,
     LAYOUT_MIRROR,
+    LAYOUT_PARTITIONED,
     LAYOUT_ROWS,
     GridSpec,
+    PartitionSpec,
     PhysicalPlan,
 )
 from repro.algebra.rewriter import normalize
@@ -35,6 +37,7 @@ _KIND_TO_LAYOUT = {
     validation.KIND_COLUMNS: LAYOUT_COLUMNS,
     validation.KIND_NESTING: LAYOUT_ARRAY,
     validation.KIND_MIRROR: LAYOUT_MIRROR,
+    validation.KIND_PARTITIONED: LAYOUT_PARTITIONED,
 }
 
 
@@ -58,6 +61,13 @@ class AlgebraInterpreter:
 
             expr = parse(expr)
         normalized = normalize(expr)
+        for node in normalized.walk():
+            if isinstance(node, ast.Partition) and node is not normalized:
+                raise AlgebraError(
+                    "partition must be the outermost operator: the engine "
+                    "renders one region per partition, so nothing can wrap "
+                    "the partitioned result"
+                )
         checked = validation.check(normalized, self.catalog)
         return self._plan_from_checked(normalized, checked)
 
@@ -67,6 +77,45 @@ class AlgebraInterpreter:
         layout = _KIND_TO_LAYOUT.get(checked.kind)
         if layout is None:
             raise AlgebraError(f"no physical layout for kind {checked.kind!r}")
+
+        if layout == LAYOUT_PARTITIONED:
+            if not isinstance(expr, ast.Partition):
+                raise AlgebraError(
+                    "partitioned plans require a partition expression"
+                )
+            inner = self._plan_from_checked(
+                expr.child, checked.meta["child"]
+            )
+            if inner.kind == LAYOUT_ARRAY:
+                raise AlgebraError(
+                    "partitions require record-shaped regions, not arrays"
+                )
+            spec = PartitionSpec(
+                key=expr.key,
+                method=expr.method,
+                bounds=expr.args if expr.method == "range" else (),
+                buckets=int(expr.args[0]) if expr.method == "hash" else 0,
+            )
+            # The table-level stored order: each region keeps the inner
+            # design's order, and regions concatenate in partition order —
+            # globally sorted only when the partitions themselves are
+            # ranges of the leading sort key.
+            sort_keys = ()
+            if (
+                spec.method == "range"
+                and inner.sort_keys
+                and spec.key_field is not None
+                and inner.sort_keys[0] == (spec.key_field, True)
+            ):
+                sort_keys = inner.sort_keys
+            return PhysicalPlan(
+                expr=expr,
+                kind=LAYOUT_PARTITIONED,
+                schema=inner.schema,
+                sort_keys=tuple(sort_keys),
+                partition=spec,
+                partition_plans=(inner,),
+            )
 
         if layout == LAYOUT_MIRROR:
             if not isinstance(expr, ast.Mirror):

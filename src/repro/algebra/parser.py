@@ -261,13 +261,20 @@ class _Parser:
         (child,) = self._children(1)
         return ast.Select(child, condition)
 
-    # partition[expr](E)
+    # partition[expr](E) | partition[expr; range, b1, ...](E)
+    # | partition[expr; hash, n](E)
     def _call_partition(self) -> ast.Node:
         self.expect("punct", "[")
         key = self.parse_condition()
+        method = "value"
+        args: list[float] = []
+        if self.accept("punct", ";"):
+            method = self.expect("name").value
+            while self.accept("punct", ","):
+                args.append(self._signed_number())
         self.expect("punct", "]")
         (child,) = self._children(1)
-        return ast.Partition(child, key)
+        return ast.Partition(child, key, method, tuple(args))
 
     # fold[b1, b2; a1, a2](E)
     def _call_fold(self) -> ast.Node:

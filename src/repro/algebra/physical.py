@@ -26,6 +26,51 @@ LAYOUT_GRID = "grid"
 LAYOUT_FOLDED = "folded"
 LAYOUT_ARRAY = "array"
 LAYOUT_MIRROR = "mirror"
+LAYOUT_PARTITIONED = "partitioned"
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """How a table's records split into horizontal partitions.
+
+    Attributes:
+        key: scalar expression evaluated per stored record.
+        method: ``"value"`` (one partition per distinct key),
+            ``"range"`` (``bounds`` are ascending split points), or
+            ``"hash"`` (``buckets`` hash buckets).
+        bounds: split points for range partitioning; bucket i covers
+            ``[bounds[i-1], bounds[i])`` with open ends at both extremes.
+        buckets: bucket count for hash partitioning.
+    """
+
+    key: "ast.Scalar"
+    method: str = "value"
+    bounds: tuple[float, ...] = ()
+    buckets: int = 0
+
+    @property
+    def key_field(self) -> str | None:
+        """The key's field name when it is a plain field reference (the
+        case partition-bound pruning can exploit); ``None`` otherwise."""
+        if isinstance(self.key, ast.FieldRef):
+            return self.key.name
+        return None
+
+    def partition_count(self) -> int | None:
+        """Number of partitions when fixed a priori (range/hash)."""
+        if self.method == "range":
+            return len(self.bounds) + 1
+        if self.method == "hash":
+            return self.buckets
+        return None  # value partitions appear as keys are observed
+
+    def describe(self) -> str:
+        if self.method == "range":
+            points = ", ".join(f"{b:g}" for b in self.bounds)
+            return f"partition({self.key.to_text()}; range @ {points})"
+        if self.method == "hash":
+            return f"partition({self.key.to_text()}; hash x{self.buckets})"
+        return f"partition({self.key.to_text()}; by value)"
 
 
 @dataclass(frozen=True)
@@ -60,6 +105,13 @@ class PhysicalPlan:
         sort_keys: (field, ascending) pairs the stored order satisfies.
         group_fields / nest_fields: fold structure, for ``folded`` layouts.
         mirror_plans: the two sub-plans, for ``mirror`` layouts.
+        partition: how records split into partitions, for ``partitioned``
+            layouts.
+        partition_plans: the per-partition design template, for
+            ``partitioned`` layouts (individual partitions may later
+            diverge from it through single-partition re-layouts; the
+            authoritative per-partition plan lives on the catalog's
+            partition regions).
     """
 
     expr: ast.Node
@@ -73,6 +125,8 @@ class PhysicalPlan:
     group_fields: tuple[str, ...] = ()
     nest_fields: tuple[str, ...] = ()
     mirror_plans: tuple["PhysicalPlan", ...] = ()
+    partition: PartitionSpec | None = None
+    partition_plans: tuple["PhysicalPlan", ...] = ()
 
     def codec_for(self, field_name: str) -> str:
         """Codec assigned to ``field_name`` (field-specific beats ``"*"``)."""
@@ -87,6 +141,10 @@ class PhysicalPlan:
     def describe(self) -> str:
         """One-line human-readable summary (used by the catalog and docs)."""
         parts = [self.kind]
+        if self.partition is not None:
+            parts.append(self.partition.describe())
+            if self.partition_plans:
+                parts.append(f"each=[{self.partition_plans[0].describe()}]")
         if self.grid is not None:
             parts.append(self.grid.describe())
         if self.column_groups:

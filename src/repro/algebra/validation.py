@@ -38,6 +38,8 @@ KIND_FOLDED = "folded"
 KIND_COLUMNS = "columns"
 KIND_NESTING = "nesting"
 KIND_MIRROR = "mirror"
+# Horizontal partitioning: per-partition regions of the child design.
+KIND_PARTITIONED = "partitioned"
 
 
 @dataclass
@@ -197,9 +199,27 @@ class _Checker:
 
     def _check_partition(self, node: ast.Partition) -> Checked:
         child = self.check(node.child)
+        if child.kind == KIND_PARTITIONED:
+            raise TypeCheckError("partitions cannot nest")
         schema = child.require_schema("partition")
-        infer_scalar_type(node.key, schema)
-        return Checked(KIND_GROUPED, schema)
+        # The key is evaluated on the records a scan of the child design
+        # produces; folded designs un-nest, so the key may reference both
+        # group and nested fields.
+        if child.kind == KIND_FOLDED:
+            nest_schema: Schema = child.meta["nest_schema"]
+            key_schema = Schema(
+                [schema.field(f) for f in child.meta["group_fields"]]
+                + list(nest_schema.fields)
+            )
+        else:
+            key_schema = schema
+        key_type = infer_scalar_type(node.key, key_schema)
+        if node.method == "range" and not _is_numeric(key_type):
+            raise TypeCheckError(
+                f"range partitioning requires a numeric key, got "
+                f"{key_type.name} in {node.key.to_text()}"
+            )
+        return Checked(KIND_PARTITIONED, schema, {"child": child})
 
     def _check_groupby(self, node: ast.GroupBy) -> Checked:
         child = self.check(node.child)
@@ -326,7 +346,12 @@ class _Checker:
             meta = dict(child.meta)
             meta["cell_order"] = "zorder"
             return Checked(KIND_GRID, child.schema, meta)
-        if child.kind in (KIND_NESTING, KIND_GROUPED):
+        if child.kind in (KIND_NESTING, KIND_GROUPED, KIND_PARTITIONED):
+            # zorder over a grouped/partitioned nesting flattens it along
+            # the curve into an array. Note the *interpreter* additionally
+            # requires partition to be outermost (a partitioned layout
+            # renders as separate regions, which nothing can wrap), so
+            # this branch only serves direct validation/evaluation users.
             return Checked(KIND_NESTING, None)
         raise TypeCheckError(
             f"zorder applies to grids or two-level nestings, not {child.kind}"

@@ -35,6 +35,8 @@ from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.algebra import ast
 from repro.algebra.interpreter import AlgebraInterpreter
+from repro.algebra.physical import LAYOUT_PARTITIONED
+from repro.algebra.rewriter import structurally_equal
 from repro.engine.stats import TableStats
 from repro.optimizer.monitor import DEFAULT_DECAY, WorkloadMonitor
 from repro.optimizer.reorganize import Policy, ReorganizationManager
@@ -209,6 +211,14 @@ class AdaptiveController:
             return
         self.monitor(name).record_estimate(estimated, actual)
 
+    def observe_partitions(self, name: str, pids: Sequence[int]) -> None:
+        """Record which partitions a scan actually read (its survivors
+        after partition pruning) — the skew signal behind hot/cold
+        per-partition layout decisions."""
+        if self._suspended:
+            return
+        self.monitor(name).observe_partitions(pids)
+
     # -- policy ------------------------------------------------------------
 
     def set_policy(self, name: str, policy: Policy | str) -> None:
@@ -244,7 +254,12 @@ class AdaptiveController:
         if (monitor is None or not monitor.patterns) and seed is None:
             decision["reason"] = "no observed workload"
             return decision
-        if entry.plan is None or entry.layout is None:
+        loaded = entry.layout is not None or (
+            entry.plan is not None
+            and entry.plan.kind == LAYOUT_PARTITIONED
+            and entry.partitions_loaded
+        )
+        if entry.plan is None or not loaded:
             decision["reason"] = "table not loaded"
             return decision
         if (
@@ -269,6 +284,12 @@ class AdaptiveController:
         if not workload.queries:
             decision["reason"] = "no live patterns"
             return decision
+        partitioned = entry.plan.kind == LAYOUT_PARTITIONED
+        incumbent_expr = (
+            self._hottest_region_expr(entry)
+            if partitioned
+            else entry.plan.expr
+        )
         with self.pause():
             stats = self._fresh_stats(entry)
             if stats is None:
@@ -280,16 +301,22 @@ class AdaptiveController:
                 workload,
                 self.store.cost_model,
                 strategy=self.strategy,
-                incumbent=entry.plan.expr,
+                incumbent=incumbent_expr,
             )
 
-        incumbent_text = entry.plan.expr.to_text()
+        incumbent_text = incumbent_expr.to_text()
         decision["incumbent"] = incumbent_text
         decision["incumbent_ms"] = recommendation.incumbent_ms
-        chosen = self._choose_non_lossy(entry, recommendation)
+        chosen = self._choose_non_lossy(
+            entry, recommendation, region_design=partitioned
+        )
         if chosen is None:
             decision["reason"] = "no non-lossy improvement"
             return decision
+        if partitioned:
+            return self._check_partitioned(
+                entry, decision, chosen, recommendation, workload, force
+            )
         expr, predicted_ms, storage_pages = chosen
         decision["recommended"] = expr.to_text()
         decision["predicted_ms"] = round(predicted_ms, 3)
@@ -351,6 +378,168 @@ class AdaptiveController:
         decision["applied_immediately"] = applied
         return decision
 
+    # -- partitioned tables: hot/cold per-partition designs ----------------
+
+    #: A partition is "hot" when its decayed access weight reaches this
+    #: multiple of the mean partition weight.
+    HOT_PARTITION_FACTOR = 1.0
+
+    def _partition_weights(self, entry: "CatalogEntry") -> dict[int, float]:
+        if entry.monitor is None:
+            return {}
+        return entry.monitor.partition_weights()
+
+    def _worst_region_cost(
+        self, entry: "CatalogEntry", regions, workload: "Workload"
+    ) -> float | None:
+        """Predicted workload cost of the costliest of ``regions``' current
+        designs (None when statistics cannot price them)."""
+        from repro.optimizer.advisor import _cost_of
+        from repro.optimizer.cost_model import PlanCostEstimator
+
+        stats = entry.stats
+        if stats is None:
+            return None
+        estimator = PlanCostEstimator(
+            stats, self.store.cost_model, self.store.cost_model.page_size
+        )
+        worst = None
+        for region in regions:
+            if region.plan is None:
+                continue
+            try:
+                ms = _cost_of(
+                    region.plan.expr,
+                    entry.logical_schema,
+                    estimator,
+                    workload,
+                )
+            except Exception:
+                continue
+            if ms is not None and (worst is None or ms > worst):
+                worst = ms
+        return worst
+
+    def _hottest_region_expr(self, entry: "CatalogEntry") -> ast.Node:
+        """The incumbent design a partitioned check compares against: the
+        most-accessed region's plan (falling back to the template)."""
+        weights = self._partition_weights(entry)
+        best = None
+        for region in entry.partitions:
+            if region.plan is None:
+                continue
+            weight = weights.get(region.pid, 0.0)
+            if best is None or weight > best[0]:
+                best = (weight, region.plan.expr)
+        if best is not None:
+            return best[1]
+        assert entry.plan is not None
+        return entry.plan.partition_plans[0].expr
+
+    def _check_partitioned(
+        self,
+        entry: "CatalogEntry",
+        decision: dict,
+        chosen: tuple[ast.Node, float, int],
+        recommendation,
+        workload: "Workload",
+        force: bool,
+    ) -> dict:
+        """Partition-granular adaptation: apply the recommended design to
+        the *hot* partitions only, one region at a time.
+
+        Cold partitions keep their current layout — that is the point of
+        partition-scoped reorganization: a skewed workload re-optimizes the
+        regions it actually touches without rewriting the whole table, and
+        hot and cold partitions end up with different physical designs.
+        """
+        name = entry.name
+        expr, predicted_ms, storage_pages = chosen
+        decision["recommended"] = expr.to_text()
+        decision["predicted_ms"] = round(predicted_ms, 3)
+        incumbent_ms = recommendation.incumbent_ms
+        if incumbent_ms is None:
+            decision["reason"] = "incumbent cost unknown"
+            return decision
+
+        weights = self._partition_weights(entry)
+        total_weight = sum(weights.values())
+        mean = total_weight / max(1, len(entry.partitions))
+        threshold = self.HOT_PARTITION_FACTOR * mean
+        hot = [
+            region
+            for region in entry.partitions
+            if total_weight == 0.0
+            or weights.get(region.pid, 0.0) >= threshold
+        ]
+        decision["hot_partitions"] = [r.pid for r in hot]
+        decision["partition_weights"] = {
+            r.pid: round(weights.get(r.pid, 0.0), 3)
+            for r in entry.partitions
+        }
+
+        stale = [
+            region
+            for region in hot
+            if region.plan is not None
+            and not structurally_equal(region.plan.expr, expr)
+        ]
+        if not stale:
+            decision["reason"] = (
+                "hot partitions already use the recommended design"
+            )
+            return decision
+
+        benefit = incumbent_ms - predicted_ms
+        margin = self.hysteresis * incumbent_ms
+        if benefit <= margin:
+            # The hottest region may already run the recommended design
+            # while other newly-hot regions lag on an older one; measure
+            # the gap from the *worst* stale region instead.
+            lag_ms = self._worst_region_cost(entry, stale, workload)
+            if lag_ms is not None:
+                benefit = max(benefit, lag_ms - predicted_ms)
+                margin = self.hysteresis * max(incumbent_ms, lag_ms)
+        if benefit <= margin:
+            decision["reason"] = (
+                f"within hysteresis margin "
+                f"(benefit {benefit:.2f} ms <= {margin:.2f} ms)"
+            )
+            return decision
+        rewrite_ms = self.reorganizer.estimated_region_rewrite_ms(
+            stale, storage_pages
+        )
+        per_execution = benefit / max(1.0, workload.total_weight)
+        amortized = per_execution * self.amortization_queries
+        decision["rewrite_ms"] = round(rewrite_ms, 3)
+        decision["amortized_benefit_ms"] = round(amortized, 3)
+        if not force and amortized < rewrite_ms:
+            decision["reason"] = (
+                f"rewrite cost not amortized "
+                f"({amortized:.2f} ms benefit < {rewrite_ms:.2f} ms rewrite)"
+            )
+            return decision
+
+        rewritten = []
+        with self.pause():
+            for region in stale:
+                # One region at a time: each rewrite reads and writes only
+                # that partition's pages.
+                self.reorganizer.rewrite_partition(name, region.pid, expr)
+                rewritten.append(region.pid)
+        self._since_check[name] = 0
+        self.adaptations += 1
+        decision["adapted"] = True
+        decision["relayout_partitions"] = rewritten
+        decision["kept_partitions"] = [
+            r.pid for r in entry.partitions if r.pid not in set(rewritten)
+        ]
+        decision["reason"] = (
+            f"re-laid out {len(rewritten)} hot partition(s) to "
+            f"{expr.to_text()} (predicted {benefit:.2f} ms/workload benefit)"
+        )
+        return decision
+
     def check_all(self, force: bool = False) -> dict[str, dict]:
         return {
             name: self.check(name, force=force)
@@ -391,7 +580,10 @@ class AdaptiveController:
         return entry.stats
 
     def _choose_non_lossy(
-        self, entry: "CatalogEntry", recommendation
+        self,
+        entry: "CatalogEntry",
+        recommendation,
+        region_design: bool = False,
     ) -> tuple[ast.Node, float, int] | None:
         """Best recommended design that retains every logical field.
 
@@ -399,6 +591,11 @@ class AdaptiveController:
         data it drops would be unrecoverable at the *next* adaptation. The
         advisor ranks alternatives; walk them best-first until a non-lossy
         one appears. Returns (expression, predicted ms, storage pages).
+
+        With ``region_design`` (partitioned tables) the bar is stricter:
+        the design becomes one *partition's* layout, so it must produce
+        exactly the table's stored field set (regions must stay mutually
+        projectable) and cannot itself be partitioned.
         """
         from repro.algebra.parser import parse
 
@@ -410,18 +607,27 @@ class AdaptiveController:
         ]
         candidates.extend(recommendation.alternatives)
         logical = set(entry.logical_schema.names())
+        from repro.engine.table import _scan_schema
+
+        required = logical
+        if region_design and entry.plan is not None:
+            required = set(_scan_schema(entry.plan).names())
         for expr, predicted_ms in candidates:
             try:
                 node = parse(expr) if isinstance(expr, str) else expr
                 plan = interpreter.compile(node)
-                from repro.engine.table import _scan_schema
-
                 produced = set(_scan_schema(plan).names())
             except Exception:
                 continue
-            if logical <= produced:
-                pages = self._storage_pages(entry, plan)
-                return node, predicted_ms, pages
+            if region_design:
+                if plan.kind == LAYOUT_PARTITIONED:
+                    continue
+                if produced != required:
+                    continue
+            elif not (logical <= produced):
+                continue
+            pages = self._storage_pages(entry, plan)
+            return node, predicted_ms, pages
         return None
 
     def _storage_pages(self, entry: "CatalogEntry", plan) -> int:

@@ -17,6 +17,49 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 
 
 @dataclass
+class PartitionRegion:
+    """One horizontal partition: an independently rendered region.
+
+    A partitioned table is a sequence of these — each with its own physical
+    plan (initially the table's per-partition template, free to diverge
+    through single-partition re-layouts), stored layout with zone synopses,
+    overflow regions, and pending insert buffer. ``key`` identifies the
+    partition (distinct value, range bucket index, or hash bucket);
+    ``lower``/``upper`` are the range bounds partition pruning intersects
+    with predicate ranges (``None`` = unbounded).
+    """
+
+    pid: int
+    key: object = None
+    lower: float | None = None
+    upper: float | None = None
+    plan: PhysicalPlan | None = None
+    layout: "StoredLayout | None" = None
+    overflow: list = field(default_factory=list)
+    pending: list = field(default_factory=list)
+    pending_zone: "ZoneSynopsis | None" = None
+
+    @property
+    def row_count(self) -> int:
+        count = self.layout.row_count if self.layout is not None else 0
+        count += sum(o.row_count for o in self.overflow)
+        count += len(self.pending)
+        return count
+
+    def total_pages(self) -> int:
+        pages = self.layout.total_pages() if self.layout is not None else 0
+        pages += sum(o.total_pages() for o in self.overflow)
+        return pages
+
+    def describe_key(self) -> str:
+        if self.lower is not None or self.upper is not None:
+            lo = "-inf" if self.lower is None else f"{self.lower:g}"
+            hi = "+inf" if self.upper is None else f"{self.upper:g}"
+            return f"[{lo}, {hi})"
+        return repr(self.key)
+
+
+@dataclass
 class CatalogEntry:
     """Everything the engine knows about one table."""
 
@@ -41,6 +84,23 @@ class CatalogEntry:
     # Live workload observations feeding the adaptive loop (lazily created
     # by the AdaptiveController the first time the table is scanned).
     monitor: "WorkloadMonitor | None" = None
+    # Horizontal partitions of a partitioned table (plan.kind ==
+    # LAYOUT_PARTITIONED); each region owns its own plan/layout/overflow/
+    # pending. Range-partitioned regions are kept sorted by bucket so the
+    # table scans in ascending key order.
+    partitions: "list[PartitionRegion]" = field(default_factory=list)
+    # True once a partitioned table has been bulk-loaded (an empty load
+    # may legitimately create zero value-partitions).
+    partitions_loaded: bool = False
+    # Monotonic partition-id allocator for this table.
+    next_partition_id: int = 0
+    # Cumulative partition-pruning counters (exposed by storage_stats).
+    partition_scans: int = 0
+    partitions_pruned_total: int = 0
+    # Transient key -> PartitionRegion index for O(1) insert routing;
+    # rebuilt lazily whenever it disagrees with ``partitions`` (never
+    # persisted).
+    region_index: dict = field(default_factory=dict, repr=False)
 
 
 class Catalog:

@@ -15,13 +15,18 @@ from typing import Any, Callable, Iterator, Sequence
 from repro.algebra import ast
 from repro.algebra.interpreter import AlgebraInterpreter
 from repro.algebra.parser import parse
-from repro.algebra.physical import LAYOUT_ROWS, PhysicalPlan
+from repro.algebra.physical import (
+    LAYOUT_PARTITIONED,
+    LAYOUT_ROWS,
+    PhysicalPlan,
+)
 from repro.algebra.transforms import Evaluated, Evaluator
-from repro.engine.catalog import Catalog, CatalogEntry
+from repro.engine.catalog import Catalog, CatalogEntry, PartitionRegion
 from repro.engine.cost import CostModel
 from repro.engine.stats import TableStats
-from repro.engine.table import Table, structural_residual
+from repro.engine.table import Table, _scan_schema, structural_residual
 from repro.errors import CatalogError, StorageError
+from repro.layout.partitioning import Locator, PartitionRouter
 from repro.layout.renderer import LayoutRenderer, StoredLayout
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DEFAULT_PAGE_SIZE, DiskManager, IOStats
@@ -66,10 +71,14 @@ class RodentStore:
         adaptive: bool = False,
         adapt_interval: int = 64,
         adapt_hysteresis: float = 0.15,
+        scan_workers: int = 0,
+        read_latency_s: float = 0.0,
     ):
         from repro.engine.adaptive import AdaptiveController
 
-        self.disk = DiskManager(path, page_size=page_size)
+        self.disk = DiskManager(
+            path, page_size=page_size, read_latency_s=read_latency_s
+        )
         self.pool = BufferPool(self.disk, capacity=pool_capacity, policy=eviction)
         self.wal = WriteAheadLog(wal_path)
         self.locks = LockManager()
@@ -80,6 +89,15 @@ class RodentStore:
         #: Zone-map scan pruning (per-page/chunk/cell min-max synopses).
         #: Settable at runtime; benchmarks flip it for before/after runs.
         self.zone_pruning = True
+        #: Whole-partition pruning: intersect predicate ranges with the
+        #: partition map before any region's zone maps even load.
+        #: Settable at runtime (benchmarks flip it for before/after runs).
+        self.partition_pruning = True
+        #: Worker threads for partition-parallel scans; 0/1 = serial.
+        #: Settable at runtime — the shared executor is (re)built lazily.
+        self.scan_workers = scan_workers
+        self._scan_executor = None
+        self._closed = False
         #: The adaptive loop (monitor → advise → reorganize). Scans are
         #: always monitored; automatic periodic reorganization only runs
         #: while :attr:`adaptive` is True (or on explicit :meth:`adapt`
@@ -109,9 +127,42 @@ class RodentStore:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
+        """Shut down deterministically: stop the scan thread pool (joining
+        its workers so pytest never sees leaked threads), flush every
+        table's buffered state, and release the storage stack. Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.shutdown_scan_executor()
         self.pool.flush_all()
         self.wal.close()
         self.disk.close()
+
+    def shutdown_scan_executor(self) -> None:
+        """Stop and join the shared scan workers (no-op when never used)."""
+        executor = self._scan_executor
+        self._scan_executor = None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def scan_executor(self):
+        """The shared partition-scan thread pool, sized to
+        :attr:`scan_workers` (rebuilt when the knob changes)."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        workers = max(2, int(self.scan_workers))
+        executor = self._scan_executor
+        if executor is not None and executor._max_workers != workers:
+            executor.shutdown(wait=True)
+            executor = None
+        if executor is None:
+            executor = ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix="rodent-scan",
+            )
+            self._scan_executor = executor
+        return executor
 
     def __enter__(self) -> "RodentStore":
         return self
@@ -154,6 +205,7 @@ class RodentStore:
         self._free_layout(entry.layout)
         for overflow in entry.overflow:
             self._free_layout(overflow)
+        self._drop_partitions(entry)
         self.catalog.drop(name)
 
     def _free_layout(self, layout: StoredLayout | None) -> None:
@@ -178,6 +230,8 @@ class RodentStore:
         schema = entry.logical_schema
         coerced = [schema.coerce_record(r) for r in records]
         entry.stats = TableStats.collect(schema, coerced)
+        if entry.plan.kind == LAYOUT_PARTITIONED:
+            return self._load_partitioned(entry, coerced)
         evaluated = self._evaluate(entry.plan, {name: (coerced, schema)})
         old_layout = entry.layout
         entry.layout = self.renderer.render(entry.plan, evaluated)
@@ -191,7 +245,198 @@ class RodentStore:
         entry.pending.clear()
         entry.pending_zone = None
         self._free_layout(old_layout)
+        self._drop_partitions(entry)
         return Table(self, entry)
+
+    # -- horizontal partitions ---------------------------------------------
+
+    def router_for(self, entry: CatalogEntry) -> PartitionRouter:
+        """The entry's partition router, bound to its stored-record shape."""
+        assert entry.plan is not None and entry.plan.partition is not None
+        return PartitionRouter(
+            entry.plan.partition, _scan_schema(entry.plan).names()
+        )
+
+    def _load_partitioned(
+        self, entry: CatalogEntry, coerced: list[tuple]
+    ) -> Table:
+        """Render one region per partition (the partitioned bulk load).
+
+        The partition key is evaluated on the *stored-record shape* — the
+        template's record-level pipeline output — so bulk load and inserts
+        route identically. Fixed splits (range/hash) render every region
+        eagerly (empty ones included: the partition map is part of the
+        physical design); value partitions appear in first-seen key order,
+        which keeps scan order identical to the pre-partitioned grouped
+        rendering of ``partition_C(N)``.
+        """
+        table = Table(self, entry)
+        rows = table._apply_record_pipeline(coerced)
+        router = self.router_for(entry)
+        old_regions = entry.partitions
+        old_layout = entry.layout
+        entry.partitions = []
+        entry.region_index.clear()
+        entry.next_partition_id = 0
+        entry.partitions_loaded = True
+        entry.layout = None
+        for locator, part_rows in router.split(rows):
+            region = self._region_for(entry, locator)
+            assert region.plan is not None
+            region.layout = self._render_region(
+                entry, region.plan, part_rows
+            )
+        entry.indexes.clear()
+        entry.spatial_indexes.clear()
+        entry.pending.clear()
+        entry.pending_zone = None
+        for region in old_regions:
+            self._free_region(region)
+        self._free_layout(old_layout)
+        if entry.monitor is not None:
+            # A reload rebuilds the partition map from scratch and restarts
+            # pid allocation at 0, so skew recorded against the old regions
+            # must be dropped entirely — new regions reusing an old pid
+            # must not inherit its weight.
+            entry.monitor.forget_partitions([])
+        return Table(self, entry)
+
+    def _region_for(
+        self, entry: CatalogEntry, locator: Locator
+    ) -> PartitionRegion:
+        """Find or create the region ``locator`` addresses.
+
+        Lookups go through a per-entry ``key -> region`` index (rebuilt
+        whenever the partition list changed shape) so bulk insert routing
+        stays O(rows), not O(rows x partitions). Range regions insert in
+        bucket order so the table's partition list stays sorted by key
+        range (the property that lets a range-partitioned scan serve
+        ``ORDER BY key`` without sorting).
+        """
+        assert entry.plan is not None and entry.plan.partition is not None
+        lookup = entry.region_index
+        if len(lookup) != len(entry.partitions):
+            lookup.clear()
+            lookup.update({r.key: r for r in entry.partitions})
+        found = lookup.get(locator.key)
+        if found is not None:
+            return found
+        template = entry.plan.partition_plans[0]
+        region = PartitionRegion(
+            pid=entry.next_partition_id,
+            key=locator.key,
+            lower=locator.lower,
+            upper=locator.upper,
+            plan=template,
+        )
+        entry.next_partition_id += 1
+        if entry.plan.partition.method == "range":
+            at = len(entry.partitions)
+            for i, existing in enumerate(entry.partitions):
+                if existing.key > region.key:
+                    at = i
+                    break
+            entry.partitions.insert(at, region)
+        else:
+            entry.partitions.append(region)
+        lookup[region.key] = region
+        return region
+
+    def _render_region(
+        self,
+        entry: CatalogEntry,
+        plan: PhysicalPlan,
+        rows: Sequence[tuple],
+    ) -> StoredLayout:
+        """Render one region's rows (stored shape) under ``plan``.
+
+        Takes the plan explicitly — not a region — so callers can render
+        *before* mutating any region state: a failed render (e.g. a record
+        exceeding page capacity under the new design) must leave the
+        region exactly as it was.
+        """
+        assert entry.plan is not None
+        canonical = _scan_schema(entry.plan).names()
+        region_fields = _scan_schema(plan).names()
+        if list(region_fields) != list(canonical):
+            index = {f: i for i, f in enumerate(canonical)}
+            order = [index[f] for f in region_fields]
+            rows = [tuple(r[i] for i in order) for r in rows]
+        residual = structural_residual(
+            plan.expr, "__stored__", region_fields
+        )
+        return self.renderer.render_region(
+            plan, residual, rows, region_fields
+        )
+
+    def _free_region(self, region: PartitionRegion) -> None:
+        self._free_layout(region.layout)
+        for overflow in region.overflow:
+            self._free_layout(overflow)
+        region.layout = None
+        region.overflow = []
+        region.pending = []
+        region.pending_zone = None
+
+    def _drop_partitions(self, entry: CatalogEntry) -> None:
+        for region in entry.partitions:
+            self._free_region(region)
+        entry.partitions = []
+        entry.region_index.clear()
+        entry.partitions_loaded = False
+        entry.next_partition_id = 0
+        if entry.monitor is not None:
+            entry.monitor.forget_partitions([])
+
+    def relayout_partition(
+        self, name: str, pid: int, layout: str | ast.Node
+    ) -> Table:
+        """Re-organize ONE partition under a new (non-partitioned) design.
+
+        This is the adaptive loop's partition-granular rewrite: the region's
+        rows (main layout + overflow + pending) are recovered, re-rendered
+        under the new design, and swapped in — no other partition is read
+        or written. The new design must retain every stored field (same
+        non-lossy rule as whole-table re-layouts).
+        """
+        entry = self.catalog.entry(name)
+        if entry.plan is None or entry.plan.kind != LAYOUT_PARTITIONED:
+            raise StorageError(f"table {name!r} is not partitioned")
+        region = next(
+            (r for r in entry.partitions if r.pid == pid), None
+        )
+        if region is None:
+            raise StorageError(f"table {name!r} has no partition {pid}")
+        expr = self._resolve_expr(name, layout)
+        new_plan = self._interpreter().compile(expr)
+        if new_plan.kind == LAYOUT_PARTITIONED:
+            raise StorageError(
+                "a partition's design cannot itself be partitioned"
+            )
+        canonical = set(_scan_schema(entry.plan).names())
+        produced = set(_scan_schema(new_plan).names())
+        if canonical != produced:
+            raise StorageError(
+                f"partition design must keep the stored fields "
+                f"{sorted(canonical)}; new design produces "
+                f"{sorted(produced)}"
+            )
+        table = Table(self, entry)
+        with self.adaptivity.pause():  # maintenance read, not workload
+            rows = table._region_rows(region)
+        # Render first: a failed render must leave the region untouched
+        # (no plan/layout mismatch, no lost overflow/pending rows).
+        new_layout = self._render_region(entry, new_plan, rows)
+        old_layout, old_overflow = region.layout, region.overflow
+        region.plan = new_plan
+        region.layout = new_layout
+        region.overflow = []
+        region.pending = []
+        region.pending_zone = None
+        self._free_layout(old_layout)
+        for overflow in old_overflow:
+            self._free_layout(overflow)
+        return table
 
     def _evaluate(
         self,
@@ -253,14 +498,43 @@ class RodentStore:
             return list(table.scan(fieldlist=logical_fields))
 
     def compact_table(self, name: str) -> None:
-        """Fold overflow regions back into the main representation."""
+        """Fold overflow regions back into the main representation.
+
+        Partitioned tables compact one region at a time: only partitions
+        that actually accumulated overflow/pending rows are re-rendered,
+        the rest are untouched.
+        """
         entry = self.catalog.entry(name)
+        if entry.plan is not None and entry.plan.kind == LAYOUT_PARTITIONED:
+            if not entry.partitions_loaded:
+                raise StorageError(f"table {name!r} is not loaded")
+            table = Table(self, entry)
+            for region in entry.partitions:
+                if not region.overflow and not region.pending:
+                    continue
+                with self.adaptivity.pause():
+                    rows = table._region_rows(region)
+                assert region.plan is not None
+                # Render before mutating: a failed render leaves the
+                # region (and its pending rows) exactly as they were.
+                new_layout = self._render_region(entry, region.plan, rows)
+                old_layout, old_overflow = region.layout, region.overflow
+                region.layout = new_layout
+                region.overflow = []
+                region.pending = []
+                region.pending_zone = None
+                self._free_layout(old_layout)
+                for overflow in old_overflow:
+                    self._free_layout(overflow)
+            return
         if entry.plan is None or entry.layout is None:
             raise StorageError(f"table {name!r} is not loaded")
         table = Table(self, entry)
         with self.adaptivity.pause():  # maintenance scan, not workload
             stored = list(table.scan())
-        residual = structural_residual(entry.plan.expr, "__stored__")
+        residual = structural_residual(
+            entry.plan.expr, "__stored__", table.scan_schema().names()
+        )
         evaluator = Evaluator(
             {"__stored__": (stored, tuple(table.scan_schema().names()))}
         )
@@ -360,8 +634,33 @@ class RodentStore:
         """
         pool = self.pool.stats
         disk = self.disk.stats
+        tables: dict[str, dict] = {}
+        for entry in self.catalog:
+            if entry.plan is None or entry.plan.kind != LAYOUT_PARTITIONED:
+                continue
+            tables[entry.name] = {
+                "partitioned": True,
+                "partition_count": len(entry.partitions),
+                "partition_scans": entry.partition_scans,
+                "partitions_pruned": entry.partitions_pruned_total,
+                "partitions": [
+                    {
+                        "pid": region.pid,
+                        "key": region.describe_key(),
+                        "rows": region.row_count,
+                        "pages": region.total_pages(),
+                        "layout": region.plan.describe()
+                        if region.plan is not None
+                        else None,
+                        "overflow_regions": len(region.overflow),
+                        "pending_rows": len(region.pending),
+                    }
+                    for region in entry.partitions
+                ],
+            }
         return {
             "adaptivity": self.adaptivity.report(),
+            "tables": tables,
             "buffer_pool": {
                 "capacity": self.pool.capacity,
                 "resident_pages": len(self.pool),

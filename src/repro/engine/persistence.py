@@ -211,6 +211,19 @@ def stats_from_dict(data: dict) -> TableStats:
 # -- catalog save/load --------------------------------------------------------
 
 
+def _region_to_dict(region) -> dict:
+    return {
+        "pid": region.pid,
+        "key": region.key,
+        "lower": region.lower,
+        "upper": region.upper,
+        "expr": region.plan.expr.to_text() if region.plan else None,
+        "layout": layout_to_dict(region.layout) if region.layout else None,
+        "overflow": [layout_to_dict(o) for o in region.overflow],
+        "pending": [list(r) for r in region.pending],
+    }
+
+
 def save_catalog(store: "RodentStore", path: str) -> None:
     """Write the catalog (schemas, designs, layout metadata) to ``path``."""
     tables = []
@@ -232,6 +245,13 @@ def save_catalog(store: "RodentStore", path: str) -> None:
                 "monitor": entry.monitor.to_dict()
                 if entry.monitor is not None
                 else None,
+                "partitions": [
+                    _region_to_dict(r) for r in entry.partitions
+                ],
+                "partitions_loaded": entry.partitions_loaded,
+                "next_partition_id": entry.next_partition_id,
+                "partition_scans": entry.partition_scans,
+                "partitions_pruned": entry.partitions_pruned_total,
             }
         )
     payload = {
@@ -300,6 +320,47 @@ def load_catalog(store: "RodentStore", path: str) -> None:
             from repro.optimizer.monitor import WorkloadMonitor
 
             entry.monitor = WorkloadMonitor.from_dict(t["monitor"])
+        if t.get("partitions") or t.get("partitions_loaded"):
+            from repro.engine.catalog import PartitionRegion
+
+            scan_schema = _scan_schema_of(entry)
+            regions = []
+            for r in t.get("partitions", []):
+                region_plan = (
+                    interpreter.compile(r["expr"])
+                    if r.get("expr")
+                    else None
+                )
+                region = PartitionRegion(
+                    pid=r["pid"],
+                    key=r.get("key"),
+                    lower=r.get("lower"),
+                    upper=r.get("upper"),
+                    plan=region_plan,
+                    layout=layout_from_dict(r["layout"], region_plan)
+                    if r.get("layout")
+                    else None,
+                    overflow=[
+                        layout_from_dict(o, overflow_plan)
+                        for o in r.get("overflow", [])
+                    ],
+                    pending=[tuple(row) for row in r.get("pending", [])],
+                )
+                if region.pending:
+                    zone = ZoneSynopsis()
+                    zone.update(scan_schema.names(), region.pending)
+                    region.pending_zone = zone
+                regions.append(region)
+            entry.partitions = regions
+            entry.partitions_loaded = bool(
+                t.get("partitions_loaded", bool(regions))
+            )
+            entry.next_partition_id = t.get(
+                "next_partition_id",
+                max((r.pid for r in regions), default=-1) + 1,
+            )
+            entry.partition_scans = t.get("partition_scans", 0)
+            entry.partitions_pruned_total = t.get("partitions_pruned", 0)
 
 
 def _scan_schema_of(entry) -> Schema:

@@ -46,6 +46,7 @@ from repro.algebra.physical import (
     LAYOUT_FOLDED,
     LAYOUT_GRID,
     LAYOUT_MIRROR,
+    LAYOUT_PARTITIONED,
     LAYOUT_ROWS,
     PhysicalPlan,
 )
@@ -116,17 +117,36 @@ def record_pipeline(expr: ast.Node) -> list[ast.Node]:
         (node,) = node.children()
 
 
-def structural_residual(expr: ast.Node, stored_ref: str) -> ast.Node:
+def structural_residual(
+    expr: ast.Node,
+    stored_ref: str,
+    stored_fields: Sequence[str] | None = None,
+) -> ast.Node:
     """Rewrite ``expr`` so that its record-level prefix is replaced by a
     reference to the stored records (used when compacting: stored records
-    already have the record-level transforms applied)."""
+    already have the record-level transforms applied).
+
+    ``OrderBy`` is the one record-level operator that is *kept*: the stored
+    rows being re-rendered may interleave sorted main-layout records with
+    unsorted overflow/pending tails, and the new render claims the plan's
+    sort order — so the residual must re-establish it (re-sorting already
+    sorted data is a stable no-op). When ``stored_fields`` is given, an
+    ``OrderBy`` whose keys are no longer stored (a lossy design projected
+    them away) is dropped instead.
+    """
+    available = set(stored_fields) if stored_fields is not None else None
 
     def rebuild(node: ast.Node) -> ast.Node:
         if isinstance(node, (ast.TableRef, ast.Literal)):
             return ast.TableRef(stored_ref)
-        if isinstance(node, (ast.Project, ast.Select, ast.Append, ast.OrderBy,
-                             ast.Limit)):
+        if isinstance(node, (ast.Project, ast.Select, ast.Append, ast.Limit)):
             return rebuild(node.children()[0])
+        if isinstance(node, ast.OrderBy):
+            if available is not None and any(
+                k.name not in available for k in node.keys
+            ):
+                return rebuild(node.child)
+            return ast.OrderBy(rebuild(node.child), node.keys)
         if isinstance(node, ast.Mirror):
             return ast.Mirror(rebuild(node.left), rebuild(node.right))
         if isinstance(node, ast.Prejoin):
@@ -189,10 +209,38 @@ class Table:
 
     @property
     def is_loaded(self) -> bool:
+        if self.is_partitioned:
+            return self._entry.partitions_loaded
         return self._entry.layout is not None
+
+    # -- horizontal partitions ---------------------------------------------
+
+    @property
+    def is_partitioned(self) -> bool:
+        plan = self._entry.plan
+        return plan is not None and plan.kind == LAYOUT_PARTITIONED
+
+    @property
+    def partitions(self):
+        """The table's :class:`~repro.engine.catalog.PartitionRegion` list
+        (empty for unpartitioned tables)."""
+        return self._entry.partitions
+
+    @property
+    def partition_count(self) -> int:
+        return len(self._entry.partitions)
+
+    def _require_partitions(self) -> list:
+        if not self._entry.partitions_loaded:
+            raise StorageError(
+                f"table {self.name!r} has not been loaded yet"
+            )
+        return self._entry.partitions
 
     @property
     def row_count(self) -> int:
+        if self.is_partitioned:
+            return sum(r.row_count for r in self._entry.partitions)
         count = self.layout.row_count if self.is_loaded else 0
         count += sum(o.row_count for o in self._entry.overflow)
         count += len(self._pending)
@@ -325,6 +373,8 @@ class Table:
             batches: Iterator[ColumnBatch] = _chunk_rows(
                 index_rows, tuple(avail), probe_chunk
             )
+        elif self.is_partitioned:
+            batches, avail = self._partition_batches(needed, predicate)
         else:
             batches, avail = self._batches_with_overflow(needed, predicate)
         positions = {name: i for i, name in enumerate(avail)}
@@ -443,6 +493,8 @@ class Table:
         index_rows = self._index_path(predicate)
         if index_rows is not None:
             rows, avail = index_rows, self.plan.schema.names()
+        elif self.is_partitioned:
+            rows, avail = self._partition_rows(needed, predicate)
         else:
             rows, avail = self._iter_with_overflow(needed, predicate)
         positions = {name: i for i, name in enumerate(avail)}
@@ -567,6 +619,215 @@ class Table:
                 yield ColumnBatch.from_rows(fields, rows)
 
         return chained(), avail
+
+    # ==================================================================
+    # partitioned scans (one independently rendered region per partition)
+    # ==================================================================
+
+    def _partition_target_fields(self, needed: Sequence[str] | None) -> list[str]:
+        """The field order every region's batches project to.
+
+        Regions may carry different designs (their ``avail`` orders differ),
+        so partitioned scans normalize to the canonical scan-schema order
+        restricted to the fields the scan touches.
+        """
+        scan_names = self.scan_schema().names()
+        if needed is None:
+            return list(scan_names)
+        needed_set = set(needed)
+        return [f for f in scan_names if f in needed_set]
+
+    def partition_survivors(self, predicate: Predicate | None) -> list:
+        """Regions a scan with ``predicate`` must read (pure metadata).
+
+        Whole partitions are ruled out by intersecting the predicate's
+        per-field ranges with the partition map — range bounds, value keys,
+        or (for point predicates) the hash bucket — before any region's
+        zone maps even load. Pruning is conservative: expression keys and
+        non-numeric values keep every region.
+        """
+        regions = self._require_partitions()
+        if predicate is None or not getattr(
+            self._db, "partition_pruning", True
+        ):
+            return list(regions)
+        spec = self.plan.partition
+        key_field = spec.key_field if spec is not None else None
+        if key_field is None:
+            return list(regions)
+        ranges = predicate.ranges()
+        if key_field not in ranges:
+            return list(regions)
+        lo, hi = ranges[key_field]
+        if lo == float("-inf") and hi == float("inf"):
+            return list(regions)
+        return [
+            r for r in regions if _region_may_match(spec, r, lo, hi)
+        ]
+
+    def partitions_pruned(self, predicate: Predicate | None) -> int:
+        """Partitions a scan with ``predicate`` skips outright — from the
+        partition map alone, no I/O and no counter side effects (what
+        ``Q.explain()`` reports per scan node)."""
+        if not self.is_partitioned or not self.is_loaded:
+            return 0
+        regions = self._entry.partitions
+        return len(regions) - len(self.partition_survivors(predicate))
+
+    def _partitions_for_scan(self, predicate: Predicate | None) -> list:
+        """Survivors for an *executing* scan: updates the cumulative
+        pruning counters and feeds per-partition access skew to the
+        workload monitor."""
+        regions = self._require_partitions()
+        survivors = self.partition_survivors(predicate)
+        entry = self._entry
+        entry.partition_scans += 1
+        entry.partitions_pruned_total += len(regions) - len(survivors)
+        self._db.adaptivity.observe_partitions(
+            self.name, [r.pid for r in survivors]
+        )
+        return survivors
+
+    def _region_batch_iter(
+        self,
+        region,
+        needed: Sequence[str] | None,
+        predicate: Predicate | None,
+        target: Sequence[str],
+    ):
+        """Zero-arg source producing one region's batches (main layout +
+        overflow + pending, all zone-pruned) projected to ``target``."""
+        renderer = self._db.renderer
+        fields = tuple(target)
+        scan_names = self.scan_schema().names()
+
+        def generate() -> Iterator[ColumnBatch]:
+            intervals = self._prune_intervals(predicate)
+            if region.layout is not None and region.layout.row_count:
+                main, avail = self._batch_stored(
+                    region.layout, needed, predicate
+                )
+                projector = _fields_projector(avail, target)
+                if projector is None:
+                    yield from main
+                else:
+                    for batch in main:
+                        yield ColumnBatch.from_rows(
+                            fields, projector(batch.rows())
+                        )
+            over_projector = _fields_projector(scan_names, target)
+            for overflow in region.overflow:
+                skip = (
+                    zonemaps.rows_page_skip(overflow, intervals)
+                    if intervals
+                    else None
+                )
+                for batch in renderer.iter_row_batches(overflow, skip=skip):
+                    if over_projector is None:
+                        yield batch
+                    else:
+                        yield ColumnBatch.from_rows(
+                            fields, over_projector(batch.rows())
+                        )
+            pending = [tuple(r) for r in region.pending]
+            if (
+                pending
+                and intervals
+                and region.pending_zone is not None
+                and not zonemaps.zone_may_match(region.pending_zone, intervals)
+            ):
+                pending = []
+            if pending:
+                rows = (
+                    pending
+                    if over_projector is None
+                    else over_projector(pending)
+                )
+                yield ColumnBatch.from_rows(fields, rows)
+
+        return generate
+
+    def _partition_batches(
+        self,
+        needed: Sequence[str] | None,
+        predicate: Predicate | None,
+    ) -> tuple[Iterator[ColumnBatch], list[str]]:
+        """Batch source over all surviving partitions.
+
+        With ``store.scan_workers > 1`` and more than one surviving region,
+        regions fan out to the store's shared thread pool morsel-style and
+        merge back **in partition order**, so parallel results are
+        byte-identical to serial ones (the buffer pool is lock-guarded for
+        exactly this path).
+        """
+        target = self._partition_target_fields(needed)
+        survivors = self._partitions_for_scan(predicate)
+        sources = [
+            self._region_batch_iter(region, needed, predicate, target)
+            for region in survivors
+        ]
+        workers = int(getattr(self._db, "scan_workers", 0) or 0)
+        if workers > 1 and len(sources) > 1:
+            from repro.query.operators import fan_out_partitions
+
+            batches = fan_out_partitions(
+                self._db.scan_executor(), sources, workers
+            )
+        else:
+
+            def serial() -> Iterator[ColumnBatch]:
+                for make in sources:
+                    yield from make()
+
+            batches = serial()
+        return batches, target
+
+    def _region_row_iter(
+        self,
+        region,
+        needed: Sequence[str] | None,
+        predicate: Predicate | None,
+        target: Sequence[str],
+    ) -> Iterator[tuple]:
+        """Tuple-at-a-time region scan (the reference-path counterpart of
+        :meth:`_region_batch_iter`; overflow/pending stay un-pruned so the
+        reference pipeline remains a zone-map-free oracle)."""
+        if region.layout is not None and region.layout.row_count:
+            main, avail = self._iter_stored(region.layout, needed, predicate)
+            projector = _row_fields_projector(avail, target)
+            yield from (main if projector is None else map(projector, main))
+        scan_names = self.scan_schema().names()
+        over = _row_fields_projector(scan_names, target)
+        renderer = self._db.renderer
+        for overflow in region.overflow:
+            it = renderer.iter_rows(overflow)
+            yield from (it if over is None else map(over, it))
+        if region.pending:
+            pending = iter([tuple(r) for r in region.pending])
+            yield from (pending if over is None else map(over, pending))
+
+    def _partition_rows(
+        self,
+        needed: Sequence[str] | None,
+        predicate: Predicate | None,
+    ) -> tuple[Iterator[tuple], list[str]]:
+        target = self._partition_target_fields(needed)
+        survivors = self._partitions_for_scan(predicate)
+
+        def generate() -> Iterator[tuple]:
+            for region in survivors:
+                yield from self._region_row_iter(
+                    region, needed, predicate, target
+                )
+
+        return generate(), target
+
+    def _region_rows(self, region) -> list[tuple]:
+        """Every stored-shape row of one region (main + overflow +
+        pending) in canonical scan order — the source of a
+        partition-granular rewrite."""
+        target = list(self.scan_schema().names())
+        return list(self._region_row_iter(region, None, None, target))
 
     def _batch_stored(
         self,
@@ -953,12 +1214,53 @@ class Table:
         return best
 
     def _order_satisfied(self, order_keys: tuple[tuple[str, bool], ...]) -> bool:
+        if self.is_partitioned:
+            return self._partition_order_satisfied(order_keys)
         if self._entry.overflow or self._pending:
             return False  # overflow regions are unordered relative to main
         stored = tuple(self.plan.sort_keys)
         if len(order_keys) > len(stored):
             return False
         return stored[: len(order_keys)] == order_keys
+
+    def _partition_order_satisfied(
+        self, order_keys: tuple[tuple[str, bool], ...]
+    ) -> bool:
+        """Does a partitioned scan serve ``order_keys`` without sorting?
+
+        Every non-empty region must store that order itself (regions may
+        have diverged designs, so each is checked), and — with multiple
+        non-empty regions — the regions must concatenate in key order,
+        which only range partitioning on the leading (ascending) sort key
+        guarantees (regions are kept sorted by range bucket).
+        """
+        if not order_keys:
+            return True
+        regions = self._entry.partitions
+        if any(r.overflow or r.pending for r in regions):
+            return False
+        live = [
+            r
+            for r in regions
+            if r.layout is not None and r.layout.row_count
+        ]
+        for region in live:
+            assert region.plan is not None
+            stored = tuple(region.plan.sort_keys)
+            if (
+                len(order_keys) > len(stored)
+                or stored[: len(order_keys)] != order_keys
+            ):
+                return False
+        if len(live) <= 1:
+            return True
+        spec = self.plan.partition
+        return (
+            spec is not None
+            and spec.method == "range"
+            and spec.key_field is not None
+            and order_keys[0] == (spec.key_field, True)
+        )
 
     # ==================================================================
     # secondary indexes (paper §1: "B+Trees as well as a variety of
@@ -972,6 +1274,12 @@ class Table:
         """Build (or rebuild) a B+Tree secondary index over ``field_name``."""
         from repro.engine.indexes import build_field_index
 
+        if self.is_partitioned:
+            raise StorageError(
+                "secondary indexes address flat storage positions; "
+                "partitioned tables prune by partition bounds and per-"
+                "region zone maps instead"
+            )
         index = build_field_index(self, field_name)
         self._entry.indexes[field_name] = index
         return index
@@ -980,6 +1288,12 @@ class Table:
         """Build (or rebuild) an R-Tree over two numeric point fields."""
         from repro.engine.indexes import build_spatial_index
 
+        if self.is_partitioned:
+            raise StorageError(
+                "spatial indexes address flat storage positions; "
+                "partitioned tables prune by partition bounds and per-"
+                "region zone maps instead"
+            )
         index = build_spatial_index(self, x_field, y_field)
         self._entry.spatial_indexes[(x_field, y_field)] = index
         return index
@@ -1226,9 +1540,25 @@ class Table:
         predicate: Predicate | None,
     ) -> CostEstimate:
         """Main-layout scan cost plus one pass per overflow region (the
-        shared scan branch of :meth:`scan_cost` and :meth:`access_path`)."""
-        total = self._layout_scan_cost(self.layout, needed, predicate)
+        shared scan branch of :meth:`scan_cost` and :meth:`access_path`).
+
+        Partitioned tables sum the surviving regions only — partition
+        pruning shows up in the estimate exactly as it does at runtime.
+        """
         model = self._db.cost_model
+        if self.is_partitioned:
+            total = CostEstimate.zero()
+            for region in self.partition_survivors(predicate):
+                if region.layout is not None:
+                    total = total + self._layout_scan_cost(
+                        region.layout, needed, predicate
+                    )
+                for overflow in region.overflow:
+                    total = total + estimate(
+                        model, overflow.total_pages(), 1
+                    )
+            return total
+        total = self._layout_scan_cost(self.layout, needed, predicate)
         for overflow in self._entry.overflow:
             total = total + estimate(model, overflow.total_pages(), 1)
         return total
@@ -1270,9 +1600,31 @@ class Table:
         if predicate is None or not self.is_loaded:
             return 0
         intervals = self._prune_intervals(predicate)
+        needed = self._needed_fields(fieldlist, predicate, ())
+        if self.is_partitioned:
+            survivors = {
+                r.pid for r in self.partition_survivors(predicate)
+            }
+            total = 0
+            for region in self._entry.partitions:
+                if region.pid not in survivors:
+                    # The whole region is skipped: every one of its pages
+                    # (main layout and overflow) counts as pruned.
+                    total += region.total_pages()
+                    continue
+                if not intervals:
+                    continue
+                if region.layout is not None:
+                    total += self._layout_pruned_pages(
+                        region.layout, needed, predicate
+                    )
+                for overflow in region.overflow:
+                    skip = zonemaps.rows_page_skip(overflow, intervals)
+                    if skip:
+                        total += len(skip)
+            return total
         if not intervals:
             return 0
-        needed = self._needed_fields(fieldlist, predicate, ())
         total = self._layout_pruned_pages(self.layout, needed, predicate)
         for overflow in self._entry.overflow:
             skip = zonemaps.rows_page_skip(overflow, intervals)
@@ -1478,6 +1830,9 @@ class Table:
         """Estimated cost of ``get_element`` (§4.1 method 5)."""
         model = self._db.cost_model
         plan = self.plan
+        if plan.kind == LAYOUT_PARTITIONED:
+            # Positional access walks the partitions in scan order.
+            return self._full_scan_estimate(None, None)
         if plan.kind == LAYOUT_ROWS:
             return estimate(model, 1, 1)
         if plan.kind == LAYOUT_ARRAY:
@@ -1531,6 +1886,13 @@ class Table:
         """
         coerced = [self.logical_schema.coerce_record(r) for r in records]
         transformed = self._apply_record_pipeline(coerced)
+        if self.is_partitioned:
+            # Route each record to its owning partition's pending buffer
+            # (creating regions for unseen value-partition keys), keeping
+            # that partition's incremental zone map current.
+            if transformed:
+                self._route_pending(transformed)
+            return len(transformed)
         self._entry.pending.extend(transformed)
         if transformed:
             # Incremental synopsis over the pending buffer: each insert
@@ -1542,6 +1904,23 @@ class Table:
             )
             self._mark_indexes_stale()
         return len(transformed)
+
+    def _route_pending(self, rows: list[tuple]) -> None:
+        db, entry = self._db, self._entry
+        router = db.router_for(entry)
+        names = self.scan_schema().names()
+        grouped: dict[int, list[tuple]] = {}
+        regions: dict[int, Any] = {}
+        for row in rows:
+            region = db._region_for(entry, router.locate(row))
+            grouped.setdefault(region.pid, []).append(row)
+            regions[region.pid] = region
+        for pid, batch in grouped.items():
+            region = regions[pid]
+            region.pending.extend(batch)
+            if region.pending_zone is None:
+                region.pending_zone = zonemaps.ZoneSynopsis()
+            region.pending_zone.update(names, batch)
 
     def _apply_record_pipeline(
         self, records: list[tuple]
@@ -1568,8 +1947,26 @@ class Table:
             current = project_records(current, positions, target)
         return current
 
-    def flush_inserts(self) -> StoredLayout | None:
-        """Render pending records into a new on-disk overflow region."""
+    def flush_inserts(self):
+        """Render pending records into new on-disk overflow regions.
+
+        Returns the overflow layout (or, for partitioned tables, the list
+        of per-partition overflow layouts); ``None`` when nothing was
+        pending.
+        """
+        if self.is_partitioned:
+            flushed = []
+            for region in self._entry.partitions:
+                if not region.pending:
+                    continue
+                overflow = self._db.render_overflow_region(
+                    self.scan_schema(), region.pending
+                )
+                region.overflow.append(overflow)
+                region.pending = []
+                region.pending_zone = None
+                flushed.append(overflow)
+            return flushed or None
         if not self._pending:
             return None
         overflow = self._db.render_overflow_region(
@@ -1582,6 +1979,11 @@ class Table:
 
     @property
     def overflow_row_count(self) -> int:
+        if self.is_partitioned:
+            return sum(
+                sum(o.row_count for o in r.overflow) + len(r.pending)
+                for r in self._entry.partitions
+            )
         return sum(o.row_count for o in self._entry.overflow) + len(
             self._pending
         )
@@ -1599,6 +2001,10 @@ class Table:
 
 def _scan_schema(plan: PhysicalPlan) -> Schema:
     """Schema of scan results: folded layouts un-nest to group+nest fields."""
+    if plan.kind == LAYOUT_PARTITIONED:
+        # Every partition projects to the template's scan shape, even when
+        # individual regions have diverged to other designs.
+        return _scan_schema(plan.partition_plans[0])
     if plan.kind != LAYOUT_FOLDED:
         return plan.schema
     from repro.layout.renderer import _nest_types
@@ -1613,6 +2019,49 @@ def _scan_schema(plan: PhysicalPlan) -> Schema:
         for name, dtype in zip(plan.nest_fields, nest_types)
     ]
     return Schema(fields)
+
+
+def _region_may_match(spec, region, lo: float, hi: float) -> bool:
+    """Can ``region`` hold a record whose partition key lies in [lo, hi]?
+
+    The partition-pruning core: range regions test bound overlap, value
+    regions test key membership, hash regions match only when a point
+    predicate (lo == hi) pins the bucket. Conservative in every
+    non-numeric / non-point case.
+    """
+    if spec.method == "range":
+        if region.lower is not None and region.lower > hi:
+            return False
+        if region.upper is not None and region.upper <= lo:
+            return False
+        return True
+    if spec.method == "value":
+        value = region.key
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return True
+        return lo <= value <= hi
+    if lo == hi:  # hash: a point predicate pins one bucket
+        from repro.layout.partitioning import stable_hash
+
+        return stable_hash(lo) % spec.buckets == region.key
+    return True
+
+
+def _fields_projector(avail: Sequence[str], target: Sequence[str]):
+    """Batch projector re-ordering ``avail``-shaped rows to ``target``
+    (``None`` when the orders already agree)."""
+    if list(avail) == list(target):
+        return None
+    index = {f: i for i, f in enumerate(avail)}
+    return _batch_projector([index[f] for f in target])
+
+
+def _row_fields_projector(avail: Sequence[str], target: Sequence[str]):
+    """Per-row counterpart of :func:`_fields_projector`."""
+    if list(avail) == list(target):
+        return None
+    index = {f: i for i, f in enumerate(avail)}
+    return _row_projector([index[f] for f in target])
 
 
 def _row_projector(out_idx: Sequence[int]):

@@ -48,11 +48,13 @@ from repro.algebra.physical import (
     LAYOUT_FOLDED,
     LAYOUT_GRID,
     LAYOUT_MIRROR,
+    LAYOUT_PARTITIONED,
     LAYOUT_ROWS,
     PhysicalPlan,
 )
 from repro.algebra.transforms import (
     Evaluated,
+    Evaluator,
     GridResult,
     undelta_records,
 )
@@ -444,7 +446,34 @@ class LayoutRenderer:
             return self._render_array(plan, evaluated)
         if plan.kind == LAYOUT_MIRROR:
             return self._render_mirror(plan, evaluated)
+        if plan.kind == LAYOUT_PARTITIONED:
+            # Partitioned tables are rendered region by region — routing
+            # needs catalog state (partition map, region plans), which
+            # lives above the renderer (RodentStore._render_region).
+            raise StorageError(
+                "partitioned plans render per region, not as one layout; "
+                "load the table through RodentStore"
+            )
         raise StorageError(f"cannot render layout kind {plan.kind!r}")
+
+    def render_region(
+        self,
+        plan: PhysicalPlan,
+        residual: Any,
+        rows: Sequence[tuple],
+        fields: Sequence[str],
+    ) -> StoredLayout:
+        """Render one partition region from stored-shape rows.
+
+        ``residual`` is the region plan's structural residual (the algebra
+        expression with its record-level prefix replaced by a reference to
+        the already-transformed ``rows``); evaluating it re-applies the
+        structural operators (fold/grid/columns/orderby) for this region
+        only, so a single partition can be (re-)rendered without touching
+        its siblings.
+        """
+        evaluator = Evaluator({"__stored__": (list(rows), tuple(fields))})
+        return self.render(plan, evaluator.evaluate(residual))
 
     # -- rows ---------------------------------------------------------------
 

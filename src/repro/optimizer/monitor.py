@@ -176,6 +176,12 @@ class WorkloadMonitor:
         self.ticks = 0
         self.patterns: dict[Signature, AccessPattern] = {}
         self.feedback = EstimationFeedback()
+        #: Per-partition access skew: pid -> [decayed weight, last tick].
+        #: A partition's weight rises by 1 whenever a scan actually reads
+        #: it (pruned partitions don't count) and decays on the same
+        #: logical clock as the access patterns — so "hot" tracks the
+        #: *recent* skew, not lifetime totals.
+        self.partition_hits: dict[int, list[float]] = {}
 
     # -- observation -------------------------------------------------------
 
@@ -200,6 +206,38 @@ class WorkloadMonitor:
         if created and len(self.patterns) > MAX_PATTERNS:
             self.compact()  # after observe: the new pattern has weight 1
         return key
+
+    def observe_partitions(self, pids: Sequence[int]) -> None:
+        """Record which partitions a scan actually read (post-pruning)."""
+        now = self.ticks
+        decay = self.decay
+        for pid in pids:
+            slot = self.partition_hits.get(pid)
+            if slot is None:
+                self.partition_hits[pid] = [1.0, now]
+            else:
+                weight, last = slot
+                slot[0] = weight * decay ** (now - last) + 1.0
+                slot[1] = now
+
+    def partition_weights(self) -> dict[int, float]:
+        """Current decayed access weight per partition id."""
+        now = self.ticks
+        decay = self.decay
+        return {
+            pid: weight * decay ** (now - last)
+            for pid, (weight, last) in self.partition_hits.items()
+        }
+
+    def forget_partitions(self, live_pids: Sequence[int]) -> None:
+        """Drop skew entries for partitions that no longer exist (after a
+        whole-table re-layout re-creates the partition map)."""
+        live = set(live_pids)
+        self.partition_hits = {
+            pid: slot
+            for pid, slot in self.partition_hits.items()
+            if pid in live
+        }
 
     def record_result(self, key: Signature, rows: int) -> None:
         """Record the actual result cardinality of a completed scan."""
@@ -277,12 +315,20 @@ class WorkloadMonitor:
             self.patterns.values(),
             key=lambda p: -p.decayed_weight(now, self.decay),
         )[:5]
+        partition_skew = {
+            pid: round(weight, 3)
+            for pid, weight in sorted(
+                self.partition_weights().items(),
+                key=lambda kv: -kv[1],
+            )[:8]
+        }
         return {
             "observations": self.ticks,
             "live_patterns": len(self.patterns),
             "total_weight": round(self.total_weight(), 3),
             "estimate_q_error": round(self.feedback.mean_q_error, 3),
             "estimate_samples": self.feedback.samples,
+            "partition_skew": partition_skew,
             "top_patterns": [
                 {
                     "fieldlist": list(p.fieldlist)
@@ -305,6 +351,10 @@ class WorkloadMonitor:
             "decay": self.decay,
             "ticks": self.ticks,
             "feedback": [self.feedback.samples, self.feedback.mean_q_error],
+            "partition_hits": {
+                str(pid): [weight, last]
+                for pid, (weight, last) in self.partition_hits.items()
+            },
             "patterns": [
                 {
                     "fieldlist": list(p.fieldlist)
@@ -334,6 +384,12 @@ class WorkloadMonitor:
         monitor.ticks = data.get("ticks", 0)
         samples, q_error = data.get("feedback", [0, 1.0])
         monitor.feedback = EstimationFeedback(samples, q_error)
+        monitor.partition_hits = {
+            int(pid): [float(weight), int(last)]
+            for pid, (weight, last) in data.get(
+                "partition_hits", {}
+            ).items()
+        }
         for p in data.get("patterns", []):
             fieldlist = (
                 tuple(p["fieldlist"]) if p["fieldlist"] is not None else None

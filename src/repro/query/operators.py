@@ -27,7 +27,8 @@ re-runnable because each call re-reads the scans and rebuilds any state
 from __future__ import annotations
 
 import operator as _operator
-from collections import defaultdict
+from collections import defaultdict, deque
+from concurrent.futures import wait as _wait_futures
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 from repro.engine.cost import CostEstimate
@@ -112,6 +113,7 @@ class TableScanOp(Operator):
         self.limit = limit
         self.access = access
         self._pages_pruned: int | None = None
+        self._partitions_pruned: int | None = None
         if self.fieldlist is not None:
             self.fields = tuple(self.fieldlist)
         else:
@@ -137,6 +139,22 @@ class TableScanOp(Operator):
         return self._pages_pruned
 
     @property
+    def partitions_pruned(self) -> int:
+        """Whole partitions this scan's predicate rules out via the
+        partition map (``Table.partitions_pruned``) — 0 for unpartitioned
+        tables. Lazy like :attr:`pages_pruned`: only ``explain()`` pays
+        the metadata sweep."""
+        if self._partitions_pruned is None:
+            pruned = 0
+            if getattr(self.table, "is_partitioned", False):
+                try:
+                    pruned = self.table.partitions_pruned(self.predicate)
+                except StorageError:
+                    pruned = 0
+            self._partitions_pruned = pruned
+        return self._partitions_pruned
+
+    @property
     def name(self) -> str:
         return "IndexScan" if self.access == "index" else "TableScan"
 
@@ -144,6 +162,11 @@ class TableScanOp(Operator):
         parts = [self.table.name]
         if self.fieldlist is not None:
             parts.append(f"fields={self.fieldlist}")
+        if getattr(self.table, "is_partitioned", False):
+            parts.append(
+                f"partitions={len(self.table.partitions)}"
+                f" partitions_pruned={self.partitions_pruned}"
+            )
         if self.predicate is not None:
             parts.append(f"predicate={self.predicate!r}")
             parts.append(f"pages_pruned={self.pages_pruned}")
@@ -173,6 +196,82 @@ class TableScanOp(Operator):
         # table's workload monitor (abandoned scans would compare a full
         # estimate against a partial count, so they stay silent).
         self.table.record_scan_feedback(self.est_rows, actual)
+
+
+class ParallelTableScanOp(TableScanOp):
+    """Partition-parallel leaf: morsel-style fan-out over a partitioned
+    table's surviving regions.
+
+    The fan-out itself lives inside :meth:`Table.scan_batches` (which
+    consults ``store.scan_workers`` and dispatches regions to the store's
+    shared thread pool through :func:`fan_out_partitions`), so direct
+    access-method calls and planned queries share one executor and one
+    merge discipline. This operator is the plan-tree face of that path:
+    the planner lowers a scan to it whenever the parallel path will
+    actually run, so ``explain()`` shows the worker fan-out next to the
+    partition-pruning counts.
+    """
+
+    @property
+    def name(self) -> str:
+        return "ParallelTableScan"
+
+    def detail(self) -> str:
+        workers = int(getattr(self.table.store, "scan_workers", 0) or 0)
+        return super().detail() + f" workers={workers}"
+
+
+def fan_out_partitions(executor, sources, window: int):
+    """Morsel-style ordered merge of per-partition batch sources.
+
+    ``sources`` are zero-arg callables, one per partition, each producing
+    an iterator of batches (page fetch + codec decode happen inside, i.e.
+    in the worker). Up to ``window`` partitions are in flight at once; the
+    merged stream yields every partition's batches **in partition order**,
+    so a parallel scan is indistinguishable from a serial one — order
+    preservation is what lets sorted range-partitioned scans stay sorted
+    and keeps the differential suite's batch ≡ reference ≡ planned
+    equivalence intact with parallelism on.
+
+    On early close (a consumer abandoning the scan) the in-flight futures
+    are drained before returning so no worker outlives the iterator —
+    otherwise an automatic re-layout could free pages under a live reader.
+
+    Memory: each worker materializes its whole partition's batch list, so
+    up to ``window`` partitions are resident at once — the morsel unit is
+    deliberately the partition (regions are the independent storage
+    objects). Bound memory by partition granularity (more, smaller
+    partitions), not by raising ``window``.
+    """
+    sources = list(sources)
+    window = max(1, int(window))
+
+    def generate():
+        futures: deque = deque()
+        position = 0
+
+        def submit() -> None:
+            nonlocal position
+            if position < len(sources):
+                source = sources[position]
+                position += 1
+                futures.append(
+                    executor.submit(lambda s=source: list(s()))
+                )
+
+        try:
+            for _ in range(window):
+                submit()
+            while futures:
+                batches = futures.popleft().result()
+                submit()
+                yield from batches
+        finally:
+            if futures:
+                _wait_futures(list(futures))
+                futures.clear()
+
+    return generate()
 
 
 class FilterOp(Operator):

@@ -47,6 +47,7 @@ from repro.query.operators import (
     HashJoinOp,
     LimitOp,
     Operator,
+    ParallelTableScanOp,
     ProjectOp,
     SortOp,
     TableScanOp,
@@ -496,7 +497,17 @@ def _lower_scan(node: lp.Scan, binder: _Binder) -> Operator:
     except StorageError:
         # Unloaded table (pending rows only): no layout to cost yet.
         access, cost = "scan", CostEstimate.zero()
-    op = TableScanOp(
+    # Partitioned tables with parallel workers enabled fan regions out to
+    # the store's shared thread pool; the dedicated operator makes the
+    # choice visible in the plan tree.
+    scan_cls = TableScanOp
+    if (
+        getattr(table, "is_partitioned", False)
+        and int(getattr(table.store, "scan_workers", 0) or 0) > 1
+        and len(table.partitions) > 1
+    ):
+        scan_cls = ParallelTableScanOp
+    op = scan_cls(
         table,
         fieldlist=node.fieldlist,
         predicate=node.predicate,

@@ -5,10 +5,20 @@ including transaction, lock, and memory management facilities" every storage
 system must replicate — this module is the memory-management part. Layout
 renderers and cursors fetch pages through the pool so repeated traversals hit
 memory instead of the (simulated) disk.
+
+The pool is **thread-safe**: parallel partition scans fetch/unpin from
+worker threads concurrently, so the page table, pin counts, eviction, and
+the stat counters are guarded by one re-entrant lock. Cache *misses* read
+the disk outside the lock (two threads missing the same page race benignly
+— the loser adopts the winner's frame), so a simulated-latency disk lets
+concurrent readers overlap their waits. A pinned frame is never evicted,
+which is what makes lock-free reads of ``frame.data`` between ``fetch`` and
+``unpin`` safe.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Iterator
 
@@ -72,82 +82,107 @@ class BufferPool:
         self.stats = BufferPoolStats()
         self._frames: OrderedDict[int, Frame] = OrderedDict()
         self._clock_hand = 0
+        self._lock = threading.RLock()
 
     # -- public API ---------------------------------------------------------
 
     def fetch(self, page_id: int) -> Frame:
         """Pin and return the frame for ``page_id``, reading it if absent."""
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            self.stats.hits += 1
-            frame.pin_count += 1
-            frame.referenced = True
-            if self.policy == "lru":
-                self._frames.move_to_end(page_id)
-            return frame
-        self.stats.misses += 1
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self.stats.hits += 1
+                frame.pin_count += 1
+                frame.referenced = True
+                if self.policy == "lru":
+                    self._frames.move_to_end(page_id)
+                return frame
+            self.stats.misses += 1
+        # Read outside the lock so concurrent misses overlap their I/O.
         data = self.disk.read_page(page_id)
-        frame = Frame(page_id, data)
-        frame.pin_count = 1
-        self._admit(frame)
-        return frame
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                # Lost a concurrent-miss race: adopt the winner's frame
+                # (the read above was redundant but harmless — pages are
+                # immutable while readable).
+                frame.pin_count += 1
+                frame.referenced = True
+                if self.policy == "lru":
+                    self._frames.move_to_end(page_id)
+                return frame
+            frame = Frame(page_id, data)
+            frame.pin_count = 1
+            self._admit(frame)
+            return frame
 
     def new_page(self) -> Frame:
         """Allocate a fresh page on disk and return its pinned frame."""
         page_id = self.disk.allocate_page()
-        frame = Frame(page_id, bytearray(self.disk.page_size))
-        frame.pin_count = 1
-        frame.dirty = True
-        self._admit(frame)
-        return frame
+        with self._lock:
+            frame = Frame(page_id, bytearray(self.disk.page_size))
+            frame.pin_count = 1
+            frame.dirty = True
+            self._admit(frame)
+            return frame
 
     def unpin(self, page_id: int, dirty: bool = False) -> None:
         """Release one pin; mark the frame dirty when it was modified."""
-        frame = self._frames.get(page_id)
-        if frame is None:
-            raise BufferPoolError(f"page {page_id} is not in the pool")
-        if frame.pin_count <= 0:
-            raise BufferPoolError(f"page {page_id} is not pinned")
-        frame.pin_count -= 1
-        if dirty:
-            frame.dirty = True
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                raise BufferPoolError(f"page {page_id} is not in the pool")
+            if frame.pin_count <= 0:
+                raise BufferPoolError(f"page {page_id} is not pinned")
+            frame.pin_count -= 1
+            if dirty:
+                frame.dirty = True
 
     def flush(self, page_id: int) -> None:
         """Write a dirty frame back to disk (no-op when clean)."""
-        frame = self._frames.get(page_id)
-        if frame is None:
-            raise BufferPoolError(f"page {page_id} is not in the pool")
-        if frame.dirty:
-            self.disk.write_page(page_id, frame.data)
-            frame.dirty = False
-            self.stats.flushes += 1
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                raise BufferPoolError(f"page {page_id} is not in the pool")
+            if frame.dirty:
+                self.disk.write_page(page_id, frame.data)
+                frame.dirty = False
+                self.stats.flushes += 1
 
     def flush_all(self) -> None:
-        for page_id in list(self._frames):
-            self.flush(page_id)
+        with self._lock:
+            for page_id in list(self._frames):
+                self.flush(page_id)
 
     def clear(self) -> None:
         """Flush everything and drop all frames (e.g. between benchmarks)."""
-        for frame in self._frames.values():
-            if frame.pin_count:
-                raise BufferPoolError(
-                    f"cannot clear pool: page {frame.page_id} is pinned"
-                )
-        self.flush_all()
-        self._frames.clear()
-        self._clock_hand = 0
+        with self._lock:
+            for frame in self._frames.values():
+                if frame.pin_count:
+                    raise BufferPoolError(
+                        f"cannot clear pool: page {frame.page_id} is pinned"
+                    )
+            self.flush_all()
+            self._frames.clear()
+            self._clock_hand = 0
 
     def contains(self, page_id: int) -> bool:
-        return page_id in self._frames
+        with self._lock:
+            return page_id in self._frames
 
     def pinned_pages(self) -> list[int]:
-        return [f.page_id for f in self._frames.values() if f.pin_count > 0]
+        with self._lock:
+            return [
+                f.page_id for f in self._frames.values() if f.pin_count > 0
+            ]
 
     def __len__(self) -> int:
-        return len(self._frames)
+        with self._lock:
+            return len(self._frames)
 
     def __iter__(self) -> Iterator[Frame]:
-        return iter(self._frames.values())
+        with self._lock:
+            return iter(list(self._frames.values()))
 
     # -- eviction -------------------------------------------------------------
 

@@ -16,6 +16,8 @@ and benchmarks — the counters behave identically).
 from __future__ import annotations
 
 import os
+import threading
+import time
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -88,18 +90,34 @@ class IOStats:
 class DiskManager:
     """Allocate, read, and write fixed-size pages with I/O accounting.
 
+    Reads and writes are serialized under an internal lock so concurrent
+    scan workers (parallel partition scans) cannot interleave file
+    seek/read pairs or corrupt the counters; the simulated
+    ``read_latency_s`` is paid *outside* the lock, so overlapping readers
+    overlap their latency exactly like real disks overlap in-flight I/O.
+
     Args:
         path: backing file path, or ``None`` for an in-memory store.
         page_size: page size in bytes; the paper's case study uses 1000 KB,
             scaled-down runs use smaller pages.
+        read_latency_s: optional simulated seconds per page read (0 =
+            off); used by the parallel-scan benchmark to model a device
+            where I/O waits dominate.
     """
 
-    def __init__(self, path: str | None = None, page_size: int = DEFAULT_PAGE_SIZE):
+    def __init__(
+        self,
+        path: str | None = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        read_latency_s: float = 0.0,
+    ):
         if page_size < 64:
             raise StorageError(f"page size {page_size} is too small")
         self.page_size = page_size
         self.path = path
+        self.read_latency_s = read_latency_s
         self.stats = IOStats()
+        self._lock = threading.Lock()
         self._last_page: int | None = None  # disk head position
         self._free_list: list[int] = []
         if path is None:
@@ -141,61 +159,75 @@ class DiskManager:
 
     def allocate_page(self) -> int:
         """Return a fresh (or recycled) page id, zero-filled."""
-        if self._free_list:
-            page_id = self._free_list.pop()
+        with self._lock:
+            if self._free_list:
+                page_id = self._free_list.pop()
+            else:
+                page_id = self._num_pages
+                self._num_pages += 1
             self._write_raw(page_id, bytearray(self.page_size), count=False)
             return page_id
-        page_id = self._num_pages
-        self._num_pages += 1
-        self._write_raw(page_id, bytearray(self.page_size), count=False)
-        return page_id
 
     def allocate_contiguous(self, count: int) -> list[int]:
         """Allocate ``count`` physically adjacent pages (for extents)."""
         if count < 1:
             raise StorageError("cannot allocate fewer than 1 page")
-        start = self._num_pages
-        self._num_pages += count
-        for page_id in range(start, start + count):
-            self._write_raw(page_id, bytearray(self.page_size), count=False)
-        return list(range(start, start + count))
+        with self._lock:
+            start = self._num_pages
+            self._num_pages += count
+            for page_id in range(start, start + count):
+                self._write_raw(
+                    page_id, bytearray(self.page_size), count=False
+                )
+            return list(range(start, start + count))
 
     def free_page(self, page_id: int) -> None:
-        self._check(page_id)
-        self._free_list.append(page_id)
+        with self._lock:
+            self._check(page_id)
+            self._free_list.append(page_id)
 
     # -- I/O -----------------------------------------------------------------
 
     def read_page(self, page_id: int) -> bytearray:
         """Read one page, updating read and seek counters."""
-        self._check(page_id)
-        self.stats.page_reads += 1
-        if self._last_page is not None and page_id != self._last_page + 1:
-            self.stats.read_seeks += 1
-        elif self._last_page is None:
-            self.stats.read_seeks += 1
-        self._last_page = page_id
-        if self._pages is not None:
-            return bytearray(self._pages.get(page_id, bytearray(self.page_size)))
-        assert self._file is not None
-        self._file.seek(page_id * self.page_size)
-        data = self._file.read(self.page_size)
-        if len(data) < self.page_size:
-            data = data.ljust(self.page_size, b"\x00")
-        return bytearray(data)
+        with self._lock:
+            self._check(page_id)
+            self.stats.page_reads += 1
+            if self._last_page is not None and page_id != self._last_page + 1:
+                self.stats.read_seeks += 1
+            elif self._last_page is None:
+                self.stats.read_seeks += 1
+            self._last_page = page_id
+            if self._pages is not None:
+                data = bytearray(
+                    self._pages.get(page_id, bytearray(self.page_size))
+                )
+            else:
+                assert self._file is not None
+                self._file.seek(page_id * self.page_size)
+                raw = self._file.read(self.page_size)
+                if len(raw) < self.page_size:
+                    raw = raw.ljust(self.page_size, b"\x00")
+                data = bytearray(raw)
+        if self.read_latency_s:
+            # Outside the lock: concurrent readers overlap their waits.
+            time.sleep(self.read_latency_s)
+        return data
 
     def write_page(self, page_id: int, data: bytes | bytearray) -> None:
         """Write one page, updating write and seek counters."""
-        self._check(page_id)
-        if len(data) != self.page_size:
-            raise StorageError(
-                f"page write of {len(data)} bytes != page size {self.page_size}"
-            )
-        self.stats.page_writes += 1
-        if self._last_page is None or page_id != self._last_page + 1:
-            self.stats.write_seeks += 1
-        self._last_page = page_id
-        self._write_raw(page_id, data, count=False)
+        with self._lock:
+            self._check(page_id)
+            if len(data) != self.page_size:
+                raise StorageError(
+                    f"page write of {len(data)} bytes != page size "
+                    f"{self.page_size}"
+                )
+            self.stats.page_writes += 1
+            if self._last_page is None or page_id != self._last_page + 1:
+                self.stats.write_seeks += 1
+            self._last_page = page_id
+            self._write_raw(page_id, data, count=False)
 
     def _write_raw(self, page_id: int, data: bytes | bytearray, count: bool) -> None:
         if self._pages is not None:

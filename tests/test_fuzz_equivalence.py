@@ -6,17 +6,21 @@ Each iteration builds a seeded random scenario:
 
 * a random schema (3–5 int fields with mixed cardinalities);
 * a random physical design across every layout family — rows (plain or
-  sorted), columns (pure or grouped), grid, folded — plus inserted data in
-  both reorganization states (a flushed *overflow* region and an unflushed
-  *pending* buffer);
+  sorted), columns (pure or grouped), grid, folded, plus horizontally
+  **partitioned** tables (range or hash, wrapping a random inner design) —
+  plus inserted data in both reorganization states (a flushed *overflow*
+  region and an unflushed *pending* buffer, per partition when
+  partitioned);
 * a batch of random queries (projection / range / conjunction / disjunction
   / negation predicates, orders, limits).
 
 For every query it asserts ``Table.scan_batches`` ≡ ``Table.scan_reference``
-≡ the compiled query pipeline (``Q.run()``), with zone-map pruning on *and*
+≡ the compiled query pipeline (``Q.run()``), with zone-map + partition
+pruning on *and* off and with the parallel partition-scan executor on *and*
 off; then it re-layouts the table mid-stream (a random different design via
-``relayout()``, then the adaptive loop via ``store.adapt()``) and asserts
-the whole equivalence again — automatic re-layouts must never change query
+``relayout()``, then the adaptive loop via ``store.adapt()`` — which for
+partitioned tables rewrites hot partitions individually) and asserts the
+whole equivalence again — automatic re-layouts must never change query
 answers.
 
 Iteration count / seed are environment-tunable so CI can run a capped,
@@ -68,7 +72,36 @@ def random_layout(
     rng: random.Random, names: list[str], domains: list[int]
 ) -> str:
     """A random non-lossy design drawn from every layout family."""
-    kind = rng.choice(["rows", "sorted", "columns", "grouped", "grid", "fold"])
+    kind = rng.choice(
+        [
+            "rows",
+            "sorted",
+            "columns",
+            "grouped",
+            "grid",
+            "fold",
+            "partition-range",
+            "partition-hash",
+        ]
+    )
+    if kind == "partition-range":
+        i = rng.randrange(len(names))
+        n_points = rng.randint(1, 3)
+        points = sorted(
+            rng.sample(range(1, max(2, domains[i])), min(n_points, domains[i] - 1))
+        )
+        inner = random_layout(rng, names, domains)
+        while inner.startswith("partition"):
+            inner = random_layout(rng, names, domains)
+        rendered = ", ".join(str(p) for p in points)
+        return f"partition[r.{names[i]}; range, {rendered}]({inner})"
+    if kind == "partition-hash":
+        i = rng.randrange(len(names))
+        buckets = rng.randint(2, 4)
+        inner = random_layout(rng, names, domains)
+        while inner.startswith("partition"):
+            inner = random_layout(rng, names, domains)
+        return f"partition[r.{names[i]}; hash, {buckets}]({inner})"
     if kind == "rows":
         return "T"
     if kind == "sorted":
@@ -151,53 +184,67 @@ def random_query(rng: random.Random, scan_names: list[str]) -> dict:
 
 
 def run_query_all_paths(store: RodentStore, query: dict, predicate) -> None:
-    """Assert batch ≡ reference ≡ compiled pipeline, pruning on and off."""
+    """Assert batch ≡ reference ≡ compiled pipeline across the pruning
+    (zone-map + partition) and parallel-executor toggles."""
     table = store.table("T")
+    # Parallelism only has a distinct code path on partitioned tables;
+    # skip the redundant re-run otherwise.
+    worker_settings = (0, 3) if table.is_partitioned else (0,)
     results = {}
     for pruning in (True, False):
         store.zone_pruning = pruning
-        batch = [
-            row
-            for rows in table.scan_batches(
-                fieldlist=query["fieldlist"],
-                predicate=predicate,
-                order=query["order"],
-                limit=query["limit"],
+        store.partition_pruning = pruning
+        for workers in worker_settings:
+            store.scan_workers = workers
+            batch = [
+                row
+                for rows in table.scan_batches(
+                    fieldlist=query["fieldlist"],
+                    predicate=predicate,
+                    order=query["order"],
+                    limit=query["limit"],
+                )
+                for row in rows
+            ]
+            reference = list(
+                table.scan_reference(
+                    fieldlist=query["fieldlist"],
+                    predicate=predicate,
+                    order=query["order"],
+                )
             )
-            for row in rows
-        ]
-        reference = list(
-            table.scan_reference(
-                fieldlist=query["fieldlist"],
-                predicate=predicate,
-                order=query["order"],
+            if query["limit"] is not None:
+                reference = reference[: query["limit"]]
+            assert batch == reference, (
+                f"batch != reference (pruning={pruning}, "
+                f"workers={workers}, query={query}, "
+                f"predicate={predicate!r}, layout="
+                f"{table.plan.expr.to_text()})"
             )
-        )
-        if query["limit"] is not None:
-            reference = reference[: query["limit"]]
-        assert batch == reference, (
-            f"batch != reference (pruning={pruning}, query={query}, "
-            f"predicate={predicate!r}, layout="
-            f"{table.plan.expr.to_text()})"
-        )
-        q = store.query("T")
-        if query["fieldlist"] is not None:
-            q = q.select(*query["fieldlist"])
-        if predicate is not None:
-            q = q.where(predicate)
-        if query["order"] is not None:
-            q = q.order_by(*query["order"])
-        if query["limit"] is not None:
-            q = q.limit(query["limit"])
-        planned = q.run()
-        assert planned == batch, (
-            f"planner != batch (pruning={pruning}, query={query}, "
-            f"predicate={predicate!r}, layout="
-            f"{table.plan.expr.to_text()})"
-        )
-        results[pruning] = batch
+            q = store.query("T")
+            if query["fieldlist"] is not None:
+                q = q.select(*query["fieldlist"])
+            if predicate is not None:
+                q = q.where(predicate)
+            if query["order"] is not None:
+                q = q.order_by(*query["order"])
+            if query["limit"] is not None:
+                q = q.limit(query["limit"])
+            planned = q.run()
+            assert planned == batch, (
+                f"planner != batch (pruning={pruning}, "
+                f"workers={workers}, query={query}, "
+                f"predicate={predicate!r}, layout="
+                f"{table.plan.expr.to_text()})"
+            )
+            results[(pruning, workers)] = batch
     store.zone_pruning = True
-    assert results[True] == results[False], "pruning changed query answers"
+    store.partition_pruning = True
+    store.scan_workers = 0
+    baseline = next(iter(results.values()))
+    assert all(
+        r == baseline for r in results.values()
+    ), "pruning/parallel toggles changed query answers"
 
 
 def check_ground_truth(store: RodentStore, expected: list[tuple]) -> None:
@@ -267,6 +314,10 @@ def test_fuzz_differential_equivalence(iteration: int):
     for query, predicate in queries:
         if _query_valid(query, predicate, scan_names):
             run_query_all_paths(store, query, predicate)
+
+    # Deterministic teardown: joins any parallel-scan workers the
+    # iteration spawned so threads never accumulate across fuzz cases.
+    store.close()
 
 
 def _query_valid(
