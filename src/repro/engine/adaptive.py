@@ -19,6 +19,10 @@ Safety properties:
   re-renders zone-map synopses for the new layout and clears secondary /
   spatial indexes, so pruning and access-path choice can never consult
   metadata describing the old physical design;
+* a re-layout is one transaction (``store.mutate``): it renders the new
+  representation copy-on-write, swaps it in atomically at commit, and —
+  on a durable store — WAL-logs it, so a crash mid-adaptation rolls back
+  to the old design and in-flight scans keep their MVCC snapshot of it;
 * **lossy designs are never auto-adopted**: a recommendation that projects
   logical fields away would make future re-layouts (and the next adaptation)
   unable to re-derive the base records, so the controller falls back to the

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
 from repro.algebra.physical import PhysicalPlan
+from repro.engine.mvcc import EntryMVCC
 from repro.errors import CatalogError
 from repro.types.schema import Schema
 
@@ -101,6 +102,10 @@ class CatalogEntry:
     # rebuilt lazily whenever it disagrees with ``partitions`` (never
     # persisted).
     region_index: dict = field(default_factory=dict, repr=False)
+    # Snapshot machinery: version counter, scan pins, deferred page frees.
+    # ``mvcc.lock`` guards every mutation of the layout-bearing fields
+    # above (plan/layout/overflow/pending/indexes/partitions).
+    mvcc: EntryMVCC = field(default_factory=EntryMVCC, repr=False)
 
 
 class Catalog:

@@ -10,6 +10,10 @@ design with a storage-algebra expression, loads data, and queries through the
 
 from __future__ import annotations
 
+import json
+import os
+import threading
+from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.algebra import ast
@@ -32,8 +36,102 @@ from repro.storage.buffer import BufferPool
 from repro.storage.disk import DEFAULT_PAGE_SIZE, DiskManager, IOStats
 from repro.storage.locks import LockManager
 from repro.storage.transactions import TransactionManager
-from repro.storage.wal import WriteAheadLog
+from repro.storage.wal import (
+    KIND_CATALOG,
+    KIND_CHECKPOINT,
+    KIND_ROWS,
+    KIND_UPDATE,
+    WriteAheadLog,
+)
 from repro.types.schema import Schema
+
+
+class _Mutation:
+    """One transaction's accumulated logical effects.
+
+    Engine mutations run inside ``store.mutate(name)``; while the body
+    executes, the effects (rendered pages, inserted rows, catalog images)
+    are only *recorded* here. They are appended to the WAL in one shot at
+    commit, under the store's commit lock — so a concurrent checkpoint can
+    never truncate half of a transaction's effect records, and recovery
+    sees a transaction's effects all-or-nothing.
+    """
+
+    def __init__(self, store: "RodentStore", txn):
+        self.store = store
+        self.txn = txn
+        self._touched: list[str] = []
+        self._dropped: list[str] = []
+        self._rows: list[tuple[str, list[list]]] = []
+        self._pages: list[int] = []
+
+    def lock(self, name: str) -> None:
+        """Take the table's exclusive lock (strict 2PL; held to commit)."""
+        self.txn.lock_exclusive(f"table:{name}")
+
+    def touch(self, name: str) -> None:
+        """Log the table's full catalog image at commit (structural txns)."""
+        if name not in self._touched:
+            self._touched.append(name)
+
+    def mark_dropped(self, name: str) -> None:
+        self._dropped.append(name)
+        if name in self._touched:
+            self._touched.remove(name)
+
+    def log_rows(self, name: str, rows: Sequence[tuple]) -> None:
+        """Log inserted rows (stored-record shape) at commit."""
+        if rows:
+            self._rows.append((name, [list(r) for r in rows]))
+
+    def log_pages(self, page_ids: Sequence[int]) -> None:
+        """Log full after-images of freshly rendered pages at commit."""
+        self._pages.extend(page_ids)
+
+    def log_layout(self, layout: StoredLayout | None) -> None:
+        if layout is not None:
+            self._pages.extend(layout.page_ids())
+
+    def _append_effects(self) -> None:
+        """Append every recorded effect to the WAL (commit time).
+
+        Runs under the store's commit lock. Page records carry the full
+        after-image with an all-zero before-image — valid because the
+        renderer only ever writes *freshly allocated* (zero-filled) pages,
+        so undoing a loser by writing zeros restores the true prior state.
+        """
+        store = self.store
+        wal = store.wal
+        txn_id = self.txn.txn_id
+        zero = bytes(store.disk.page_size)
+        with store._commit_lock:
+            for page_id in self._pages:
+                frame = store.pool.fetch(page_id)
+                try:
+                    after = bytes(frame.data)
+                finally:
+                    store.pool.unpin(page_id)
+                wal.append(
+                    KIND_UPDATE,
+                    txn_id,
+                    page_id=page_id,
+                    offset=0,
+                    before=zero,
+                    after=after,
+                )
+            for name, rows in self._rows:
+                payload = json.dumps({"table": name, "rows": rows})
+                wal.append(KIND_ROWS, txn_id, payload=payload.encode())
+            for name in self._touched:
+                if not store.catalog.has(name):
+                    continue
+                from repro.engine.persistence import entry_to_dict
+
+                payload = json.dumps(entry_to_dict(store.catalog.entry(name)))
+                wal.append(KIND_CATALOG, txn_id, payload=payload.encode())
+            for name in self._dropped:
+                payload = json.dumps({"name": name, "dropped": True})
+                wal.append(KIND_CATALOG, txn_id, payload=payload.encode())
 
 
 class RodentStore:
@@ -73,16 +171,48 @@ class RodentStore:
         adapt_hysteresis: float = 0.15,
         scan_workers: int = 0,
         read_latency_s: float = 0.0,
+        durable: bool = False,
+        catalog_path: str | None = None,
+        group_commit_window: float = 0.0,
     ):
         from repro.engine.adaptive import AdaptiveController
 
+        self.durable = bool(durable)
+        if self.durable:
+            if path is None:
+                raise StorageError(
+                    "durable=True needs a file-backed store (path=...)"
+                )
+            if wal_path is None:
+                wal_path = path + ".wal"
+            if catalog_path is None:
+                catalog_path = path + ".catalog.json"
+        self.catalog_path = catalog_path
         self.disk = DiskManager(
             path, page_size=page_size, read_latency_s=read_latency_s
         )
         self.pool = BufferPool(self.disk, capacity=pool_capacity, policy=eviction)
         self.wal = WriteAheadLog(wal_path)
         self.locks = LockManager()
-        self.transactions = TransactionManager(self.wal, self.pool, self.locks)
+        # Non-durable stores run in locking-only mode (log=False): an
+        # in-memory WAL would grow without bound under a write workload.
+        self.transactions = TransactionManager(
+            self.wal,
+            self.pool,
+            self.locks,
+            log=self.durable,
+            group_window_s=group_commit_window,
+        )
+        #: Serializes commit-time WAL effect appends against checkpoints,
+        #: so a checkpoint never truncates half of a transaction's records.
+        self._commit_lock = threading.Lock()
+        # Re-entrancy guard: a maintenance op nested inside another (e.g.
+        # a relayout's bulk load) joins the outer transaction instead of
+        # deadlocking on its own table lock.
+        self._mutation_local = threading.local()
+        self.recoveries_run = 0
+        self.checkpoints = 0
+        self.recovery_summary: dict | None = None
         self.catalog = Catalog()
         self.renderer = LayoutRenderer(self.pool)
         self.cost_model = cost_model or CostModel(page_size=page_size)
@@ -108,6 +238,12 @@ class RodentStore:
             check_interval=adapt_interval,
             hysteresis=adapt_hysteresis,
         )
+        if self.durable:
+            # A non-empty WAL means the last session did not close cleanly:
+            # replay committed work, roll back losers, checkpoint.
+            from repro.engine.recovery import recover_store
+
+            self.recovery_summary = recover_store(self)
 
     @property
     def adaptive(self) -> bool:
@@ -124,18 +260,102 @@ class RodentStore:
     def adaptive(self, value: bool) -> None:
         self.adaptivity.enabled = bool(value)
 
+    # -- transactions ------------------------------------------------------
+
+    @contextmanager
+    def mutate(self, name: str | None = None) -> Iterator[_Mutation]:
+        """Run an engine mutation as one transaction.
+
+        Takes the table's exclusive lock (strict two-phase locking — writers
+        on the same table serialize; readers never block, they pin MVCC
+        snapshots instead), accumulates the mutation's effects, and at exit
+        appends them to the WAL and commits (group commit), or aborts on
+        error. Nested ``mutate`` calls on the same thread join the outer
+        transaction, so a re-layout that bulk-loads internally is one atomic
+        unit.
+        """
+        outer = getattr(self._mutation_local, "ctx", None)
+        if outer is not None:
+            if name is not None:
+                outer.lock(name)
+            yield outer
+            return
+        txn = self.transactions.begin()
+        m = _Mutation(self, txn)
+        self._mutation_local.ctx = m
+        try:
+            if name is not None:
+                m.lock(name)
+            yield m
+        except BaseException:
+            self._mutation_local.ctx = None
+            try:
+                txn.abort()
+            except StorageError:
+                pass  # crashed/poisoned store: abandon without a clean abort
+            raise
+        else:
+            self._mutation_local.ctx = None
+            if self.transactions.log:
+                m._append_effects()
+            txn.commit()
+
+    def checkpoint(self) -> None:
+        """Fold all durable state into the page file + catalog, then
+        truncate the WAL.
+
+        Protocol (crash-safe at every step): flush dirty frames, fsync the
+        page file, write the catalog to ``<catalog_path>.tmp``, append a
+        CHECKPOINT record and sync it, atomically promote the tmp catalog,
+        truncate the log. Recovery promotes a leftover tmp catalog only
+        when the CHECKPOINT record made it to the log. Callers must have
+        quiesced writers (close, recovery, explicit maintenance windows) —
+        the commit lock keeps effect records whole but does not wait out
+        transactions that are still mid-body.
+        """
+        if not self.durable:
+            self.pool.flush_all()
+            return
+        from repro.engine.persistence import save_catalog
+
+        assert self.catalog_path is not None
+        tmp_path = self.catalog_path + ".tmp"
+        with self._commit_lock:
+            self.pool.flush_all()
+            self.disk.fsync()
+            save_catalog(self, tmp_path)
+            self.wal.append(KIND_CHECKPOINT, 0)
+            self.wal.sync()
+            os.replace(tmp_path, self.catalog_path)
+            self.wal.truncate()
+            self.checkpoints += 1
+
+    def inject_faults(self, injector) -> None:
+        """Arm a :class:`~repro.storage.faults.FaultInjector` on the WAL
+        and page-file write paths (pass ``None`` to disarm)."""
+        self.disk.faults = injector
+        self.wal.faults = injector
+
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
         """Shut down deterministically: stop the scan thread pool (joining
-        its workers so pytest never sees leaked threads), flush every
-        table's buffered state, and release the storage stack. Idempotent.
+        its workers so pytest never sees leaked threads), checkpoint (or
+        flush) every table's buffered state, and release the storage stack.
+        A durable store that closes cleanly truncates its WAL — reopening
+        finds an empty log and skips recovery; any other exit leaves the
+        log in place and the next open replays it. Idempotent.
         """
         if self._closed:
             return
         self._closed = True
         self.shutdown_scan_executor()
-        self.pool.flush_all()
+        try:
+            self.checkpoint()
+        except StorageError:
+            # A poisoned (fault-injected) store cannot checkpoint; leave
+            # the WAL for recovery and release the stack.
+            pass
         self.wal.close()
         self.disk.close()
 
@@ -183,9 +403,14 @@ class RodentStore:
         ``layout`` is a storage-algebra expression (text or AST); omitted, it
         defaults to the canonical row-major representation ``rows(name)``.
         """
-        entry = self.catalog.create(name, schema)
         expr = self._resolve_expr(name, layout)
-        entry.plan = self._interpreter().compile(expr)
+        with self.mutate() as m:
+            entry = self.catalog.create(name, schema)
+            entry.plan = self._interpreter().compile(expr)
+            # Log the (empty) catalog entry so a table created after the
+            # last checkpoint exists again at recovery — otherwise its
+            # replayed row inserts would have nowhere to land.
+            m.touch(name)
         return Table(self, entry)
 
     def _resolve_expr(
@@ -202,23 +427,50 @@ class RodentStore:
 
     def drop_table(self, name: str) -> None:
         entry = self.catalog.entry(name)
-        self._free_layout(entry.layout)
-        for overflow in entry.overflow:
-            self._free_layout(overflow)
-        self._drop_partitions(entry)
-        self.catalog.drop(name)
+        with self.mutate(name) as m:
+            with entry.mvcc.lock:
+                layouts: list[StoredLayout | None] = [entry.layout]
+                layouts.extend(entry.overflow)
+                for region in entry.partitions:
+                    layouts.append(region.layout)
+                    layouts.extend(region.overflow)
+                # Regions keep their fields — a pinned scan may still be
+                # reading them; only the page frees are deferred.
+                entry.mvcc.retire(self._layout_freer(*layouts))
+            if entry.monitor is not None:
+                entry.monitor.forget_partitions([])
+            self.catalog.drop(name)
+            m.mark_dropped(name)
 
     def _free_layout(self, layout: StoredLayout | None) -> None:
+        """Immediately free a layout's pages (caller must know no snapshot
+        can still reference them; writers use :meth:`_layout_freer` +
+        ``EntryMVCC.retire`` instead)."""
         if layout is None:
             return
-        if layout.extent is not None:
-            for page_id in layout.extent.page_ids:
+        for page_id in layout.page_ids():
+            self.pool.discard(page_id)
+            self.disk.free_page(page_id)
+
+    def _layout_freer(self, *layouts: StoredLayout | None) -> Callable[[], None]:
+        """A deferred free over the pages of ``layouts``.
+
+        The page-id list is captured eagerly (the layouts may be mutated
+        after retirement); the free itself — pool frame discard plus disk
+        free-list return — runs when the entry's MVCC machinery decides the
+        last pinned reader has drained.
+        """
+        pages: list[int] = []
+        for layout in layouts:
+            if layout is not None:
+                pages.extend(layout.page_ids())
+
+        def free() -> None:
+            for page_id in pages:
+                self.pool.discard(page_id)
                 self.disk.free_page(page_id)
-        for group in layout.column_groups:
-            for page_id in group.extent.page_ids:
-                self.disk.free_page(page_id)
-        for mirror in layout.mirrors:
-            self._free_layout(mirror)
+
+        return free
 
     # -- data loading ----------------------------------------------------------
 
@@ -227,26 +479,72 @@ class RodentStore:
         entry = self.catalog.entry(name)
         if entry.plan is None:
             raise CatalogError(f"table {name!r} has no physical plan")
+        return self._load_with_plan(entry, entry.plan, records)
+
+    def _load_with_plan(
+        self,
+        entry: CatalogEntry,
+        plan: PhysicalPlan,
+        records: Sequence[Sequence[Any]],
+        reset_overflow: bool = False,
+    ) -> Table:
+        """(Re)render ``entry`` under ``plan`` from logical ``records``.
+
+        The shared core of :meth:`load` and :meth:`relayout`. Rendering
+        happens *before* any entry state changes; the plan and the new
+        layout then swap in together under the entry's MVCC lock (a pinned
+        scan either sees the old plan+layout pair or the new one, never a
+        mismatch), and the superseded pages are retired, not freed — the
+        last draining reader frees them. The whole operation is one
+        transaction: the rendered pages and the new catalog image are
+        WAL-logged at commit.
+
+        A plain (re)load keeps accumulated overflow regions, exactly like
+        the historical bulk-load path; ``reset_overflow=True`` (re-layouts)
+        folds them into ``records`` beforehand and retires them too.
+        """
+        name = entry.name
         schema = entry.logical_schema
-        coerced = [schema.coerce_record(r) for r in records]
-        entry.stats = TableStats.collect(schema, coerced)
-        if entry.plan.kind == LAYOUT_PARTITIONED:
-            return self._load_partitioned(entry, coerced)
-        evaluated = self._evaluate(entry.plan, {name: (coerced, schema)})
-        old_layout = entry.layout
-        entry.layout = self.renderer.render(entry.plan, evaluated)
-        # A (re)load swaps the physical design wholesale: synopses were
-        # re-rendered above, and every derived structure describing the old
-        # layout — secondary/spatial indexes, the pending buffer and its
-        # zone — must go with it (re-layouts fold pending rows into
-        # ``records`` before calling here).
-        entry.indexes.clear()
-        entry.spatial_indexes.clear()
-        entry.pending.clear()
-        entry.pending_zone = None
-        self._free_layout(old_layout)
-        self._drop_partitions(entry)
-        return Table(self, entry)
+        with self.mutate(name) as m:
+            coerced = [schema.coerce_record(r) for r in records]
+            stats = TableStats.collect(schema, coerced)
+            if plan.kind == LAYOUT_PARTITIONED:
+                table = self._load_partitioned(
+                    entry, plan, coerced, stats, m, reset_overflow
+                )
+                return table
+            evaluated = self._evaluate(plan, {name: (coerced, schema)})
+            new_layout = self.renderer.render(plan, evaluated)
+            with entry.mvcc.lock:
+                retire: list[StoredLayout | None] = [entry.layout]
+                for region in entry.partitions:
+                    retire.append(region.layout)
+                    retire.extend(region.overflow)
+                if reset_overflow:
+                    retire.extend(entry.overflow)
+                    entry.overflow = []
+                entry.plan = plan
+                entry.layout = new_layout
+                entry.stats = stats
+                # A (re)load swaps the physical design wholesale: synopses
+                # were re-rendered above, and every derived structure
+                # describing the old layout — secondary/spatial indexes,
+                # the pending buffer and its zone — goes with it
+                # (re-layouts fold pending rows into ``records`` first).
+                entry.indexes.clear()
+                entry.spatial_indexes.clear()
+                entry.pending.clear()
+                entry.pending_zone = None
+                entry.partitions = []
+                entry.region_index.clear()
+                entry.partitions_loaded = False
+                entry.next_partition_id = 0
+                entry.mvcc.retire(self._layout_freer(*retire))
+            if entry.monitor is not None:
+                entry.monitor.forget_partitions([])
+            m.log_layout(new_layout)
+            m.touch(name)
+            return Table(self, entry)
 
     # -- horizontal partitions ---------------------------------------------
 
@@ -258,7 +556,13 @@ class RodentStore:
         )
 
     def _load_partitioned(
-        self, entry: CatalogEntry, coerced: list[tuple]
+        self,
+        entry: CatalogEntry,
+        plan: PhysicalPlan,
+        coerced: list[tuple],
+        stats: TableStats,
+        m: _Mutation,
+        reset_overflow: bool = False,
     ) -> Table:
         """Render one region per partition (the partitioned bulk load).
 
@@ -269,36 +573,56 @@ class RodentStore:
         physical design); value partitions appear in first-seen key order,
         which keeps scan order identical to the pre-partitioned grouped
         rendering of ``partition_C(N)``.
+
+        The new region list is built privately and swapped into the entry
+        in one step under the MVCC lock, with the superseded regions'
+        pages retired for the last pinned reader to free.
         """
         table = Table(self, entry)
-        rows = table._apply_record_pipeline(coerced)
-        router = self.router_for(entry)
-        old_regions = entry.partitions
-        old_layout = entry.layout
-        entry.partitions = []
-        entry.region_index.clear()
-        entry.next_partition_id = 0
-        entry.partitions_loaded = True
-        entry.layout = None
+        rows = table._apply_record_pipeline(coerced, plan=plan)
+        router = PartitionRouter(
+            plan.partition, _scan_schema(plan).names()
+        )
+        new_regions: list[PartitionRegion] = []
+        lookup: dict = {}
+        next_pid = 0
         for locator, part_rows in router.split(rows):
-            region = self._region_for(entry, locator)
+            region, next_pid = _find_or_create_region(
+                plan, new_regions, lookup, next_pid, locator
+            )
             assert region.plan is not None
             region.layout = self._render_region(
-                entry, region.plan, part_rows
+                plan, region.plan, part_rows
             )
-        entry.indexes.clear()
-        entry.spatial_indexes.clear()
-        entry.pending.clear()
-        entry.pending_zone = None
-        for region in old_regions:
-            self._free_region(region)
-        self._free_layout(old_layout)
+        with entry.mvcc.lock:
+            retire: list[StoredLayout | None] = [entry.layout]
+            for region in entry.partitions:
+                retire.append(region.layout)
+                retire.extend(region.overflow)
+            if reset_overflow:
+                retire.extend(entry.overflow)
+                entry.overflow = []
+            entry.plan = plan
+            entry.layout = None
+            entry.stats = stats
+            entry.partitions = new_regions
+            entry.region_index = lookup
+            entry.next_partition_id = next_pid
+            entry.partitions_loaded = True
+            entry.indexes.clear()
+            entry.spatial_indexes.clear()
+            entry.pending.clear()
+            entry.pending_zone = None
+            entry.mvcc.retire(self._layout_freer(*retire))
         if entry.monitor is not None:
             # A reload rebuilds the partition map from scratch and restarts
             # pid allocation at 0, so skew recorded against the old regions
             # must be dropped entirely — new regions reusing an old pid
             # must not inherit its weight.
             entry.monitor.forget_partitions([])
+        for region in new_regions:
+            m.log_layout(region.layout)
+        m.touch(entry.name)
         return Table(self, entry)
 
     def _region_for(
@@ -318,45 +642,31 @@ class RodentStore:
         if len(lookup) != len(entry.partitions):
             lookup.clear()
             lookup.update({r.key: r for r in entry.partitions})
-        found = lookup.get(locator.key)
-        if found is not None:
-            return found
-        template = entry.plan.partition_plans[0]
-        region = PartitionRegion(
-            pid=entry.next_partition_id,
-            key=locator.key,
-            lower=locator.lower,
-            upper=locator.upper,
-            plan=template,
+        region, entry.next_partition_id = _find_or_create_region(
+            entry.plan,
+            entry.partitions,
+            lookup,
+            entry.next_partition_id,
+            locator,
         )
-        entry.next_partition_id += 1
-        if entry.plan.partition.method == "range":
-            at = len(entry.partitions)
-            for i, existing in enumerate(entry.partitions):
-                if existing.key > region.key:
-                    at = i
-                    break
-            entry.partitions.insert(at, region)
-        else:
-            entry.partitions.append(region)
-        lookup[region.key] = region
         return region
 
     def _render_region(
         self,
-        entry: CatalogEntry,
+        table_plan: PhysicalPlan,
         plan: PhysicalPlan,
         rows: Sequence[tuple],
     ) -> StoredLayout:
         """Render one region's rows (stored shape) under ``plan``.
 
-        Takes the plan explicitly — not a region — so callers can render
-        *before* mutating any region state: a failed render (e.g. a record
-        exceeding page capacity under the new design) must leave the
-        region exactly as it was.
+        Takes the table plan and region plan explicitly — not the entry or
+        a region — so callers can render *before* mutating any shared
+        state: a failed render (e.g. a record exceeding page capacity
+        under the new design) must leave the region exactly as it was, and
+        a re-layout renders against the *new* table plan before swapping
+        it in.
         """
-        assert entry.plan is not None
-        canonical = _scan_schema(entry.plan).names()
+        canonical = _scan_schema(table_plan).names()
         region_fields = _scan_schema(plan).names()
         if list(region_fields) != list(canonical):
             index = {f: i for i, f in enumerate(canonical)}
@@ -368,25 +678,6 @@ class RodentStore:
         return self.renderer.render_region(
             plan, residual, rows, region_fields
         )
-
-    def _free_region(self, region: PartitionRegion) -> None:
-        self._free_layout(region.layout)
-        for overflow in region.overflow:
-            self._free_layout(overflow)
-        region.layout = None
-        region.overflow = []
-        region.pending = []
-        region.pending_zone = None
-
-    def _drop_partitions(self, entry: CatalogEntry) -> None:
-        for region in entry.partitions:
-            self._free_region(region)
-        entry.partitions = []
-        entry.region_index.clear()
-        entry.partitions_loaded = False
-        entry.next_partition_id = 0
-        if entry.monitor is not None:
-            entry.monitor.forget_partitions([])
 
     def relayout_partition(
         self, name: str, pid: int, layout: str | ast.Node
@@ -422,20 +713,24 @@ class RodentStore:
                 f"{sorted(produced)}"
             )
         table = Table(self, entry)
-        with self.adaptivity.pause():  # maintenance read, not workload
-            rows = table._region_rows(region)
-        # Render first: a failed render must leave the region untouched
-        # (no plan/layout mismatch, no lost overflow/pending rows).
-        new_layout = self._render_region(entry, new_plan, rows)
-        old_layout, old_overflow = region.layout, region.overflow
-        region.plan = new_plan
-        region.layout = new_layout
-        region.overflow = []
-        region.pending = []
-        region.pending_zone = None
-        self._free_layout(old_layout)
-        for overflow in old_overflow:
-            self._free_layout(overflow)
+        with self.mutate(name) as m:
+            with self.adaptivity.pause():  # maintenance read, not workload
+                rows = table._region_rows(region)
+            # Render first: a failed render must leave the region untouched
+            # (no plan/layout mismatch, no lost overflow/pending rows).
+            new_layout = self._render_region(entry.plan, new_plan, rows)
+            with entry.mvcc.lock:
+                old_layout, old_overflow = region.layout, region.overflow
+                region.plan = new_plan
+                region.layout = new_layout
+                region.overflow = []
+                region.pending = []
+                region.pending_zone = None
+                entry.mvcc.retire(
+                    self._layout_freer(old_layout, *old_overflow)
+                )
+            m.log_layout(new_layout)
+            m.touch(name)
         return table
 
     def _evaluate(
@@ -469,17 +764,15 @@ class RodentStore:
         entry = self.catalog.entry(name)
         expr = self._resolve_expr(name, layout)
         new_plan = self._interpreter().compile(expr)
-        if source_records is None:
-            source_records = self._recover_logical_records(entry)
-        old_overflow = entry.overflow
-        # Swap the plan, then reuse the bulk-load path (which re-renders
-        # synopses and invalidates indexes + pending for the new design).
-        entry.plan = new_plan
-        entry.overflow = []
-        table = self.load(name, source_records)
-        for overflow in old_overflow:
-            self._free_layout(overflow)
-        return table
+        with self.mutate(name):
+            if source_records is None:
+                source_records = self._recover_logical_records(entry)
+            # One transaction: recover rows, render under the new plan,
+            # swap plan+layout together (never a plan/layout mismatch),
+            # retire the old pages and the folded-in overflow regions.
+            return self._load_with_plan(
+                entry, new_plan, source_records, reset_overflow=True
+            )
 
     def _recover_logical_records(self, entry: CatalogEntry) -> list[tuple]:
         table = Table(self, entry)
@@ -509,48 +802,80 @@ class RodentStore:
             if not entry.partitions_loaded:
                 raise StorageError(f"table {name!r} is not loaded")
             table = Table(self, entry)
-            for region in entry.partitions:
-                if not region.overflow and not region.pending:
-                    continue
-                with self.adaptivity.pause():
-                    rows = table._region_rows(region)
-                assert region.plan is not None
-                # Render before mutating: a failed render leaves the
-                # region (and its pending rows) exactly as they were.
-                new_layout = self._render_region(entry, region.plan, rows)
-                old_layout, old_overflow = region.layout, region.overflow
-                region.layout = new_layout
-                region.overflow = []
-                region.pending = []
-                region.pending_zone = None
-                self._free_layout(old_layout)
-                for overflow in old_overflow:
-                    self._free_layout(overflow)
+            with self.mutate(name) as m:
+                compacted = False
+                for region in entry.partitions:
+                    if not region.overflow and not region.pending:
+                        continue
+                    with self.adaptivity.pause():
+                        rows = table._region_rows(region)
+                    assert region.plan is not None
+                    # Render before mutating: a failed render leaves the
+                    # region (and its pending rows) exactly as they were.
+                    new_layout = self._render_region(
+                        entry.plan, region.plan, rows
+                    )
+                    with entry.mvcc.lock:
+                        old_layout = region.layout
+                        old_overflow = region.overflow
+                        region.layout = new_layout
+                        region.overflow = []
+                        region.pending = []
+                        region.pending_zone = None
+                        entry.mvcc.retire(
+                            self._layout_freer(old_layout, *old_overflow)
+                        )
+                    m.log_layout(new_layout)
+                    compacted = True
+                if compacted:
+                    m.touch(name)
             return
         if entry.plan is None or entry.layout is None:
             raise StorageError(f"table {name!r} is not loaded")
         table = Table(self, entry)
-        with self.adaptivity.pause():  # maintenance scan, not workload
-            stored = list(table.scan())
+        with self.mutate(name) as m:
+            with self.adaptivity.pause():  # maintenance scan, not workload
+                stored = list(table.scan())
+            self._rewrite_stored(entry, stored, m)
+
+    def _rewrite_stored(
+        self,
+        entry: CatalogEntry,
+        stored: list[tuple],
+        m: _Mutation,
+    ) -> StoredLayout:
+        """Re-render an unpartitioned table from stored-shape rows.
+
+        The copy-on-write rewrite core shared by :meth:`compact_table` and
+        ``Table.delete``/``Table.update``: render first, swap under the
+        MVCC lock, retire the superseded layout + overflow, log the new
+        pages and catalog image at commit. ``stored`` already folds the
+        pending rows in (it comes from a full scan).
+        """
+        assert entry.plan is not None
+        table = Table(self, entry)
+        names = table.scan_schema().names()
         residual = structural_residual(
-            entry.plan.expr, "__stored__", table.scan_schema().names()
+            entry.plan.expr, "__stored__", names
         )
-        evaluator = Evaluator(
-            {"__stored__": (stored, tuple(table.scan_schema().names()))}
-        )
+        evaluator = Evaluator({"__stored__": (stored, tuple(names))})
         evaluated = evaluator.evaluate(residual)
-        old_layout = entry.layout
-        old_overflow = entry.overflow
-        entry.layout = self.renderer.render(entry.plan, evaluated)
-        entry.overflow = []
-        entry.indexes.clear()
-        entry.spatial_indexes.clear()
-        # ``stored`` already folded the pending rows into the new render.
-        entry.pending.clear()
-        entry.pending_zone = None
-        self._free_layout(old_layout)
-        for overflow in old_overflow:
-            self._free_layout(overflow)
+        new_layout = self.renderer.render(entry.plan, evaluated)
+        with entry.mvcc.lock:
+            old_layout = entry.layout
+            old_overflow = entry.overflow
+            entry.layout = new_layout
+            entry.overflow = []
+            entry.indexes.clear()
+            entry.spatial_indexes.clear()
+            entry.pending.clear()
+            entry.pending_zone = None
+            entry.mvcc.retire(
+                self._layout_freer(old_layout, *old_overflow)
+            )
+        m.log_layout(new_layout)
+        m.touch(entry.name)
+        return new_layout
 
     def render_overflow_region(
         self, schema: Schema, records: Sequence[tuple]
@@ -604,7 +929,10 @@ class RodentStore:
         from repro.engine.persistence import load_catalog
 
         store = cls(path=path, page_size=page_size, **kwargs)
-        load_catalog(store, catalog_path)
+        if not store.catalog.names():
+            # A durable store already loaded its catalog during recovery;
+            # everything else loads it here.
+            load_catalog(store, catalog_path)
         return store
 
     # -- access ------------------------------------------------------------
@@ -678,6 +1006,23 @@ class RodentStore:
                 "write_seeks": disk.write_seeks,
                 "allocated_pages": self.disk.num_pages,
             },
+            "wal": {
+                "wal_bytes": self.wal.size_bytes,
+                "appends": self.wal.appends,
+                "fsyncs": self.wal.fsyncs,
+                "flushed_lsn": self.wal.flushed_lsn,
+            },
+            "transactions": {
+                "txns_committed": self.transactions.committed,
+                "txns_aborted": self.transactions.aborted,
+                "active": self.transactions.active_count,
+            },
+            "recovery": {
+                "durable": self.durable,
+                "recoveries_run": self.recoveries_run,
+                "checkpoints": self.checkpoints,
+                "last_recovery": self.recovery_summary,
+            },
         }
 
     def run_cold(self, query: Callable[[], Any]) -> tuple[Any, IOStats]:
@@ -692,3 +1037,44 @@ class RodentStore:
         with self.disk.measure() as io:
             result = query()
         return result, io
+
+
+def _find_or_create_region(
+    plan: PhysicalPlan,
+    partitions: list[PartitionRegion],
+    lookup: dict,
+    next_pid: int,
+    locator: Locator,
+) -> tuple[PartitionRegion, int]:
+    """Find ``locator``'s region in ``partitions`` or create it.
+
+    Pure list/dict manipulation shared by live routing
+    (:meth:`RodentStore._region_for`, against the entry's lists) and the
+    partitioned bulk load (against private lists that swap in atomically).
+    Range regions insert in bucket order so the partition list stays sorted
+    by key range. Returns ``(region, next_pid)``.
+    """
+    assert plan.partition is not None
+    found = lookup.get(locator.key)
+    if found is not None:
+        return found, next_pid
+    template = plan.partition_plans[0]
+    region = PartitionRegion(
+        pid=next_pid,
+        key=locator.key,
+        lower=locator.lower,
+        upper=locator.upper,
+        plan=template,
+    )
+    next_pid += 1
+    if plan.partition.method == "range":
+        at = len(partitions)
+        for i, existing in enumerate(partitions):
+            if existing.key > region.key:
+                at = i
+                break
+        partitions.insert(at, region)
+    else:
+        partitions.append(region)
+    lookup[region.key] = region
+    return region, next_pid

@@ -224,36 +224,33 @@ def _region_to_dict(region) -> dict:
     }
 
 
+def entry_to_dict(entry) -> dict:
+    """Serialize one catalog entry (schema, design, layout metadata)."""
+    return {
+        "name": entry.name,
+        "schema": [
+            f"{f.name}:{f.dtype.name}"
+            for f in entry.logical_schema.fields
+        ],
+        "expr": entry.plan.expr.to_text() if entry.plan else None,
+        "layout": layout_to_dict(entry.layout) if entry.layout else None,
+        "overflow": [layout_to_dict(o) for o in entry.overflow],
+        "stats": stats_to_dict(entry.stats) if entry.stats else None,
+        "pending": [list(r) for r in entry.pending],
+        "monitor": entry.monitor.to_dict()
+        if entry.monitor is not None
+        else None,
+        "partitions": [_region_to_dict(r) for r in entry.partitions],
+        "partitions_loaded": entry.partitions_loaded,
+        "next_partition_id": entry.next_partition_id,
+        "partition_scans": entry.partition_scans,
+        "partitions_pruned": entry.partitions_pruned_total,
+    }
+
+
 def save_catalog(store: "RodentStore", path: str) -> None:
     """Write the catalog (schemas, designs, layout metadata) to ``path``."""
-    tables = []
-    for entry in store.catalog:
-        tables.append(
-            {
-                "name": entry.name,
-                "schema": [
-                    f"{f.name}:{f.dtype.name}"
-                    for f in entry.logical_schema.fields
-                ],
-                "expr": entry.plan.expr.to_text() if entry.plan else None,
-                "layout": layout_to_dict(entry.layout)
-                if entry.layout
-                else None,
-                "overflow": [layout_to_dict(o) for o in entry.overflow],
-                "stats": stats_to_dict(entry.stats) if entry.stats else None,
-                "pending": [list(r) for r in entry.pending],
-                "monitor": entry.monitor.to_dict()
-                if entry.monitor is not None
-                else None,
-                "partitions": [
-                    _region_to_dict(r) for r in entry.partitions
-                ],
-                "partitions_loaded": entry.partitions_loaded,
-                "next_partition_id": entry.next_partition_id,
-                "partition_scans": entry.partition_scans,
-                "partitions_pruned": entry.partitions_pruned_total,
-            }
-        )
+    tables = [entry_to_dict(entry) for entry in store.catalog]
     payload = {
         "version": FORMAT_VERSION,
         "page_size": store.disk.page_size,
@@ -291,76 +288,102 @@ def load_catalog(store: "RodentStore", path: str) -> None:
         schema = Schema.of(*t["schema"])
         store.catalog.create(t["name"], schema)
 
-    interpreter = AlgebraInterpreter(store.catalog.schemas())
     for t in payload["tables"]:
-        entry = store.catalog.entry(t["name"])
-        if t["expr"] is not None:
-            entry.plan = interpreter.compile(t["expr"])
-        if t["layout"] is not None:
-            entry.layout = layout_from_dict(t["layout"], entry.plan)
-        overflow_plan = PhysicalPlan(
-            expr=ast.TableRef("__overflow__"),
-            kind=LAYOUT_ROWS,
-            schema=_scan_schema_of(entry),
+        apply_entry_dict(store, t)
+
+
+def apply_entry_dict(store: "RodentStore", t: dict) -> None:
+    """Restore one table's catalog state from :func:`entry_to_dict` output.
+
+    Creates the entry when missing and fully overwrites the layout-bearing
+    fields when present, so WAL recovery can replay a logged catalog record
+    over whatever earlier state the checkpoint restored.
+    """
+    from repro.algebra.interpreter import AlgebraInterpreter
+    from repro.algebra.physical import LAYOUT_ROWS, PhysicalPlan
+    from repro.algebra import ast
+
+    if not store.catalog.has(t["name"]):
+        store.catalog.create(t["name"], Schema.of(*t["schema"]))
+    interpreter = AlgebraInterpreter(store.catalog.schemas())
+    entry = store.catalog.entry(t["name"])
+    entry.plan = (
+        interpreter.compile(t["expr"]) if t["expr"] is not None else None
+    )
+    entry.layout = (
+        layout_from_dict(t["layout"], entry.plan)
+        if t["layout"] is not None
+        else None
+    )
+    overflow_plan = PhysicalPlan(
+        expr=ast.TableRef("__overflow__"),
+        kind=LAYOUT_ROWS,
+        schema=_scan_schema_of(entry),
+    )
+    entry.overflow = [
+        layout_from_dict(o, overflow_plan) for o in t.get("overflow", [])
+    ]
+    if t.get("stats"):
+        entry.stats = stats_from_dict(t["stats"])
+    pending = [tuple(r) for r in t.get("pending", [])]
+    entry.pending = pending
+    entry.pending_zone = None
+    if pending:
+        # The pending zone map is derived data: rebuild it from the
+        # restored rows so pruned scans keep skipping the buffer.
+        zone = ZoneSynopsis()
+        zone.update(_scan_schema_of(entry).names(), pending)
+        entry.pending_zone = zone
+    if t.get("monitor"):
+        from repro.optimizer.monitor import WorkloadMonitor
+
+        entry.monitor = WorkloadMonitor.from_dict(t["monitor"])
+    if t.get("partitions") or t.get("partitions_loaded"):
+        from repro.engine.catalog import PartitionRegion
+
+        scan_schema = _scan_schema_of(entry)
+        regions = []
+        for r in t.get("partitions", []):
+            region_plan = (
+                interpreter.compile(r["expr"])
+                if r.get("expr")
+                else None
+            )
+            region = PartitionRegion(
+                pid=r["pid"],
+                key=r.get("key"),
+                lower=r.get("lower"),
+                upper=r.get("upper"),
+                plan=region_plan,
+                layout=layout_from_dict(r["layout"], region_plan)
+                if r.get("layout")
+                else None,
+                overflow=[
+                    layout_from_dict(o, overflow_plan)
+                    for o in r.get("overflow", [])
+                ],
+                pending=[tuple(row) for row in r.get("pending", [])],
+            )
+            if region.pending:
+                zone = ZoneSynopsis()
+                zone.update(scan_schema.names(), region.pending)
+                region.pending_zone = zone
+            regions.append(region)
+        entry.partitions = regions
+        entry.region_index = {}
+        entry.partitions_loaded = bool(
+            t.get("partitions_loaded", bool(regions))
         )
-        entry.overflow = [
-            layout_from_dict(o, overflow_plan) for o in t.get("overflow", [])
-        ]
-        if t.get("stats"):
-            entry.stats = stats_from_dict(t["stats"])
-        pending = [tuple(r) for r in t.get("pending", [])]
-        if pending:
-            entry.pending = pending
-            # The pending zone map is derived data: rebuild it from the
-            # restored rows so pruned scans keep skipping the buffer.
-            zone = ZoneSynopsis()
-            zone.update(_scan_schema_of(entry).names(), pending)
-            entry.pending_zone = zone
-        if t.get("monitor"):
-            from repro.optimizer.monitor import WorkloadMonitor
-
-            entry.monitor = WorkloadMonitor.from_dict(t["monitor"])
-        if t.get("partitions") or t.get("partitions_loaded"):
-            from repro.engine.catalog import PartitionRegion
-
-            scan_schema = _scan_schema_of(entry)
-            regions = []
-            for r in t.get("partitions", []):
-                region_plan = (
-                    interpreter.compile(r["expr"])
-                    if r.get("expr")
-                    else None
-                )
-                region = PartitionRegion(
-                    pid=r["pid"],
-                    key=r.get("key"),
-                    lower=r.get("lower"),
-                    upper=r.get("upper"),
-                    plan=region_plan,
-                    layout=layout_from_dict(r["layout"], region_plan)
-                    if r.get("layout")
-                    else None,
-                    overflow=[
-                        layout_from_dict(o, overflow_plan)
-                        for o in r.get("overflow", [])
-                    ],
-                    pending=[tuple(row) for row in r.get("pending", [])],
-                )
-                if region.pending:
-                    zone = ZoneSynopsis()
-                    zone.update(scan_schema.names(), region.pending)
-                    region.pending_zone = zone
-                regions.append(region)
-            entry.partitions = regions
-            entry.partitions_loaded = bool(
-                t.get("partitions_loaded", bool(regions))
-            )
-            entry.next_partition_id = t.get(
-                "next_partition_id",
-                max((r.pid for r in regions), default=-1) + 1,
-            )
-            entry.partition_scans = t.get("partition_scans", 0)
-            entry.partitions_pruned_total = t.get("partitions_pruned", 0)
+        entry.next_partition_id = t.get(
+            "next_partition_id",
+            max((r.pid for r in regions), default=-1) + 1,
+        )
+        entry.partition_scans = t.get("partition_scans", 0)
+        entry.partitions_pruned_total = t.get("partitions_pruned", 0)
+    else:
+        entry.partitions = []
+        entry.region_index = {}
+        entry.partitions_loaded = False
 
 
 def _scan_schema_of(entry) -> Schema:

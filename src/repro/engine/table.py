@@ -36,6 +36,7 @@ both paths produce byte-identical results in the same order.
 from __future__ import annotations
 
 import operator
+import weakref
 from itertools import islice
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
@@ -163,22 +164,56 @@ class Table:
     def __init__(self, db: "RodentStore", entry: CatalogEntry):
         self._db = db
         self._entry = entry
+        # When set, this handle is a *pinned view*: every layout-bearing
+        # property below reads the TableSnapshot instead of the live entry,
+        # so an in-flight scan keeps seeing the version it opened even as
+        # writers commit new layouts. Created by :meth:`_pinned_view`.
+        self._snap = None
         self._cursor: Iterator[tuple] | None = None
         self._cursor_order: tuple[tuple[str, bool], ...] = ()
         self._cursor_pos = -1
 
+    def _pinned_view(self, snap) -> "Table":
+        """A clone of this handle bound to one MVCC snapshot."""
+        view = Table(self._db, self._entry)
+        view._snap = snap
+        return view
+
     @property
-    def _pending(self) -> list[tuple]:
+    def _pending(self):
         """Not-yet-flushed inserts. Lives on the catalog entry — shared by
         every Table handle and preserved across re-layouts (a relayout
         recovers them through the scan path before rendering)."""
+        if self._snap is not None:
+            return self._snap.pending
         return self._entry.pending
 
     @property
     def _pending_zone(self) -> zonemaps.ZoneSynopsis | None:
         """Incrementally maintained zone map over the pending buffer, so
         pruned scans can skip the pending batch without touching it."""
+        if self._snap is not None:
+            return self._snap.pending_zone
         return self._entry.pending_zone
+
+    @property
+    def _overflow(self):
+        """Overflow regions visible to this handle (snapshot or live)."""
+        if self._snap is not None:
+            return self._snap.overflow
+        return self._entry.overflow
+
+    @property
+    def _indexes(self) -> dict:
+        if self._snap is not None:
+            return self._snap.indexes
+        return self._entry.indexes
+
+    @property
+    def _spatial_indexes(self) -> dict:
+        if self._snap is not None:
+            return self._snap.spatial_indexes
+        return self._entry.spatial_indexes
 
     # -- basic properties ---------------------------------------------------
 
@@ -197,40 +232,56 @@ class Table:
 
     @property
     def plan(self) -> PhysicalPlan:
-        if self._entry.plan is None:
+        plan = self._snap.plan if self._snap is not None else self._entry.plan
+        if plan is None:
             raise StorageError(f"table {self.name!r} has no physical plan yet")
-        return self._entry.plan
+        return plan
 
     @property
     def layout(self) -> StoredLayout:
-        if self._entry.layout is None:
+        layout = (
+            self._snap.layout if self._snap is not None else self._entry.layout
+        )
+        if layout is None:
             raise StorageError(f"table {self.name!r} has not been loaded yet")
-        return self._entry.layout
+        return layout
 
     @property
     def is_loaded(self) -> bool:
         if self.is_partitioned:
+            if self._snap is not None:
+                return self._snap.partitions_loaded
             return self._entry.partitions_loaded
+        if self._snap is not None:
+            return self._snap.layout is not None
         return self._entry.layout is not None
 
     # -- horizontal partitions ---------------------------------------------
 
     @property
     def is_partitioned(self) -> bool:
-        plan = self._entry.plan
+        plan = self._snap.plan if self._snap is not None else self._entry.plan
         return plan is not None and plan.kind == LAYOUT_PARTITIONED
 
     @property
     def partitions(self):
         """The table's :class:`~repro.engine.catalog.PartitionRegion` list
-        (empty for unpartitioned tables)."""
+        (empty for unpartitioned tables; region views for pinned scans)."""
+        if self._snap is not None:
+            return self._snap.partitions
         return self._entry.partitions
 
     @property
     def partition_count(self) -> int:
-        return len(self._entry.partitions)
+        return len(self.partitions)
 
     def _require_partitions(self) -> list:
+        if self._snap is not None:
+            if not self._snap.partitions_loaded:
+                raise StorageError(
+                    f"table {self.name!r} has not been loaded yet"
+                )
+            return self._snap.partitions
         if not self._entry.partitions_loaded:
             raise StorageError(
                 f"table {self.name!r} has not been loaded yet"
@@ -240,9 +291,9 @@ class Table:
     @property
     def row_count(self) -> int:
         if self.is_partitioned:
-            return sum(r.row_count for r in self._entry.partitions)
+            return sum(r.row_count for r in self.partitions)
         count = self.layout.row_count if self.is_loaded else 0
-        count += sum(o.row_count for o in self._entry.overflow)
+        count += sum(o.row_count for o in self._overflow)
         count += len(self._pending)
         return count
 
@@ -354,12 +405,35 @@ class Table:
         if limit is not None and limit < 0:
             limit = 0  # a negative limit selects nothing, like [:0]
         order_keys = normalize_order(order)
-        # Feed the adaptive loop *before* binding any layout state: a due
-        # periodic adaptation may re-render the table here, and the scan
-        # below then reads the new design.
+        # Feed the adaptive loop *before* pinning any layout state: a due
+        # periodic adaptation may re-render the table here, and the
+        # snapshot below then captures the new design.
         observation = self._db.adaptivity.observe_scan(
             self, fieldlist, predicate, order_keys
         )
+        mvcc = self._entry.mvcc
+        snap = mvcc.pin(self._entry)
+        try:
+            view = self._pinned_view(snap)
+            batches = view._scan_batches_pinned(
+                fieldlist, predicate, order_keys, limit, observation
+            )
+        except BaseException:
+            mvcc.release(snap)
+            raise
+        return _release_when_done(batches, mvcc, snap)
+
+    def _scan_batches_pinned(
+        self,
+        fieldlist: Sequence[str] | None,
+        predicate: Predicate | None,
+        order_keys: tuple[tuple[str, bool], ...],
+        limit: int | None,
+        observation,
+    ) -> Iterator[list[tuple]]:
+        """Body of :meth:`scan_batches`, running on a pinned view (MVCC
+        snapshot): every layout-bearing read below resolves against the
+        snapshot, so concurrent commits cannot change what this scan sees."""
         needed = self._needed_fields(fieldlist, predicate, order_keys)
         index_rows = self._index_path(predicate)
         if index_rows is not None:
@@ -486,9 +560,25 @@ class Table:
         order_keys = normalize_order(order)
         # The reference path is workload too (same observation shape as the
         # batch path, so either pipeline feeds the same model).
-        observation = self._db.adaptivity.observe_scan(
+        self._db.adaptivity.observe_scan(
             self, fieldlist, predicate, order_keys
         )
+        mvcc = self._entry.mvcc
+        snap = mvcc.pin(self._entry)
+        try:
+            view = self._pinned_view(snap)
+            rows = view._scan_reference_pinned(fieldlist, predicate, order_keys)
+        except BaseException:
+            mvcc.release(snap)
+            raise
+        return _release_when_done(rows, mvcc, snap)
+
+    def _scan_reference_pinned(
+        self,
+        fieldlist: Sequence[str] | None,
+        predicate: Predicate | None,
+        order_keys: tuple[tuple[str, bool], ...],
+    ) -> Iterator[tuple]:
         needed = self._needed_fields(fieldlist, predicate, order_keys)
         index_rows = self._index_path(predicate)
         if index_rows is not None:
@@ -588,7 +678,7 @@ class Table:
         if avail != schema_names:
             project_idx = [schema_names.index(f) for f in avail]
             projector = _batch_projector(project_idx)
-        overflow_layouts = list(self._entry.overflow)
+        overflow_layouts = list(self._overflow)
         intervals = self._prune_intervals(predicate)
         pending = [tuple(r) for r in self._pending]
         if (
@@ -671,7 +761,7 @@ class Table:
         ``Q.explain()`` reports per scan node)."""
         if not self.is_partitioned or not self.is_loaded:
             return 0
-        regions = self._entry.partitions
+        regions = self.partitions
         return len(regions) - len(self.partition_survivors(predicate))
 
     def _partitions_for_scan(self, predicate: Predicate | None) -> list:
@@ -932,7 +1022,7 @@ class Table:
         needs_projection = avail != schema_names
         if needs_projection:
             project = _row_projector([schema_names.index(f) for f in avail])
-        for overflow in self._entry.overflow:
+        for overflow in self._overflow:
             it = renderer.iter_rows(overflow)
             if needs_projection:
                 it = map(project, it)
@@ -1216,7 +1306,7 @@ class Table:
     def _order_satisfied(self, order_keys: tuple[tuple[str, bool], ...]) -> bool:
         if self.is_partitioned:
             return self._partition_order_satisfied(order_keys)
-        if self._entry.overflow or self._pending:
+        if self._overflow or self._pending:
             return False  # overflow regions are unordered relative to main
         stored = tuple(self.plan.sort_keys)
         if len(order_keys) > len(stored):
@@ -1236,7 +1326,7 @@ class Table:
         """
         if not order_keys:
             return True
-        regions = self._entry.partitions
+        regions = self.partitions
         if any(r.overflow or r.pending for r in regions):
             return False
         live = [
@@ -1330,21 +1420,21 @@ class Table:
         if (
             predicate is None
             or self.plan.kind != LAYOUT_ROWS
-            or self._entry.overflow
+            or self._overflow
             or self._pending
             or not self.layout.page_row_counts
         ):
             return None
         ranges = predicate.ranges()
         stats = self._entry.stats
-        for (x_field, y_field) in self._entry.spatial_indexes:
-            index = self._entry.spatial_indexes[(x_field, y_field)]
+        for (x_field, y_field) in self._spatial_indexes:
+            index = self._spatial_indexes[(x_field, y_field)]
             if index.stale or x_field not in ranges or y_field not in ranges:
                 continue
             if not self._selective_enough(stats, ranges, (x_field, y_field)):
                 continue
             return "spatial", (x_field, y_field)
-        for field_name, index in self._entry.indexes.items():
+        for field_name, index in self._indexes.items():
             if index.stale or field_name not in ranges:
                 continue
             lo, hi = ranges[field_name]
@@ -1365,13 +1455,13 @@ class Table:
         ranges = predicate.ranges()
         if kind == "spatial":
             x_field, y_field = fields
-            index = self._entry.spatial_indexes[(x_field, y_field)]
+            index = self._spatial_indexes[(x_field, y_field)]
             x_lo, x_hi = ranges[x_field]
             y_lo, y_hi = ranges[y_field]
             return index.positions_in_box(x_lo, x_hi, y_lo, y_hi)
         (field_name,) = fields
         lo, hi = ranges[field_name]
-        return self._entry.indexes[field_name].positions_in_range(lo, hi)
+        return self._indexes[field_name].positions_in_range(lo, hi)
 
     def _selective_enough(
         self, stats, ranges: dict, fields: tuple[str, ...]
@@ -1559,7 +1649,7 @@ class Table:
                     )
             return total
         total = self._layout_scan_cost(self.layout, needed, predicate)
-        for overflow in self._entry.overflow:
+        for overflow in self._overflow:
             total = total + estimate(model, overflow.total_pages(), 1)
         return total
 
@@ -1606,7 +1696,7 @@ class Table:
                 r.pid for r in self.partition_survivors(predicate)
             }
             total = 0
-            for region in self._entry.partitions:
+            for region in self.partitions:
                 if region.pid not in survivors:
                     # The whole region is skipped: every one of its pages
                     # (main layout and overflow) counts as pruned.
@@ -1626,7 +1716,7 @@ class Table:
         if not intervals:
             return 0
         total = self._layout_pruned_pages(self.layout, needed, predicate)
-        for overflow in self._entry.overflow:
+        for overflow in self._overflow:
             skip = zonemaps.rows_page_skip(overflow, intervals)
             if skip:
                 total += len(skip)
@@ -1729,7 +1819,7 @@ class Table:
         if (
             predicate is None
             or self.plan.kind != LAYOUT_ROWS
-            or self._entry.overflow
+            or self._overflow
             or self._pending
         ):
             return None
@@ -1739,10 +1829,10 @@ class Table:
         data_pages = self.layout.total_pages()
         best: CostEstimate | None = None
         candidates: list[tuple[tuple[str, ...], int]] = []
-        for (x, y), index in self._entry.spatial_indexes.items():
+        for (x, y), index in self._spatial_indexes.items():
             if not index.stale and x in ranges and y in ranges:
                 candidates.append(((x, y), index.tree.height))
-        for name, index in self._entry.indexes.items():
+        for name, index in self._indexes.items():
             if not index.stale and name in ranges:
                 lo, hi = ranges[name]
                 if lo != float("-inf") and hi != float("inf"):
@@ -1881,28 +1971,37 @@ class Table:
     def insert(self, records: Sequence[Sequence[Any]]) -> int:
         """Insert logical records; they land in the pending buffer.
 
+        The insert runs as a transaction: the surviving rows are WAL-logged
+        (durable stores) so crash recovery can replay them, and the pending
+        buffer swap happens under the entry's MVCC lock so pinned scans
+        never observe a half-applied batch.
+
         Returns the number of records that survive the plan's record-level
         pipeline (a plan with a ``select`` drops non-matching records).
         """
         coerced = [self.logical_schema.coerce_record(r) for r in records]
         transformed = self._apply_record_pipeline(coerced)
-        if self.is_partitioned:
-            # Route each record to its owning partition's pending buffer
-            # (creating regions for unseen value-partition keys), keeping
-            # that partition's incremental zone map current.
+        entry = self._entry
+        with self._db.mutate(self.name) as m:
+            with entry.mvcc.lock:
+                if self.is_partitioned:
+                    # Route each record to its owning partition's pending
+                    # buffer (creating regions for unseen value-partition
+                    # keys), keeping that partition's zone map current.
+                    if transformed:
+                        self._route_pending(transformed)
+                elif transformed:
+                    entry.pending.extend(transformed)
+                    # Incremental synopsis over the pending buffer: each
+                    # insert extends the running zone instead of rescanning.
+                    if entry.pending_zone is None:
+                        entry.pending_zone = zonemaps.ZoneSynopsis()
+                    entry.pending_zone.update(
+                        self.scan_schema().names(), transformed
+                    )
+                    self._mark_indexes_stale()
             if transformed:
-                self._route_pending(transformed)
-            return len(transformed)
-        self._entry.pending.extend(transformed)
-        if transformed:
-            # Incremental synopsis over the pending buffer: each insert
-            # extends the running zone instead of rescanning the buffer.
-            if self._entry.pending_zone is None:
-                self._entry.pending_zone = zonemaps.ZoneSynopsis()
-            self._entry.pending_zone.update(
-                self.scan_schema().names(), transformed
-            )
-            self._mark_indexes_stale()
+                m.log_rows(self.name, transformed)
         return len(transformed)
 
     def _route_pending(self, rows: list[tuple]) -> None:
@@ -1923,11 +2022,13 @@ class Table:
             region.pending_zone.update(names, batch)
 
     def _apply_record_pipeline(
-        self, records: list[tuple]
+        self, records: list[tuple], plan: PhysicalPlan | None = None
     ) -> list[tuple]:
+        if plan is None:
+            plan = self.plan
         fields = list(self.logical_schema.names())
         current = records
-        for op in record_pipeline(self.plan.expr):
+        for op in record_pipeline(plan.expr):
             positions = {n: i for i, n in enumerate(fields)}
             if isinstance(op, ast.Project):
                 current = project_records(current, positions, op.fields)
@@ -1941,7 +2042,7 @@ class Table:
                 current = orderby_records(current, positions, op.keys)
             elif isinstance(op, ast.Limit):
                 current = current[: op.count]
-        target = self.scan_schema().names()
+        target = _scan_schema(plan).names()
         if fields != target:
             positions = {n: i for i, n in enumerate(fields)}
             current = project_records(current, positions, target)
@@ -1954,37 +2055,46 @@ class Table:
         of per-partition overflow layouts); ``None`` when nothing was
         pending.
         """
-        if self.is_partitioned:
-            flushed = []
-            for region in self._entry.partitions:
-                if not region.pending:
-                    continue
-                overflow = self._db.render_overflow_region(
-                    self.scan_schema(), region.pending
-                )
-                region.overflow.append(overflow)
-                region.pending = []
-                region.pending_zone = None
-                flushed.append(overflow)
-            return flushed or None
-        if not self._pending:
-            return None
-        overflow = self._db.render_overflow_region(
-            self.scan_schema(), self._pending
-        )
-        self._entry.overflow.append(overflow)
-        self._entry.pending = []
-        self._entry.pending_zone = None
-        return overflow
+        entry = self._entry
+        with self._db.mutate(self.name) as m:
+            if self.is_partitioned:
+                flushed = []
+                for region in entry.partitions:
+                    if not region.pending:
+                        continue
+                    overflow = self._db.render_overflow_region(
+                        self.scan_schema(), region.pending
+                    )
+                    with entry.mvcc.lock:
+                        region.overflow.append(overflow)
+                        region.pending = []
+                        region.pending_zone = None
+                    m.log_layout(overflow)
+                    flushed.append(overflow)
+                if flushed:
+                    m.touch(self.name)
+                return flushed or None
+            if not entry.pending:
+                return None
+            overflow = self._db.render_overflow_region(
+                self.scan_schema(), entry.pending
+            )
+            with entry.mvcc.lock:
+                entry.overflow.append(overflow)
+                entry.pending = []
+                entry.pending_zone = None
+            m.log_layout(overflow)
+            m.touch(self.name)
+            return overflow
 
     @property
     def overflow_row_count(self) -> int:
         if self.is_partitioned:
             return sum(
                 sum(o.row_count for o in r.overflow) + len(r.pending)
-                for r in self._entry.partitions
+                for r in self.partitions
             )
-        return sum(o.row_count for o in self._entry.overflow) + len(
+        return sum(o.row_count for o in self._overflow) + len(
             self._pending
         )
 
@@ -1992,11 +2102,142 @@ class Table:
         """Merge overflow regions back into the main representation."""
         self._db.compact_table(self.name)
 
+    # ==================================================================
+    # deletes and updates (copy-on-write rewrites)
+    # ==================================================================
+
+    def delete(self, predicate: Predicate | None = None) -> int:
+        """Transactionally remove matching rows (all rows when ``predicate``
+        is ``None``).
+
+        Deletes are copy-on-write: the surviving rows are re-rendered into
+        fresh pages (per-region for partitioned tables) and swapped in at
+        commit, so in-flight snapshot scans keep reading the old version.
+        Returns the number of rows removed.
+        """
+        return self._rewrite(predicate, None)
+
+    def update(
+        self, assignments: dict, predicate: Predicate | None = None
+    ) -> int:
+        """Transactionally update matching rows.
+
+        ``assignments`` maps field name -> new value, or field name -> a
+        callable receiving the row as a dict and returning the new value.
+        Same copy-on-write mechanics as :meth:`delete`. Returns the number
+        of rows changed.
+        """
+        if not assignments:
+            return 0
+        return self._rewrite(predicate, assignments)
+
+    def _rewrite(
+        self, predicate: Predicate | None, assignments: dict | None
+    ) -> int:
+        entry = self._entry
+        names = self.scan_schema().names()
+        positions = {n: i for i, n in enumerate(names)}
+        if assignments is not None:
+            unknown = sorted(set(assignments) - set(names))
+            if unknown:
+                raise QueryError(
+                    f"cannot update unknown field(s) {unknown}"
+                )
+        if predicate is not None:
+            missing = predicate.fields_used() - set(names)
+            if missing:
+                raise QueryError(
+                    f"predicate references unavailable field(s) "
+                    f"{sorted(missing)}"
+                )
+        if assignments is not None and self.is_partitioned:
+            spec = self.plan.partition
+            if spec is not None and spec.key_field in assignments:
+                raise StorageError(
+                    "cannot update the partition key in place; "
+                    "re-load or re-layout the table instead"
+                )
+
+        def transform(rows: list[tuple]) -> tuple[list[tuple], int]:
+            changed = 0
+            out: list[tuple] = []
+            for row in rows:
+                if predicate is not None and not predicate.matches(
+                    row, positions
+                ):
+                    out.append(row)
+                    continue
+                changed += 1
+                if assignments is None:
+                    continue  # delete: drop the row
+                values = list(row)
+                for field, value in assignments.items():
+                    if callable(value):
+                        value = value(dict(zip(names, row)))
+                    values[positions[field]] = value
+                out.append(tuple(values))
+            return out, changed
+
+        with self._db.mutate(self.name) as m:
+            if self.is_partitioned:
+                total = 0
+                for region in self._require_partitions():
+                    with self._db.adaptivity.pause():
+                        rows = self._region_rows(region)
+                    new_rows, changed = transform(rows)
+                    if not changed:
+                        continue
+                    total += changed
+                    new_layout = self._db._render_region(
+                        self.plan, region.plan, new_rows
+                    )
+                    with entry.mvcc.lock:
+                        old_layout = region.layout
+                        old_overflow = list(region.overflow)
+                        region.layout = new_layout
+                        region.overflow = []
+                        region.pending = []
+                        region.pending_zone = None
+                        entry.mvcc.retire(
+                            self._db._layout_freer(old_layout, *old_overflow)
+                        )
+                    m.log_layout(new_layout)
+                if total:
+                    m.touch(self.name)
+                return total
+            with self._db.adaptivity.pause():
+                rows = list(self.scan())
+            new_rows, changed = transform(rows)
+            if not changed:
+                return 0
+            self._db._rewrite_stored(entry, new_rows, m)
+            return changed
+
     # -- misc ---------------------------------------------------------------
 
     def __repr__(self) -> str:
         plan = self._entry.plan.describe() if self._entry.plan else "unplanned"
         return f"<Table {self.name} rows={self.row_count} [{plan}]>"
+
+
+def _release_when_done(source, mvcc, snap):
+    """Wrap a scan iterator so its MVCC pin is dropped exactly once.
+
+    The ``finally`` fires on exhaustion, ``close()``, and generator GC; the
+    ``weakref.finalize`` is the backstop for a generator that is discarded
+    without ever starting (its frame never runs, so ``finally`` cannot).
+    ``EntryMVCC.release`` is idempotent, so double-firing is harmless.
+    """
+
+    def gen():
+        try:
+            yield from source
+        finally:
+            mvcc.release(snap)
+
+    wrapped = gen()
+    weakref.finalize(wrapped, mvcc.release, snap)
+    return wrapped
 
 
 def _scan_schema(plan: PhysicalPlan) -> Schema:

@@ -50,6 +50,15 @@ class WALError(StorageError):
     """The write-ahead log is corrupt or used incorrectly."""
 
 
+class CrashError(StorageError):
+    """An injected fault hard-stopped the store (fault-injection harness).
+
+    Raised by :class:`repro.storage.faults.FaultInjector` at the configured
+    write boundary. The store object is unusable afterwards — tests abandon
+    it and reopen from the on-disk files, which triggers crash recovery.
+    """
+
+
 class TransactionError(RodentStoreError):
     """Transaction misuse: operating on a finished transaction, etc."""
 

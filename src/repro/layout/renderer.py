@@ -378,6 +378,22 @@ class StoredLayout:
         pages += sum(m.total_pages() for m in self.mirrors)
         return pages
 
+    def page_ids(self) -> list[int]:
+        """Every page id this layout occupies (main extent, groups, mirrors).
+
+        The single home of "which pages does a layout own" — used to free a
+        superseded layout once its last snapshot reader drains, and to log
+        full-page after-images when a transaction renders a new layout.
+        """
+        ids: list[int] = []
+        if self.extent is not None:
+            ids.extend(self.extent.page_ids)
+        for group in self.column_groups:
+            ids.extend(group.extent.page_ids)
+        for mirror in self.mirrors:
+            ids.extend(mirror.page_ids())
+        return ids
+
     def cells_overlapping(
         self, ranges: dict[str, tuple[float, float]]
     ) -> list[CellEntry]:

@@ -13,6 +13,12 @@ data actually moves:
 
 The manager tracks cumulative reorganization I/O so the reorganization
 benchmark can compare write amplification against read latency per policy.
+
+Every rewrite routes through :meth:`RodentStore.relayout` /
+:meth:`RodentStore.relayout_partition`, which are transactional: the new
+representation is rendered copy-on-write and swapped in at commit (WAL-
+logged on durable stores), so policies never observe — or leave behind —
+a half-reorganized table, even across a crash.
 """
 
 from __future__ import annotations

@@ -166,6 +166,17 @@ class BufferPool:
             self._frames.clear()
             self._clock_hand = 0
 
+    def discard(self, page_id: int) -> None:
+        """Drop a frame without flushing it (its page was freed).
+
+        Freed pages must leave the pool immediately: a stale frame — clean
+        or dirty — would otherwise shadow (or clobber, via a later flush)
+        whatever a future reallocation writes to the recycled page id.
+        No-op when the page is not resident.
+        """
+        with self._lock:
+            self._frames.pop(page_id, None)
+
     def contains(self, page_id: int) -> bool:
         with self._lock:
             return page_id in self._frames

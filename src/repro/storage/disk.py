@@ -117,6 +117,8 @@ class DiskManager:
         self.path = path
         self.read_latency_s = read_latency_s
         self.stats = IOStats()
+        #: Optional FaultInjector observing page writes and fsyncs.
+        self.faults = None
         self._lock = threading.Lock()
         self._last_page: int | None = None  # disk head position
         self._free_list: list[int] = []
@@ -223,11 +225,42 @@ class DiskManager:
                     f"page write of {len(data)} bytes != page size "
                     f"{self.page_size}"
                 )
+            action = None
+            if self.faults is not None:
+                action = self.faults.check("page")
+                if action == "torn":
+                    # A torn page: only the first half reaches the medium,
+                    # the rest keeps whatever bytes were there before.
+                    half = self.page_size // 2
+                    old = self._read_raw(page_id)
+                    data = bytes(data[:half]) + bytes(old[half:])
             self.stats.page_writes += 1
             if self._last_page is None or page_id != self._last_page + 1:
                 self.stats.write_seeks += 1
             self._last_page = page_id
             self._write_raw(page_id, data, count=False)
+        if action is not None:
+            assert self.faults is not None
+            self.faults.crash("page", action)
+
+    def fsync(self) -> None:
+        """Force written pages to stable storage (no-op when in-memory)."""
+        if self._file is not None:
+            if self.faults is not None and self.faults.fail_fsync:
+                return
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def _read_raw(self, page_id: int) -> bytes:
+        """Uncounted raw read; caller must hold the lock."""
+        if self._pages is not None:
+            return bytes(self._pages.get(page_id, bytearray(self.page_size)))
+        assert self._file is not None
+        self._file.seek(page_id * self.page_size)
+        raw = self._file.read(self.page_size)
+        if len(raw) < self.page_size:
+            raw = raw.ljust(self.page_size, b"\x00")
+        return raw
 
     def _write_raw(self, page_id: int, data: bytes | bytearray, count: bool) -> None:
         if self._pages is not None:

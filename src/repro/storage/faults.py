@@ -1,0 +1,116 @@
+"""Fault injection for crash-recovery testing.
+
+A :class:`FaultInjector` counts the write operations flowing through the
+storage stack — WAL record appends and data-page writes — and hard-stops the
+store at a configured boundary:
+
+* ``mode="before"`` — the Nth write is never performed (power fails just
+  before the head moves);
+* ``mode="after"`` — the Nth write completes, then the store dies (the
+  classic "crash between two writes" boundary);
+* ``mode="torn"`` — only a prefix of the Nth write reaches the medium (a
+  torn page / torn log record; the WAL's trailer check must detect it).
+
+A fired injector poisons the store: every subsequent write raises
+:class:`~repro.errors.CrashError` too, so no code path can accidentally
+continue past the simulated power loss. Tests abandon the crashed store
+object and reopen from the on-disk files, which runs recovery.
+
+Because the injected "crash" keeps the hosting process alive, bytes written
+without an fsync still sit safely in OS buffers. :func:`lose_unsynced_wal`
+simulates the missing power-loss semantics explicitly ("fsync lies"): it
+truncates the WAL file back to the last offset an fsync actually covered,
+destroying every record that was only buffered.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import CrashError
+
+
+class FaultInjector:
+    """Deterministic crash at the Nth write operation.
+
+    Args:
+        crash_after: number of write operations allowed to complete; the
+            next one triggers the fault. ``crash_after=0`` fires on the
+            very first write.
+        mode: ``"before"`` (skip the write), ``"after"`` (perform it, then
+            die), or ``"torn"`` (write a prefix, then die).
+        target: count only ``"wal"`` appends, only ``"page"`` writes, or
+            ``"any"`` write operation.
+        fail_fsync: when True, fsync calls silently do nothing — the
+            "fsync lies" fault. Combined with :func:`lose_unsynced_wal`
+            this models a device that acknowledged durability it never
+            provided.
+    """
+
+    def __init__(
+        self,
+        crash_after: int,
+        mode: str = "before",
+        target: str = "any",
+        fail_fsync: bool = False,
+    ):
+        if mode not in ("before", "after", "torn"):
+            raise ValueError(f"unknown fault mode {mode!r}")
+        if target not in ("any", "wal", "page"):
+            raise ValueError(f"unknown fault target {target!r}")
+        self.crash_after = crash_after
+        self.mode = mode
+        self.target = target
+        self.fail_fsync = fail_fsync
+        self.writes = 0
+        self.fired = False
+        self._lock = threading.Lock()
+
+    def check(self, kind: str) -> str | None:
+        """Account one write operation of ``kind`` (``"wal"``/``"page"``).
+
+        Returns ``None`` to proceed normally, or the armed mode
+        (``"torn"``/``"after"``) telling the caller to tear or complete
+        the write and then raise. ``"before"`` raises here directly.
+        """
+        with self._lock:
+            if self.fired:
+                raise CrashError("store already crashed by fault injection")
+            if self.target != "any" and self.target != kind:
+                return None
+            self.writes += 1
+            if self.writes <= self.crash_after:
+                return None
+            self.fired = True
+            if self.mode == "before":
+                raise CrashError(
+                    f"injected crash before {kind} write #{self.writes}"
+                )
+            return self.mode
+
+    def crash(self, kind: str, action: str) -> None:
+        """Raise the post-write crash for a ``"torn"``/``"after"`` action."""
+        raise CrashError(
+            f"injected crash ({action}) at {kind} write #{self.writes}"
+        )
+
+
+def count_writes(fn) -> int:
+    """Run ``fn`` under a never-firing injector; return the write-op count.
+
+    The crash matrix uses this to enumerate every injectable boundary of a
+    workload before replaying it with crashes at each one.
+    """
+    probe = FaultInjector(crash_after=1 << 62)
+    fn(probe)
+    return probe.writes
+
+
+def lose_unsynced_wal(wal_path: str, synced_size: int) -> None:
+    """Simulate power loss: drop WAL bytes no fsync ever covered.
+
+    ``synced_size`` is :attr:`~repro.storage.wal.WriteAheadLog.synced_size`
+    captured from the crashed store before abandoning it.
+    """
+    with open(wal_path, "r+b") as f:
+        f.truncate(max(0, synced_size))

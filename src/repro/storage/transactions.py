@@ -4,10 +4,21 @@ The granularity is deliberately coarse (table-level locks, byte-range page
 updates): the paper's point is that this machinery should be *shared* across
 storage layouts rather than re-implemented per layout, so every layout
 renderer funnels its mutations through this one module.
+
+Commits are durable via group commit: each committer appends its COMMIT
+record and then calls :meth:`~repro.storage.wal.WriteAheadLog.sync` with the
+manager's ``group_window_s``. The first committer in a burst becomes the
+group leader (one fsync covers the whole burst); the rest piggyback.
+
+An in-memory engine that wants the locking/snapshot machinery without
+durability constructs the manager with ``log=False``: transactions then skip
+all WAL appends (an in-memory log would otherwise grow without bound) while
+locks and commit/abort bookkeeping behave identically.
 """
 
 from __future__ import annotations
 
+import threading
 from enum import Enum
 from typing import Callable
 
@@ -57,14 +68,15 @@ class Transaction:
         frame = pool.fetch(page_id)
         try:
             before = bytes(frame.data[offset : offset + len(new_bytes)])
-            self._manager.wal.append(
-                KIND_UPDATE,
-                self.txn_id,
-                page_id=page_id,
-                offset=offset,
-                before=before,
-                after=new_bytes,
-            )
+            if self._manager.log:
+                self._manager.wal.append(
+                    KIND_UPDATE,
+                    self.txn_id,
+                    page_id=page_id,
+                    offset=offset,
+                    before=before,
+                    after=new_bytes,
+                )
             frame.data[offset : offset + len(new_bytes)] = new_bytes
             self._undo.append((page_id, offset, before))
         finally:
@@ -74,26 +86,32 @@ class Transaction:
 
     def commit(self) -> None:
         self._require_active()
-        self._manager.wal.append(KIND_COMMIT, self.txn_id)
-        self._manager.wal.flush()
+        manager = self._manager
+        if manager.log:
+            lsn = manager.wal.append(KIND_COMMIT, self.txn_id)
+            # Group commit: sync outside any engine-level locks so
+            # concurrent committers batch into one fsync.
+            manager.wal.sync(lsn, window_s=manager.group_window_s)
         self.status = TxnStatus.COMMITTED
-        self._manager.locks.release_all(self.txn_id)
-        self._manager._finish(self.txn_id)
+        manager.locks.release_all(self.txn_id)
+        manager._finish(self.txn_id, committed=True)
 
     def abort(self) -> None:
         self._require_active()
-        pool = self._manager.pool
+        manager = self._manager
+        pool = manager.pool
         for page_id, offset, before in reversed(self._undo):
             frame = pool.fetch(page_id)
             try:
                 frame.data[offset : offset + len(before)] = before
             finally:
                 pool.unpin(page_id, dirty=True)
-        self._manager.wal.append(KIND_ABORT, self.txn_id)
-        self._manager.wal.flush()
+        if manager.log:
+            lsn = manager.wal.append(KIND_ABORT, self.txn_id)
+            manager.wal.sync(lsn)
         self.status = TxnStatus.ABORTED
-        self._manager.locks.release_all(self.txn_id)
-        self._manager._finish(self.txn_id)
+        manager.locks.release_all(self.txn_id)
+        manager._finish(self.txn_id, committed=False)
 
     def _require_active(self) -> None:
         if self.status is not TxnStatus.ACTIVE:
@@ -116,30 +134,54 @@ class Transaction:
 
 
 class TransactionManager:
-    """Create transactions over a shared WAL, buffer pool, and lock manager."""
+    """Create transactions over a shared WAL, buffer pool, and lock manager.
+
+    Args:
+        wal: the shared write-ahead log.
+        pool: the shared buffer pool.
+        locks: lock manager (a fresh one is created when omitted).
+        log: when False, transactions skip all WAL appends (locking-only
+            mode for non-durable stores).
+        group_window_s: group-commit window passed to ``wal.sync`` — how
+            long a commit leader waits for followers before fsyncing.
+    """
 
     def __init__(
         self,
         wal: WriteAheadLog,
         pool: BufferPool,
         locks: LockManager | None = None,
+        log: bool = True,
+        group_window_s: float = 0.0,
     ):
         self.wal = wal
         self.pool = pool
         self.locks = locks if locks is not None else LockManager()
+        self.log = log
+        self.group_window_s = group_window_s
+        self.committed = 0
+        self.aborted = 0
         self._next_txn_id = 1
         self._active: dict[int, Transaction] = {}
+        self._lock = threading.Lock()
 
     def begin(self) -> Transaction:
-        txn_id = self._next_txn_id
-        self._next_txn_id += 1
-        self.wal.append(KIND_BEGIN, txn_id)
-        txn = Transaction(txn_id, self)
-        self._active[txn_id] = txn
+        with self._lock:
+            txn_id = self._next_txn_id
+            self._next_txn_id += 1
+            txn = Transaction(txn_id, self)
+            self._active[txn_id] = txn
+        if self.log:
+            self.wal.append(KIND_BEGIN, txn_id)
         return txn
 
-    def _finish(self, txn_id: int) -> None:
-        self._active.pop(txn_id, None)
+    def _finish(self, txn_id: int, committed: bool) -> None:
+        with self._lock:
+            self._active.pop(txn_id, None)
+            if committed:
+                self.committed += 1
+            else:
+                self.aborted += 1
 
     @property
     def active_count(self) -> int:

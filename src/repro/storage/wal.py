@@ -1,10 +1,12 @@
-"""Write-ahead log with redo/undo recovery.
+"""Write-ahead log with redo/undo recovery and group commit.
 
 A deliberately small physiological WAL: update records carry page id, offset,
 and before/after images of the modified byte range. Recovery replays the log
 forward (redo for committed transactions) and backward (undo for transactions
-with no COMMIT record), which is sufficient for the single-writer engine this
-library implements.
+with no COMMIT record). Two *logical* record kinds ride on the same format:
+``ROWS`` (inserted rows, as a JSON blob) and ``CATALOG`` (one table's
+serialized catalog entry) — the engine-level recovery in
+:mod:`repro.engine.recovery` replays those on top of the page images.
 
 Record wire format::
 
@@ -12,12 +14,21 @@ Record wire format::
 
 The trailing length makes backward scans possible and doubles as a torn-write
 check: a record whose trailer does not match is treated as the end of the log.
+
+Durability is tracked at two levels: :meth:`WriteAheadLog.sync` fsyncs up to
+a target LSN with *piggybacking* (a commit whose LSN an earlier fsync already
+covered returns without touching the device — the group-commit fast path),
+and :attr:`WriteAheadLog.synced_size` records the byte offset the last real
+fsync covered, which the fault-injection harness uses to simulate losing
+OS-buffered bytes on power failure.
 """
 
 from __future__ import annotations
 
 import os
 import struct
+import threading
+import time
 from typing import Iterator
 
 from repro.errors import WALError
@@ -28,16 +39,24 @@ KIND_UPDATE = 2
 KIND_COMMIT = 3
 KIND_ABORT = 4
 KIND_CHECKPOINT = 5
+# Logical records (opaque payload bytes; interpreted by engine recovery).
+KIND_ROWS = 6
+KIND_CATALOG = 7
 
 _HEADER = struct.Struct("<IBQQ")
 _TRAILER = struct.Struct("<I")
 _UPDATE_META = struct.Struct("<qII")  # page_id, offset, image_len
 
+_PAYLOAD_KINDS = (KIND_ROWS, KIND_CATALOG)
+
 
 class LogRecord:
     """One WAL entry."""
 
-    __slots__ = ("kind", "lsn", "txn_id", "page_id", "offset", "before", "after")
+    __slots__ = (
+        "kind", "lsn", "txn_id", "page_id", "offset", "before", "after",
+        "payload",
+    )
 
     def __init__(
         self,
@@ -48,6 +67,7 @@ class LogRecord:
         offset: int = 0,
         before: bytes = b"",
         after: bytes = b"",
+        payload: bytes = b"",
     ):
         self.kind = kind
         self.lsn = lsn
@@ -56,6 +76,7 @@ class LogRecord:
         self.offset = offset
         self.before = before
         self.after = after
+        self.payload = payload
 
     def encode(self) -> bytes:
         if self.kind == KIND_UPDATE:
@@ -63,6 +84,8 @@ class LogRecord:
                 raise WALError("before/after images must have equal length")
             payload = _UPDATE_META.pack(self.page_id, self.offset, len(self.before))
             payload += self.before + self.after
+        elif self.kind in _PAYLOAD_KINDS:
+            payload = self.payload
         else:
             payload = b""
         total = _HEADER.size + len(payload) + _TRAILER.size
@@ -79,7 +102,7 @@ class LogRecord:
             raise WALError("truncated log header")
         total, kind, lsn, txn_id = _HEADER.unpack_from(data, start)
         end = start + total
-        if end > len(data):
+        if total < _HEADER.size + _TRAILER.size or end > len(data):
             raise WALError("truncated log record")
         (trailer,) = _TRAILER.unpack_from(data, end - _TRAILER.size)
         if trailer != total:
@@ -93,15 +116,37 @@ class LogRecord:
             record.offset = offset
             record.before = data[images_at : images_at + image_len]
             record.after = data[images_at + image_len : images_at + 2 * image_len]
+        elif kind in _PAYLOAD_KINDS:
+            record.payload = data[start + _HEADER.size : end - _TRAILER.size]
         return record, end
 
 
 class WriteAheadLog:
-    """Append-only log, file-backed or in-memory."""
+    """Append-only log, file-backed or in-memory.
+
+    Appends are serialized under an internal lock (concurrent committers
+    share one log); fsyncs go through :meth:`sync`, which batches them
+    group-commit style. ``faults`` optionally holds a
+    :class:`~repro.storage.faults.FaultInjector` that can tear or abort
+    appends at a chosen write boundary.
+    """
 
     def __init__(self, path: str | None = None):
         self.path = path
         self._next_lsn = 1
+        self._lock = threading.Lock()
+        self._sync_lock = threading.Lock()
+        #: Highest LSN known durable (covered by a real fsync); in-memory
+        #: logs track it too so group-commit accounting works in tests.
+        self.flushed_lsn = 0
+        #: Byte offset of the log file the last fsync covered.
+        self.synced_size = 0
+        #: Fsyncs actually issued (group commit makes this < commits).
+        self.fsyncs = 0
+        #: Records appended through this handle.
+        self.appends = 0
+        #: Optional FaultInjector observing appends and fsyncs.
+        self.faults = None
         if path is None:
             self._buffer = bytearray()
             self._file = None
@@ -128,23 +173,86 @@ class WriteAheadLog:
         offset: int = 0,
         before: bytes = b"",
         after: bytes = b"",
+        payload: bytes = b"",
     ) -> int:
         """Append a record and return its LSN."""
-        lsn = self._next_lsn
-        self._next_lsn += 1
-        record = LogRecord(kind, lsn, txn_id, page_id, offset, before, after)
-        encoded = record.encode()
-        if self._file is not None:
-            self._file.seek(0, os.SEEK_END)
-            self._file.write(encoded)
-        else:
-            self._buffer.extend(encoded)
+        with self._lock:
+            lsn = self._next_lsn
+            self._next_lsn += 1
+            record = LogRecord(
+                kind, lsn, txn_id, page_id, offset, before, after, payload
+            )
+            encoded = record.encode()
+            action = None
+            if self.faults is not None:
+                action = self.faults.check("wal")
+                if action == "torn":
+                    # A torn append: only a strict prefix of the record
+                    # reaches the log. The trailer check must discard it.
+                    encoded = encoded[: max(1, len(encoded) // 2)]
+            if self._file is not None:
+                self._file.seek(0, os.SEEK_END)
+                self._file.write(encoded)
+            else:
+                self._buffer.extend(encoded)
+            self.appends += 1
+        if action is not None:
+            assert self.faults is not None
+            self.faults.crash("wal", action)
         return lsn
 
+    @property
+    def last_lsn(self) -> int:
+        return self._next_lsn - 1
+
+    @property
+    def size_bytes(self) -> int:
+        """Current log length in bytes (file or in-memory buffer)."""
+        with self._lock:
+            if self._file is not None:
+                self._file.seek(0, os.SEEK_END)
+                return self._file.tell()
+            return len(self._buffer)
+
+    def sync(self, upto_lsn: int | None = None, window_s: float = 0.0) -> None:
+        """Make every record up to ``upto_lsn`` durable (group commit).
+
+        A committer whose LSN an earlier fsync already covered returns
+        immediately — it *piggybacked* on that fsync. Otherwise it becomes
+        the group leader: after an optional ``window_s`` wait (letting more
+        committers append their records), one fsync covers everything
+        appended so far, and the followers' sync calls then piggyback.
+        """
+        if upto_lsn is None:
+            upto_lsn = self.last_lsn
+        if self.flushed_lsn >= upto_lsn:
+            return
+        with self._sync_lock:
+            if self.flushed_lsn >= upto_lsn:
+                return  # a leader's fsync covered us while we waited
+            if window_s > 0.0:
+                time.sleep(window_s)
+            with self._lock:
+                covered = self._next_lsn - 1
+                if self._file is not None:
+                    self._file.flush()
+                    size = self._file.seek(0, os.SEEK_END)
+                else:
+                    size = len(self._buffer)
+            if self._file is not None:
+                if self.faults is None or not self.faults.fail_fsync:
+                    os.fsync(self._file.fileno())
+                    self.synced_size = size
+                # An fsync that "lies" leaves synced_size where it was:
+                # those bytes were never made durable.
+            else:
+                self.synced_size = size
+            self.fsyncs += 1
+            self.flushed_lsn = covered
+
     def flush(self) -> None:
-        if self._file is not None:
-            self._file.flush()
-            os.fsync(self._file.fileno())
+        """Flush and fsync everything appended so far."""
+        self.sync()
 
     def close(self) -> None:
         if self._file is not None:
@@ -154,10 +262,11 @@ class WriteAheadLog:
     # -- reading ----------------------------------------------------------
 
     def _raw(self) -> bytes:
-        if self._file is not None:
-            self._file.seek(0)
-            return self._file.read()
-        return bytes(self._buffer)
+        with self._lock:
+            if self._file is not None:
+                self._file.seek(0)
+                return self._file.read()
+            return bytes(self._buffer)
 
     def records(self) -> Iterator[LogRecord]:
         """Iterate all records in append order, stopping at torn tails."""
@@ -171,12 +280,24 @@ class WriteAheadLog:
             yield record
 
     def truncate(self) -> None:
-        """Discard the log (after a checkpoint has made it redundant)."""
-        if self._file is not None:
-            self._file.seek(0)
-            self._file.truncate()
-        else:
-            self._buffer.clear()
+        """Discard the log (after a checkpoint has made it redundant).
+
+        LSNs keep increasing across truncation, and everything discarded
+        was durable by definition (the checkpoint fsynced it into the data
+        file and catalog), so the flushed high-water mark advances to the
+        last appended LSN — committers waiting to sync piggyback on the
+        checkpoint instead of fsyncing an empty log.
+        """
+        with self._lock:
+            if self._file is not None:
+                self._file.seek(0)
+                self._file.truncate()
+                self._file.flush()
+                os.fsync(self._file.fileno())
+            else:
+                self._buffer.clear()
+            self.synced_size = 0
+            self.flushed_lsn = self._next_lsn - 1
 
 
 def recover(wal: WriteAheadLog, disk: DiskManager) -> dict[str, int]:
@@ -186,6 +307,10 @@ def recover(wal: WriteAheadLog, disk: DiskManager) -> dict[str, int]:
     and redo/undo record counts. Standard two-pass recovery: an analysis pass
     finds transaction outcomes; the redo pass replays updates of committed
     transactions forward; the undo pass rolls back the rest backward.
+
+    This is the page-image half of recovery; the engine-level
+    :func:`repro.engine.recovery.recover_store` builds on it and also
+    replays logical ROWS/CATALOG records against the catalog.
     """
     records = list(wal.records())
     committed: set[int] = set()
