@@ -9,7 +9,7 @@ named in the physical plan.
 Every codec is value-level and lossless: ``decode(encode(values)) == values``
 for any list of values valid for the declared type class.
 
-Codecs expose two read paths:
+Codecs expose three read paths:
 
 * :meth:`Codec.decode` — the canonical value-at-a-time implementation;
 * :meth:`Codec.decode_all` — the *bulk* fast path used by the batch scan
@@ -18,6 +18,12 @@ Codecs expose two read paths:
   it with implementations that decode whole chunks in a few C-level calls
   (``struct.unpack`` of entire vectors, word-at-a-time bit unpacking,
   inlined varint loops) instead of per-value round-trips.
+* :meth:`Codec.decode_buffer` — the *vectorized* fast path: for 8-byte
+  numeric element types it lands directly in a contiguous typed vector
+  (numpy ``ndarray`` when importable, stdlib ``array`` otherwise — see
+  :mod:`repro.vector`); for everything else it returns ``decode_all``'s
+  plain list. Callers treat both shapes uniformly, so overriding it is
+  purely a speed optimization, never a behavior change.
 """
 
 from __future__ import annotations
@@ -53,6 +59,17 @@ class Codec:
         """
         return self.decode(data, dtype)
 
+    def decode_buffer(self, data: bytes, dtype: DataType):
+        """Bulk-decode into a typed vector when the element type allows.
+
+        Returns a contiguous typed vector (``numpy.ndarray`` or stdlib
+        ``array``) *or* a plain list — same values as :meth:`decode`
+        either way. The default delegates to :meth:`decode_all`;
+        subclasses override it to skip python-object materialization
+        entirely for numeric chunks.
+        """
+        return self.decode_all(data, dtype)
+
     def __repr__(self) -> str:
         return f"<codec {self.name}>"
 
@@ -70,6 +87,9 @@ class NoneCodec(Codec):
 
     def decode_all(self, data: bytes, dtype: DataType) -> list:
         return VectorSerializer(dtype).decode_bulk(data)
+
+    def decode_buffer(self, data: bytes, dtype: DataType):
+        return VectorSerializer(dtype).decode_buffer(data)
 
 
 _REGISTRY: dict[str, Codec] = {}

@@ -10,11 +10,31 @@ from __future__ import annotations
 import struct
 from typing import Any, Sequence
 
+from repro import vector
 from repro.compression.base import Codec, CodecError, register
 from repro.types.types import DataType, IntType
 
 _U32 = struct.Struct("<I")
 _I64 = struct.Struct("<q")
+
+_NP_WIDTH_DTYPES = {8: "u1", 16: "<u2", 32: "<u4", 64: "<u8"}
+
+
+def _unpack_uints_ndarray(data: bytes):
+    """Byte-aligned widths decoded straight into an int64 ndarray, or None
+    when numpy is unavailable or the width needs the bit-twiddling loop."""
+    np = vector.numpy_module()
+    if np is None or not vector.numpy_enabled() or len(data) < 5:
+        return None
+    (count,) = _U32.unpack_from(data, 0)
+    width = data[4]
+    np_dtype = _NP_WIDTH_DTYPES.get(width)
+    if np_dtype is None:
+        return None
+    if len(data) - 5 < count * (width // 8):
+        raise CodecError("truncated bit-packed payload")
+    codes = np.frombuffer(data, dtype=np_dtype, count=count, offset=5)
+    return codes.astype("<i8")
 
 
 def pack_uints(values: Sequence[int]) -> bytes:
@@ -138,6 +158,16 @@ class BitpackCodec(Codec):
     def decode_all(self, data: bytes, dtype: DataType) -> list:
         return unpack_uints_bulk(data)
 
+    def decode_buffer(self, data: bytes, dtype: DataType):
+        if vector.typecode_for(dtype) == "q":
+            out = _unpack_uints_ndarray(data)
+            if out is not None:
+                return out
+            fallback = vector.from_values(unpack_uints_bulk(data), "q")
+            if fallback is not None:
+                return fallback
+        return unpack_uints_bulk(data)
+
 
 class ForCodec(Codec):
     """Frame of reference: subtract the vector minimum, then bit-pack."""
@@ -167,6 +197,19 @@ class ForCodec(Codec):
         if reference == 0:
             return unpack_uints_bulk(data[8:])
         return [v + reference for v in unpack_uints_bulk(data[8:])]
+
+    def decode_buffer(self, data: bytes, dtype: DataType):
+        if len(data) < 8:
+            raise CodecError("truncated frame-of-reference vector")
+        if vector.typecode_for(dtype) == "q":
+            (reference,) = _I64.unpack_from(data, 0)
+            deltas = _unpack_uints_ndarray(data[8:])
+            if deltas is not None:
+                return deltas + reference if reference else deltas
+            fallback = vector.from_values(self.decode_all(data, dtype), "q")
+            if fallback is not None:
+                return fallback
+        return self.decode_all(data, dtype)
 
 
 register(BitpackCodec())

@@ -11,6 +11,7 @@ from __future__ import annotations
 import struct
 from typing import Any, Sequence
 
+from repro import vector
 from repro.compression.base import Codec, CodecError, register
 from repro.compression.varint import (
     varint_decode,
@@ -54,6 +55,31 @@ class DeltaCodec(Codec):
         if isinstance(base, FloatType):
             return self._decode_floats_bulk(data)
         raise CodecError(f"delta codec requires a numeric type, got {dtype.name}")
+
+    def decode_buffer(self, data: bytes, dtype: DataType):
+        base = getattr(dtype, "base", dtype)
+        if isinstance(base, IntType) and vector.typecode_for(dtype) == "q":
+            np = vector.numpy_module()
+            if np is not None and vector.numpy_enabled():
+                count, offset = self._header(data, expected_tag=0)
+                diffs = zigzag_varint_decode_all(data, offset, count)
+                try:
+                    # The running sum at step i is exactly values[i], so a
+                    # cumsum never exceeds the original values' range; only
+                    # ints wider than 64 bits force the python loop.
+                    return np.cumsum(np.array(diffs, dtype="<i8"))
+                except OverflowError:
+                    return self._decode_ints_bulk(data)
+            fallback = vector.from_values(self._decode_ints_bulk(data), "q")
+            if fallback is not None:
+                return fallback
+        elif isinstance(base, FloatType) and vector.typecode_for(dtype) == "d":
+            # Raw-vs-diff accumulation must stay sequential for exactness;
+            # wrap the decoded list so downstream stays typed.
+            fallback = vector.from_values(self._decode_floats_bulk(data), "d")
+            if fallback is not None:
+                return fallback
+        return self.decode_all(data, dtype)
 
     # -- integers ---------------------------------------------------------
 

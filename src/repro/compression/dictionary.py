@@ -9,8 +9,10 @@ from __future__ import annotations
 import struct
 from typing import Any, Sequence
 
+from repro import vector
 from repro.compression.base import Codec, register
 from repro.compression.bitpack import (
+    _unpack_uints_ndarray,
     pack_uints,
     unpack_uints,
     unpack_uints_bulk,
@@ -62,6 +64,24 @@ class DictionaryCodec(Codec):
         codes = unpack_uints_bulk(data[8 + dict_len :])
         del codes[total:]
         return list(map(dictionary.__getitem__, codes))
+
+    def decode_buffer(self, data: bytes, dtype: DataType):
+        code = vector.typecode_for(dtype)
+        np = vector.numpy_module()
+        if code is not None and np is not None and vector.numpy_enabled():
+            (total,) = _U32.unpack_from(data, 0)
+            (dict_len,) = _U32.unpack_from(data, 4)
+            codes = _unpack_uints_ndarray(data[8 + dict_len :])
+            if codes is not None:
+                dictionary = VectorSerializer(dtype).decode_buffer(
+                    data[8 : 8 + dict_len]
+                )
+                return np.asarray(dictionary)[codes[:total]]
+        if code is not None:
+            out = vector.from_values(self.decode_all(data, dtype), code)
+            if out is not None:
+                return out
+        return self.decode_all(data, dtype)
 
 
 register(DictionaryCodec())

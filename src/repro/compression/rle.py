@@ -9,6 +9,7 @@ from __future__ import annotations
 import struct
 from typing import Any, Sequence
 
+from repro import vector
 from repro.compression.base import Codec, register
 from repro.storage.serializer import VectorSerializer
 from repro.types.types import DataType
@@ -58,6 +59,22 @@ class RleCodec(Codec):
         for run, value in zip(runs, distinct):
             extend((value,) * run)
         return values
+
+    def decode_buffer(self, data: bytes, dtype: DataType):
+        np = vector.numpy_module()
+        code = vector.typecode_for(dtype)
+        if np is not None and vector.numpy_enabled() and code is not None:
+            (n_runs,) = _U32.unpack_from(data, 4)
+            runs = np.frombuffer(data, dtype="<u4", count=n_runs, offset=8)
+            distinct = VectorSerializer(dtype).decode_buffer(
+                data[8 + 4 * n_runs :]
+            )
+            return np.repeat(np.asarray(distinct), runs)
+        if code is not None:
+            out = vector.from_values(self.decode_all(data, dtype), code)
+            if out is not None:
+                return out
+        return self.decode_all(data, dtype)
 
 
 register(RleCodec())

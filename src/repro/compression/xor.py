@@ -12,6 +12,7 @@ from __future__ import annotations
 import struct
 from typing import Any, Sequence
 
+from repro import vector
 from repro.compression.base import Codec, CodecError, register
 from repro.types.types import DataType, FloatType
 
@@ -87,6 +88,16 @@ class XorFloatCodec(Codec):
             prev_bits ^= from_bytes(data[offset : offset + length], "little")
             offset += length
             append(unpack_f64(pack_u64(prev_bits))[0])
+        return values
+
+    def decode_buffer(self, data: bytes, dtype: DataType):
+        # Variable-length records force the sequential decode; wrap the
+        # result so downstream reductions still see a typed vector.
+        values = self.decode_all(data, dtype)
+        if vector.typecode_for(dtype) == "d":
+            out = vector.from_values(values, "d")
+            if out is not None:
+                return out
         return values
 
 

@@ -31,7 +31,11 @@ from repro.engine.stats import TableStats
 from repro.engine.table import Table, _scan_schema, structural_residual
 from repro.errors import CatalogError, StorageError
 from repro.layout.partitioning import Locator, PartitionRouter
-from repro.layout.renderer import LayoutRenderer, StoredLayout
+from repro.layout.renderer import (
+    DEFAULT_BATCH_ROWS,
+    LayoutRenderer,
+    StoredLayout,
+)
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DEFAULT_PAGE_SIZE, DiskManager, IOStats
 from repro.storage.locks import LockManager
@@ -174,6 +178,8 @@ class RodentStore:
         durable: bool = False,
         catalog_path: str | None = None,
         group_commit_window: float = 0.0,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+        vectorized: bool = True,
     ):
         from repro.engine.adaptive import AdaptiveController
 
@@ -226,6 +232,16 @@ class RodentStore:
         #: Worker threads for partition-parallel scans; 0/1 = serial.
         #: Settable at runtime — the shared executor is (re)built lazily.
         self.scan_workers = scan_workers
+        #: Target rows per scan batch (plumbed to every batch reader).
+        #: Settable at runtime; the default won the BENCH_vector sweep.
+        self.batch_rows = int(batch_rows)
+        if self.batch_rows < 1:
+            raise StorageError("batch_rows must be >= 1")
+        #: Vectorized execution: typed column buffers + selection bitmaps
+        #: + whole-column predicates. Settable at runtime (the fuzz suite
+        #: flips it per iteration); off = the per-row closure pipeline.
+        #: Answers are identical either way.
+        self.vectorized = bool(vectorized)
         self._scan_executor = None
         self._closed = False
         #: The adaptive loop (monitor → advise → reorganize). Scans are
@@ -1029,9 +1045,16 @@ class RodentStore:
         """Run ``query`` against a cold cache, returning (result, I/O delta).
 
         This is the measurement harness for the paper's "number of pages read
-        per query" metric: the buffer pool is emptied and the simulated disk
-        head reset so each query pays its true I/O.
+        per query" metric: the buffer pool is emptied, decoded-chunk caches
+        are dropped, and the simulated disk head reset so each query pays
+        its true I/O.
         """
+        for entry in self.catalog:
+            if entry.layout is not None:
+                entry.layout.clear_caches()
+            for region in entry.partitions:
+                if region.layout is not None:
+                    region.layout.clear_caches()
         self.pool.clear()
         self.disk.reset_head()
         with self.disk.measure() as io:

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import operator
 import weakref
-from itertools import islice
+from itertools import chain, islice
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 from repro.algebra import ast
@@ -384,8 +384,16 @@ class Table:
         :meth:`scan_batches`); results are identical — values and order —
         to the tuple-at-a-time :meth:`scan_reference`.
         """
-        batches = self.scan_batches(fieldlist, predicate, order, limit)
-        return (row for batch in batches for row in batch)
+        batches, mvcc, snap = self._open_scan(
+            fieldlist, predicate, order, limit
+        )
+        # Release at batch granularity: each ColumnBatch lazily streams its
+        # native-python rows, and the pin drops once the last batch's
+        # iterator has been handed to the chain.
+        wrapped = _release_when_done(
+            map(ColumnBatch.iter_rows, batches), mvcc, snap
+        )
+        return _ScanStream(chain.from_iterable(wrapped), wrapped)
 
     def scan_batches(
         self,
@@ -396,11 +404,47 @@ class Table:
     ) -> Iterator[list[tuple]]:
         """Batch-at-a-time scan: yields lists of output tuples.
 
-        The building blocks are assembled once per scan — compiled
-        predicate closure / per-column masks, ``operator.itemgetter``
-        projection — then applied per batch, so per-row Python overhead is
-        amortized across each page/chunk. Flattened, the batches equal
-        :meth:`scan_reference` output exactly.
+        The building blocks are assembled once per scan — vectorized
+        selection bitmaps / compiled predicate closures, columnar or
+        ``operator.itemgetter`` projection — then applied per batch, so
+        per-row Python overhead is amortized across each page/chunk.
+        Flattened, the batches equal :meth:`scan_reference` output exactly.
+        """
+        batches, mvcc, snap = self._open_scan(
+            fieldlist, predicate, order, limit
+        )
+        return _release_when_done(map(ColumnBatch.rows, batches), mvcc, snap)
+
+    def scan_column_batches(
+        self,
+        fieldlist: Sequence[str] | None = None,
+        predicate: Predicate | None = None,
+        order: Order | None = None,
+        limit: int | None = None,
+    ) -> Iterator[ColumnBatch]:
+        """Vectorized scan: yields :class:`ColumnBatch` objects directly.
+
+        The physical operators consume this form — columnar batches keep
+        their typed vectors (and any pending selection bitmap) all the way
+        into joins and aggregates. Row contents and order match
+        :meth:`scan_batches` exactly.
+        """
+        batches, mvcc, snap = self._open_scan(
+            fieldlist, predicate, order, limit
+        )
+        return _release_when_done(batches, mvcc, snap)
+
+    def _open_scan(
+        self,
+        fieldlist: Sequence[str] | None,
+        predicate: Predicate | None,
+        order: Order | None,
+        limit: int | None,
+    ):
+        """Shared scan setup: observation, MVCC pin, pinned batch pipeline.
+
+        Returns ``(batches, mvcc, snap)`` — the caller wraps ``batches``
+        (an iterator of :class:`ColumnBatch`) in ``_release_when_done``.
         """
         if limit is not None and limit < 0:
             limit = 0  # a negative limit selects nothing, like [:0]
@@ -421,7 +465,7 @@ class Table:
         except BaseException:
             mvcc.release(snap)
             raise
-        return _release_when_done(batches, mvcc, snap)
+        return batches, mvcc, snap
 
     def _scan_batches_pinned(
         self,
@@ -430,18 +474,22 @@ class Table:
         order_keys: tuple[tuple[str, bool], ...],
         limit: int | None,
         observation,
-    ) -> Iterator[list[tuple]]:
-        """Body of :meth:`scan_batches`, running on a pinned view (MVCC
+    ) -> Iterator[ColumnBatch]:
+        """Body of every scan entry point, running on a pinned view (MVCC
         snapshot): every layout-bearing read below resolves against the
-        snapshot, so concurrent commits cannot change what this scan sees."""
+        snapshot, so concurrent commits cannot change what this scan sees.
+        Yields :class:`ColumnBatch` objects — filtered, projected, and
+        limit-trimmed — that columnar sources keep as typed vectors plus a
+        selection bitmap all the way out."""
         needed = self._needed_fields(fieldlist, predicate, order_keys)
+        batch_rows = getattr(self._db, "batch_rows", DEFAULT_BATCH_ROWS)
         index_rows = self._index_path(predicate)
         if index_rows is not None:
             avail = self.plan.schema.names()
             # Lazy chunking keeps the probe incremental: a pushed-down
             # limit stops fetching index-matched pages early, so size the
             # chunks to the limit when it is the smaller number.
-            probe_chunk = DEFAULT_BATCH_ROWS
+            probe_chunk = batch_rows
             if limit is not None:
                 probe_chunk = max(1, min(probe_chunk, limit))
             batches: Iterator[ColumnBatch] = _chunk_rows(
@@ -455,6 +503,7 @@ class Table:
 
         row_filter = None
         use_mask = False
+        vectorized = getattr(self._db, "vectorized", True)
         if predicate is not None:
             missing = predicate.fields_used() - set(avail)
             if missing:
@@ -492,45 +541,65 @@ class Table:
         if out_idx is not None and out_idx == list(range(len(avail))):
             out_idx = None  # the projection is already the stored order
         project = _batch_projector(out_idx)
+        out_fields = (
+            tuple(avail)
+            if out_idx is None
+            else tuple(avail[i] for i in out_idx)
+        )
 
-        def filtered(batch: ColumnBatch) -> list[tuple]:
+        def filtered(batch: ColumnBatch) -> ColumnBatch:
             if predicate is None:
-                return batch.rows()
-            if use_mask and batch.is_columnar:
-                mask = predicate.filter_batch(
-                    batch.column_map(), batch.n_rows
-                )
-                return [row for row, keep in zip(batch.rows(), mask) if keep]
-            return list(filter(row_filter, batch.rows()))
+                return batch
+            if batch.is_columnar:
+                if vectorized:
+                    bitmap = predicate.filter_vector(
+                        batch.column_map(), batch.n_rows
+                    )
+                    if bitmap is not None:
+                        return batch.select(bitmap)
+                if use_mask:
+                    mask = predicate.filter_batch(
+                        batch.column_map(), batch.n_rows
+                    )
+                    return batch.select(mask)
+            return ColumnBatch.from_rows(
+                batch.fields, list(filter(row_filter, batch.rows()))
+            )
 
-        def generate() -> Iterator[list[tuple]]:
+        def projected(batch: ColumnBatch) -> ColumnBatch:
+            if project is None:
+                return batch
+            if batch.is_columnar:
+                return batch.project_columns(out_idx, out_fields)
+            return ColumnBatch.from_rows(out_fields, project(batch.rows()))
+
+        def generate() -> Iterator[ColumnBatch]:
             if sort_needed:
                 collected: list[tuple] = []
                 for batch in batches:
-                    collected.extend(filtered(batch))
+                    collected.extend(filtered(batch).rows())
                 rows = multisort(collected, sort_idx, sort_desc)
                 if project is not None:
                     rows = project(rows)
                 if limit is not None:
                     del rows[limit:]
                 if rows:
-                    yield rows
+                    yield ColumnBatch.from_rows(out_fields, rows)
                 return
             remaining = limit
             if remaining is not None and remaining <= 0:
                 return
             for batch in batches:
-                rows = filtered(batch)
-                if not rows:
+                batch = filtered(batch)
+                if not batch.n_rows:
                     continue
-                if project is not None:
-                    rows = project(rows)
+                batch = projected(batch)
                 if remaining is not None:
-                    if len(rows) >= remaining:
-                        yield rows[:remaining]
+                    if batch.n_rows >= remaining:
+                        yield batch.head(remaining)
                         return
-                    remaining -= len(rows)
-                yield rows
+                    remaining -= batch.n_rows
+                yield batch
 
         if observation is None or limit is not None:
             # Limited scans skip cardinality feedback: limit is not part of
@@ -933,11 +1002,12 @@ class Table:
         """
         plan = layout.plan
         renderer = self._db.renderer
+        batch_rows = getattr(self._db, "batch_rows", DEFAULT_BATCH_ROWS)
         if plan.kind == LAYOUT_ROWS:
             names = plan.schema.names()
             pruned = self._iter_sorted_rows_range(layout, predicate)
             if pruned is not None:
-                return _chunk_rows(pruned, tuple(names)), names
+                return _chunk_rows(pruned, tuple(names), batch_rows), names
             if plan.delta_fields:
                 # Delta reconstruction needs every preceding record, so
                 # page skipping is disabled (zones exclude delta fields
@@ -968,11 +1038,13 @@ class Table:
             if keep is not None:
                 return (
                     renderer.iter_pruned_column_batches(
-                        layout, indexes, keep
+                        layout, indexes, keep, batch_size=batch_rows
                     ),
                     avail,
                 )
-            batches = renderer.iter_column_batches(layout, indexes)
+            batches = renderer.iter_column_batches(
+                layout, indexes, batch_size=batch_rows
+            )
             if delta_here:
                 positions = {n: i for i, n in enumerate(avail)}
                 idx = [positions[f] for f in delta_here]
@@ -982,6 +1054,7 @@ class Table:
             return (
                 renderer.iter_batches(
                     layout,
+                    batch_size=batch_rows,
                     grid_entries=self._grid_prune_entries(
                         layout, predicate, zones=True
                     ),
@@ -991,7 +1064,9 @@ class Table:
         if plan.kind == LAYOUT_FOLDED:
             indices = self._folded_indices(layout, predicate, zones=True)
             return (
-                renderer.iter_batches(layout, folded_indices=indices),
+                renderer.iter_batches(
+                    layout, batch_size=batch_rows, folded_indices=indices
+                ),
                 _scan_schema(plan).names(),
             )
         if plan.kind == LAYOUT_MIRROR:
@@ -2218,6 +2293,32 @@ class Table:
     def __repr__(self) -> str:
         plan = self._entry.plan.describe() if self._entry.plan else "unplanned"
         return f"<Table {self.name} rows={self.row_count} [{plan}]>"
+
+
+class _ScanStream:
+    """Row iterator over a scan: chain-speed iteration plus ``close()``.
+
+    ``for``-loops and genexprs call ``iter()`` and get the raw
+    ``itertools.chain`` — per-row ``next()`` stays entirely in C. The
+    wrapper itself only fields direct ``next(it)`` calls and ``close()``,
+    which abandons the scan by closing the release generator (dropping
+    the MVCC pin promptly instead of at GC).
+    """
+
+    __slots__ = ("_rows", "_release")
+
+    def __init__(self, rows, release):
+        self._rows = rows
+        self._release = release
+
+    def __iter__(self):
+        return self._rows
+
+    def __next__(self):
+        return next(self._rows)
+
+    def close(self) -> None:
+        self._release.close()
 
 
 def _release_when_done(source, mvcc, snap):

@@ -58,6 +58,7 @@ from repro.algebra.transforms import (
     GridResult,
     undelta_records,
 )
+from repro import vector
 from repro.compression import get_codec
 from repro.engine.synopsis import (
     LayoutSynopsis,
@@ -82,27 +83,52 @@ _U32 = struct.Struct("<I")
 
 #: Default rows per batch for batch-at-a-time readers whose natural unit
 #: (page, chunk, cell) is smaller than this; page-shaped sources keep their
-#: page granularity.
+#: page granularity. ``RodentStore(batch_rows=...)`` overrides it per store.
+#: 1024 won a sweep across {256..8192} in BENCH_vector.json: large enough
+#: to amortize per-batch dispatch, small enough to stay cache-resident.
 DEFAULT_BATCH_ROWS = 1024
+
+#: Decoded-chunk cache entries kept per column group (FIFO). Chunks hold
+#: roughly page-size worth of values, so the bound caps cache memory at a
+#: few MB per hot group. The cache lives on :class:`ColumnGroupStore`,
+#: which every rewrite replaces wholesale — invalidation is structural.
+_CHUNK_CACHE_LIMIT = 512
+
+
+def _cache_put(cache: dict, key, value) -> None:
+    if len(cache) >= _CHUNK_CACHE_LIMIT:
+        try:
+            cache.pop(next(iter(cache)), None)
+        except (StopIteration, RuntimeError):  # pragma: no cover - racing scan
+            cache.clear()
+    cache[key] = value
 
 
 class ColumnBatch:
-    """A batch of decoded records, backed by rows or by parallel columns.
+    """A batch of decoded records, backed by rows or by typed columns.
 
     Batches are produced in whichever orientation the layout yields
     naturally — row pages decode to row tuples, column chunks decode to
-    value vectors — and transpose lazily (one C-level ``zip`` call) when the
-    consumer needs the other orientation. ``fields`` names the columns;
-    both orientations expose the same ``n_rows`` records.
+    contiguous typed vectors (numpy ``ndarray``/stdlib ``array`` for
+    numeric fields, plain lists otherwise; see :mod:`repro.vector`) — and
+    transpose lazily when the consumer needs the other orientation.
+
+    Columnar batches may additionally carry a *selection bitmap*: a
+    boolean mask over the underlying vectors recording which rows a
+    vectorized predicate kept. The mask is resolved lazily — projections
+    and further filters ride on top of it without materializing the
+    surviving rows; ``rows()`` stays the compatibility shim that always
+    yields native-python tuples in ``fields`` order.
     """
 
-    __slots__ = ("fields", "n_rows", "_rows", "_columns")
+    __slots__ = ("fields", "n_rows", "_rows", "_columns", "_selection")
 
-    def __init__(self, fields, n_rows, rows=None, columns=None):
+    def __init__(self, fields, n_rows, rows=None, columns=None, selection=None):
         self.fields = fields
         self.n_rows = n_rows
         self._rows = rows
         self._columns = columns
+        self._selection = selection
 
     @classmethod
     def from_rows(
@@ -123,29 +149,99 @@ class ColumnBatch:
         return self._columns is not None
 
     def rows(self) -> list[tuple]:
-        """Records as tuples in ``fields`` order (cached transpose)."""
+        """Records as native-python tuples in ``fields`` order (cached).
+
+        Typed vectors convert through their bulk ``tolist`` so numpy
+        scalars never leak into row tuples.
+        """
         if self._rows is None:
-            self._rows = list(zip(*self._columns)) if self.n_rows else []
+            if self.n_rows:
+                cols = [vector.to_list(c) for c in self.columns()]
+                self._rows = list(zip(*cols))
+            else:
+                self._rows = []
         return self._rows
 
+    def iter_rows(self):
+        """Lazily iterate native-python row tuples (no list materialized)."""
+        if self._rows is not None:
+            return iter(self._rows)
+        if not self.n_rows:
+            return iter(())
+        return zip(*[vector.to_list(c) for c in self.columns()])
+
     def columns(self) -> list:
-        """Per-field value vectors parallel to ``fields`` (cached)."""
+        """Per-field value vectors parallel to ``fields``, with any pending
+        selection bitmap resolved (cached). Vectors may be shared with the
+        chunk cache and other batches — treat them as read-only."""
         if self._columns is None:
             if self._rows:
                 self._columns = list(zip(*self._rows))
             else:
                 self._columns = [() for _ in self.fields]
+        elif self._selection is not None:
+            mask = self._selection
+            self._columns = [vector.apply_mask(c, mask) for c in self._columns]
+            self._selection = None
         return self._columns
 
     def column_map(self) -> dict[str, Sequence]:
         """``field name -> value vector`` view of :meth:`columns`."""
         return dict(zip(self.fields, self.columns()))
 
+    def select(self, mask, count: int | None = None) -> "ColumnBatch":
+        """A batch restricted to the rows where ``mask`` is true.
+
+        ``mask`` is a boolean vector over this batch's *visible* rows
+        (``n_rows`` long). Columnar batches defer the gather: the new
+        batch shares the underlying vectors and just records the bitmap.
+        """
+        if count is None:
+            count = vector.mask_count(mask)
+        if count == self.n_rows:
+            return self
+        if self._columns is not None:
+            cols = self.columns() if self._selection is not None else self._columns
+            if count == 0:
+                return ColumnBatch(self.fields, 0, rows=[])
+            return ColumnBatch(
+                self.fields, count, columns=cols, selection=mask
+            )
+        keep = vector.to_list(mask) if not isinstance(mask, list) else mask
+        rows = [r for r, k in zip(self._rows, keep) if k]
+        return ColumnBatch.from_rows(self.fields, rows)
+
+    def project_columns(
+        self, idx: Sequence[int], fields: tuple[str, ...]
+    ) -> "ColumnBatch":
+        """Reorder/subset columns without touching the selection bitmap
+        (columnar batches only)."""
+        cols = self._columns
+        return ColumnBatch(
+            fields,
+            self.n_rows,
+            columns=[cols[i] for i in idx],
+            selection=self._selection,
+        )
+
+    def head(self, k: int) -> "ColumnBatch":
+        """The first ``k`` visible rows (limit pushdown)."""
+        if k >= self.n_rows:
+            return self
+        if self._rows is not None:
+            return ColumnBatch.from_rows(self.fields, self._rows[:k])
+        cols = self.columns()
+        return ColumnBatch(
+            self.fields, k, columns=[c[:k] for c in cols]
+        )
+
     def __len__(self) -> int:
         return self.n_rows
 
     def __repr__(self) -> str:
         kind = "columnar" if self.is_columnar else "rows"
+        if self._selection is not None:
+            kind += "+selection"
         return f"<ColumnBatch {self.n_rows}x{len(self.fields)} {kind}>"
 
 
@@ -178,20 +274,61 @@ class _ColumnCursor:
 
     def __init__(self, stream: Iterator[list]):
         self._stream = stream
-        self._columns: list[list] | None = None
+        self._columns: list | None = None
         self._offset = 0
 
-    def take(self, k: int) -> list[list] | None:
+    def take(self, k: int) -> list | None:
+        """Up to ``k`` rows' worth of column vectors, or ``None`` at EOF.
+
+        Batches never span chunks: a chunk no longer than ``k`` is handed
+        out whole (the vectors may be shared with the decoded-chunk cache,
+        so they are never copied or mutated), a longer one is served as
+        zero-copy slices, and a sub-``k`` tail simply becomes a short
+        batch. Downstream code treats batch sizes as advisory, and
+        chunk-aligned batches keep the warm-cache scan path allocation-free.
+        """
+        columns = self._columns
+        while columns is None:
+            chunk = next(self._stream, None)
+            if chunk is None:
+                return None
+            if not len(chunk[0]):
+                continue
+            if len(chunk[0]) <= k:
+                return list(chunk)
+            columns = self._columns = list(chunk)
+            self._offset = 0
+        offset = self._offset
+        end = min(offset + k, len(columns[0]))
+        out = [column[offset:end] for column in columns]
+        if end == len(columns[0]):
+            self._columns = None
+            self._offset = 0
+        else:
+            self._offset = end
+        return out
+
+    def take_exact(self, k: int) -> list | None:
+        """Exactly ``k`` rows (concatenating across chunks), fewer only at
+        EOF. Follower cursors in a multi-group merge use this to stay
+        positionally aligned with the lead group's chunk-aligned batches;
+        cached chunk vectors are never mutated — growth builds fresh
+        vectors via :func:`vector.concat`."""
         columns = self._columns
         while columns is None or len(columns[0]) - self._offset < k:
             chunk = next(self._stream, None)
             if chunk is None:
                 break
             if columns is None:
-                columns = self._columns = [list(c) for c in chunk]
+                columns = self._columns = list(chunk)
+                self._offset = 0
             else:
-                for buffer, values in zip(columns, chunk):
-                    buffer.extend(values)
+                offset = self._offset
+                columns = self._columns = [
+                    vector.concat([buf[offset:], values])
+                    for buf, values in zip(columns, chunk)
+                ]
+                self._offset = 0
         if columns is None:
             return None
         offset = self._offset
@@ -225,8 +362,6 @@ class _GroupSlicer:
         "_serializer",
         "_starts",
         "_counts",
-        "_cached_index",
-        "_cached_columns",
     )
 
     def __init__(self, renderer: "LayoutRenderer", layout: "StoredLayout", group_index: int):
@@ -256,41 +391,20 @@ class _GroupSlicer:
             starts.append(total)
             total += count
         self._starts = starts
-        self._cached_index = -1
-        self._cached_columns: list | None = None
 
     def _chunk_columns(self, chunk_index: int) -> list:
-        if chunk_index == self._cached_index:
-            assert self._cached_columns is not None
-            return self._cached_columns
         renderer = self._renderer
         if self._single:
-            page_index, _rows = self._store.chunks[chunk_index]
-            page_id = self._store.extent.page_ids[page_index]
-        else:
-            page_id = self._store.extent.page_ids[chunk_index]
-        frame = renderer.pool.fetch(page_id)
-        try:
-            if self._single:
-                data = BytePage(renderer.page_size, frame.data).read()
-            else:
-                page = SlottedPage(renderer.page_size, frame.data)
-                blobs = [blob for _, blob in page.records()]
-        finally:
-            renderer.pool.unpin(page_id)
-        if self._single:
-            columns = [self._codec.decode_all(data, self._dtype)]
-        else:
-            records = self._serializer.decode_many(blobs)
-            if records:
-                columns = [list(c) for c in zip(*records)]
-            else:
-                columns = [[] for _ in self._store.fields]
-        self._cached_index = chunk_index
-        self._cached_columns = columns
-        return columns
+            return [
+                renderer._single_group_chunk(
+                    self._store, self._dtype, self._codec, chunk_index
+                )
+            ]
+        return renderer._multi_group_chunk(
+            self._store, self._serializer, chunk_index
+        )
 
-    def slice(self, start: int, end: int) -> list[list]:
+    def slice(self, start: int, end: int) -> list:
         """Per-field value vectors covering rows [start, end)."""
         parts: list[list] = [[] for _ in self._store.fields]
         i = max(0, bisect_right(self._starts, start) - 1)
@@ -306,9 +420,9 @@ class _GroupSlicer:
             hi = min(end - chunk_start, chunk_len)
             columns = self._chunk_columns(i)
             for part, column in zip(parts, columns):
-                part.extend(column[lo:hi])
+                part.append(column[lo:hi])
             i += 1
-        return parts
+        return [vector.concat(p) if p else [] for p in parts]
 
 
 @dataclass
@@ -344,6 +458,10 @@ class ColumnGroupStore:
     extent: Extent
     # For single-field groups: (page index in extent, row count) per chunk.
     chunks: list[tuple[int, int]] = field(default_factory=list)
+    # Decoded-chunk cache (chunk index -> decoded vectors). Stores are
+    # immutable once rendered — rewrites build new ColumnGroupStore
+    # objects — so entries never go stale; never persisted.
+    cache: dict = field(default_factory=dict, repr=False, compare=False)
 
 
 @dataclass
@@ -377,6 +495,17 @@ class StoredLayout:
         pages += sum(len(g.extent.page_ids) for g in self.column_groups)
         pages += sum(m.total_pages() for m in self.mirrors)
         return pages
+
+    def clear_caches(self) -> None:
+        """Drop every decoded-chunk cache in this layout (and mirrors).
+
+        Only the cold-measurement harness (``RodentStore.run_cold``) calls
+        this: "cold" means the decoded vectors are gone too, so a scan pays
+        its true page reads again."""
+        for group in self.column_groups:
+            group.cache.clear()
+        for mirror in self.mirrors:
+            mirror.clear_caches()
 
     def page_ids(self) -> list[int]:
         """Every page id this layout occupies (main extent, groups, mirrors).
@@ -1110,7 +1239,7 @@ class LayoutRenderer:
             n = len(lead[0])
             columns = list(lead)
             for cursor in cursors[1:]:
-                more = cursor.take(n)
+                more = cursor.take_exact(n)
                 if more is None or len(more[0]) != n:
                     raise StorageError(
                         "column groups disagree on row count"
@@ -1127,28 +1256,62 @@ class LayoutRenderer:
         if len(store.fields) == 1:
             dtype = plan.schema.field(store.fields[0]).dtype
             codec = get_codec(plan.codec_for(store.fields[0]))
-            decode_all = codec.decode_all
-            for page_index, _rows in store.chunks:
-                page_id = store.extent.page_ids[page_index]
-                frame = self.pool.fetch(page_id)
-                try:
-                    data = BytePage(self.page_size, frame.data).read()
-                finally:
-                    self.pool.unpin(page_id)
-                values = decode_all(data, dtype)
-                if values:
+            for chunk_index in range(len(store.chunks)):
+                values = self._single_group_chunk(
+                    store, dtype, codec, chunk_index
+                )
+                if len(values):
                     yield [values]
         else:
             serializer = RecordSerializer(plan.schema.project(store.fields))
-            for page_id in store.extent.page_ids:
-                frame = self.pool.fetch(page_id)
-                try:
-                    page = SlottedPage(self.page_size, frame.data)
-                    blobs = [blob for _, blob in page.records()]
-                finally:
-                    self.pool.unpin(page_id)
-                if blobs:
-                    yield list(zip(*serializer.decode_many(blobs)))
+            for chunk_index in range(len(store.extent.page_ids)):
+                columns = self._multi_group_chunk(
+                    store, serializer, chunk_index
+                )
+                if columns and len(columns[0]):
+                    yield columns
+
+    def _single_group_chunk(
+        self, store: ColumnGroupStore, dtype, codec, chunk_index: int
+    ):
+        """One single-field chunk as a typed vector, via the store's
+        decoded-chunk cache. Cached vectors are shared across scans and
+        batches — callers must never mutate them."""
+        cached = store.cache.get(chunk_index)
+        if cached is not None:
+            return cached
+        page_index, _rows = store.chunks[chunk_index]
+        page_id = store.extent.page_ids[page_index]
+        frame = self.pool.fetch(page_id)
+        try:
+            data = BytePage(self.page_size, frame.data).read()
+        finally:
+            self.pool.unpin(page_id)
+        values = codec.decode_buffer(data, dtype)
+        _cache_put(store.cache, chunk_index, values)
+        return values
+
+    def _multi_group_chunk(
+        self, store: ColumnGroupStore, serializer: RecordSerializer, chunk_index: int
+    ) -> list:
+        """One multi-field chunk as per-field value lists (cached)."""
+        cached = store.cache.get(chunk_index)
+        if cached is not None:
+            return cached
+        page_id = store.extent.page_ids[chunk_index]
+        frame = self.pool.fetch(page_id)
+        try:
+            page = SlottedPage(self.page_size, frame.data)
+            blobs = [blob for _, blob in page.records()]
+        finally:
+            self.pool.unpin(page_id)
+        records = serializer.decode_many(blobs)
+        if records:
+            columns = [list(c) for c in zip(*records)]
+        else:
+            columns = [[] for _ in store.fields]
+        _cache_put(store.cache, chunk_index, columns)
+        return columns
 
     def iter_pruned_column_batches(
         self,
@@ -1175,10 +1338,10 @@ class LayoutRenderer:
         for start, end in keep:
             for batch_start in range(start, end, batch_size):
                 batch_end = min(end, batch_start + batch_size)
-                columns: list[list] = []
+                columns: list = []
                 for slicer in slicers:
                     columns.extend(slicer.slice(batch_start, batch_end))
-                if columns and columns[0]:
+                if columns and len(columns[0]):
                     yield ColumnBatch.from_columns(fields, columns)
 
     def iter_folded_batches(
@@ -1225,10 +1388,10 @@ class LayoutRenderer:
             frame = self.pool.fetch(page_id)
             try:
                 page = BytePage(self.page_size, frame.data)
-                values = serializer.decode_bulk(page.read())
+                values = serializer.decode_buffer(page.read())
             finally:
                 self.pool.unpin(page_id)
-            if values:
+            if len(values):
                 yield ColumnBatch.from_columns(("value",), [values])
 
     def get_array_element(self, layout: StoredLayout, index: Sequence[int] | int) -> Any:

@@ -26,14 +26,23 @@ Batch execution contract (the scan pipeline's hot path):
   ``field -> value vector`` mapping and returns a selection mask (one
   truthy/falsy entry per row). Range-shaped predicates produce the mask
   with per-column list comprehensions — no per-row method dispatch.
+* :meth:`Predicate.filter_vector` is the fully vectorized mode: whole-column
+  comparisons over typed buffers produce a boolean selection bitmap in a
+  handful of C-level calls, with And/Or/Not as bitwise ops. It returns
+  ``None`` whenever the predicate — or a column it touches — can't
+  vectorize *exactly* (non-numeric fields, division/modulo whose per-row
+  errors must surface, int/float casts that would round); callers then fall
+  back to the closure paths above, so answers never change.
 """
 
 from __future__ import annotations
 
 import math
+import operator
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
+from repro import vector
 from repro.algebra import ast
 from repro.algebra.transforms import eval_scalar
 from repro.errors import QueryError
@@ -94,6 +103,17 @@ class Predicate:
         vectors = [columns[name] for name in used]
         return [fn(record) for record in zip(*vectors)]
 
+    def filter_vector(
+        self, columns: Mapping[str, Sequence[Any]], n_rows: int
+    ):
+        """Boolean ndarray selection bitmap, or ``None`` to fall back.
+
+        Must agree exactly with :meth:`filter_batch` on every batch it
+        accepts; the default declines so arbitrary user predicates keep
+        their per-row semantics (including evaluation-order side effects).
+        """
+        return None
+
 
 @dataclass(frozen=True)
 class Range(Predicate):
@@ -150,6 +170,33 @@ class Range(Predicate):
             return [lo <= value for value in column]
         return [lo <= value <= hi for value in column]
 
+    def filter_vector(
+        self, columns: Mapping[str, Sequence[Any]], n_rows: int
+    ):
+        arr = vector.as_ndarray(columns.get(self.field))
+        if arr is None:
+            return None
+        lo, hi = self.lo, self.hi
+        if arr.dtype.kind == "i":
+            # Exact integer bounds: int64 vs float64 comparisons round
+            # above 2**53, so float bounds on int columns become the
+            # equivalent integer comparison instead of a cast.
+            if lo != NEG_INF and not isinstance(lo, int):
+                lo = math.ceil(lo)
+            if hi != POS_INF and not isinstance(hi, int):
+                hi = math.floor(hi)
+            if lo != NEG_INF and hi != POS_INF and lo > hi:
+                np = vector.numpy_module()
+                return np.zeros(arr.shape, dtype=bool)
+        try:
+            if lo == NEG_INF:
+                return arr <= hi
+            if hi == POS_INF:
+                return arr >= lo
+            return (arr >= lo) & (arr <= hi)
+        except (TypeError, OverflowError):
+            return None
+
 
 class Rect(Predicate):
     """A conjunction of ranges — the case study's spatial rectangle."""
@@ -181,6 +228,13 @@ class Rect(Predicate):
         self, columns: Mapping[str, Sequence[Any]], n_rows: int
     ) -> list:
         return _mask_junction(
+            list(self._ranges.values()), columns, n_rows, all_of=True
+        )
+
+    def filter_vector(
+        self, columns: Mapping[str, Sequence[Any]], n_rows: int
+    ):
+        return _vector_junction(
             list(self._ranges.values()), columns, n_rows, all_of=True
         )
 
@@ -229,6 +283,11 @@ class And(Predicate):
     ) -> list:
         return _mask_junction(list(self.parts), columns, n_rows, all_of=True)
 
+    def filter_vector(
+        self, columns: Mapping[str, Sequence[Any]], n_rows: int
+    ):
+        return _vector_junction(list(self.parts), columns, n_rows, all_of=True)
+
 
 class Or(Predicate):
     """Disjunction; per-field ranges are the union's bounding interval."""
@@ -271,6 +330,13 @@ class Or(Predicate):
     ) -> list:
         return _mask_junction(list(self.parts), columns, n_rows, all_of=False)
 
+    def filter_vector(
+        self, columns: Mapping[str, Sequence[Any]], n_rows: int
+    ):
+        return _vector_junction(
+            list(self.parts), columns, n_rows, all_of=False
+        )
+
 
 class Not(Predicate):
     """Negation; contributes no prunable ranges."""
@@ -294,6 +360,12 @@ class Not(Predicate):
         self, columns: Mapping[str, Sequence[Any]], n_rows: int
     ) -> list:
         return [not kept for kept in self.part.filter_batch(columns, n_rows)]
+
+    def filter_vector(
+        self, columns: Mapping[str, Sequence[Any]], n_rows: int
+    ):
+        inner = self.part.filter_vector(columns, n_rows)
+        return None if inner is None else ~inner
 
 
 class ScalarPredicate(Predicate):
@@ -336,6 +408,24 @@ class ScalarPredicate(Predicate):
         return eval(  # noqa: S307 - source built from our own AST
             f"lambda record: {source}", namespace
         )
+
+    def filter_vector(
+        self, columns: Mapping[str, Sequence[Any]], n_rows: int
+    ):
+        np = vector.numpy_module()
+        if np is None or not vector.numpy_enabled():
+            return None
+        try:
+            out = _eval_vector(self.condition, columns, np)
+        except (TypeError, OverflowError):
+            return None
+        if (
+            isinstance(out, np.ndarray)
+            and out.dtype == bool
+            and len(out) == n_rows
+        ):
+            return out
+        return None
 
     def __repr__(self) -> str:
         return f"ScalarPredicate({self.condition.to_text()})"
@@ -453,6 +543,179 @@ def _mask_junction(
         else:
             mask = [a or b for a, b in zip(mask, other)]
     return mask
+
+
+def _vector_junction(
+    parts: Sequence[Predicate],
+    columns: Mapping[str, Sequence[Any]],
+    n_rows: int,
+    all_of: bool,
+):
+    """Combine per-part selection bitmaps bitwise (And/Rect/Or).
+
+    All-or-nothing: one non-vectorizable part sends the whole junction to
+    the closure fallback, keeping short-circuit evaluation-order semantics
+    intact for mixed predicates.
+    """
+    mask = None
+    for part in parts:
+        other = part.filter_vector(columns, n_rows)
+        if other is None:
+            return None
+        if mask is None:
+            mask = other
+        elif all_of:
+            mask = mask & other
+        else:
+            mask = mask | other
+    return mask
+
+
+# Vectorized scalar-AST evaluation. Division and modulo are deliberately
+# absent: their per-row errors (ZeroDivisionError) must surface exactly
+# where the row-at-a-time closure would raise them.
+_VECTOR_COMPARISON_OPS = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+_VECTOR_ARITH_OPS = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+}
+
+#: Largest magnitude allowed through vectorized int arithmetic/casts.
+#: Int sums/products beyond this could wrap in int64 (or round through
+#: float64) where python ints would not — those expressions fall back.
+_INT_SAFE_BOUND = 2**62
+_FLOAT_EXACT_INT = 2**53
+
+
+def _int_bound(value, np) -> int | None:
+    """Conservative |max| of an int operand, or None when not int-like."""
+    if isinstance(value, np.ndarray):
+        if value.dtype.kind != "i":
+            return None
+        if value.size == 0:
+            return 0
+        return max(abs(int(value.min())), abs(int(value.max())))
+    if isinstance(value, int) and not isinstance(value, bool):
+        return abs(value)
+    return None
+
+
+def _eval_vector(expr: ast.Scalar, columns: Mapping[str, Sequence[Any]], np):
+    """Evaluate a scalar AST column-wise; ndarray/scalar result, or None
+    when any node would change semantics under vectorization."""
+    if isinstance(expr, ast.Const):
+        value = expr.value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        return value
+    if isinstance(expr, ast.FieldRef):
+        return vector.as_ndarray(columns.get(expr.name))
+    if isinstance(expr, ast.Comparison):
+        op = _VECTOR_COMPARISON_OPS.get(expr.op)
+        left = _eval_vector(expr.left, columns, np)
+        right = _eval_vector(expr.right, columns, np)
+        if op is None or left is None or right is None:
+            return None
+        return _compare_vector(expr.op, op, left, right, np)
+    if isinstance(expr, ast.Arith):
+        op = _VECTOR_ARITH_OPS.get(expr.op)
+        left = _eval_vector(expr.left, columns, np)
+        right = _eval_vector(expr.right, columns, np)
+        if op is None or left is None or right is None:
+            return None
+        left_bound = _int_bound(left, np)
+        right_bound = _int_bound(right, np)
+        if left_bound is not None and right_bound is not None:
+            # All-int arithmetic: guard int64 wraparound. (Anything
+            # involving a float converts through float64 exactly as the
+            # row-at-a-time closure does, so no guard is needed there.)
+            if expr.op == "*":
+                if left_bound * right_bound >= _INT_SAFE_BOUND:
+                    return None
+            elif left_bound + right_bound >= _INT_SAFE_BOUND:
+                return None
+        elif (left_bound or right_bound or 0) > _FLOAT_EXACT_INT:
+            # Int operand wider than float64's exact range meeting a
+            # float operand: python would compute exactly, float64 won't.
+            return None
+        if not isinstance(left, np.ndarray) and not isinstance(right, np.ndarray):
+            return None
+        return op(left, right)
+    if isinstance(expr, ast.Logical):
+        operands = [
+            _eval_vector(operand, columns, np) for operand in expr.operands
+        ]
+        if any(
+            not isinstance(o, np.ndarray) or o.dtype != bool for o in operands
+        ):
+            return None
+        if expr.op == "not":
+            return ~operands[0]
+        if expr.op == "and":
+            out = operands[0]
+            for o in operands[1:]:
+                out = out & o
+            return out
+        if expr.op == "or":
+            out = operands[0]
+            for o in operands[1:]:
+                out = out | o
+            return out
+        return None
+    return None
+
+
+def _compare_vector(op_name: str, op, left, right, np):
+    """Whole-column comparison with int/float exactness guards."""
+    left_arr = isinstance(left, np.ndarray)
+    right_arr = isinstance(right, np.ndarray)
+    if not left_arr and not right_arr:
+        return None
+    if left_arr and right_arr:
+        if left.dtype.kind != right.dtype.kind:
+            ints = left if left.dtype.kind == "i" else right
+            if _int_bound(ints, np) > _FLOAT_EXACT_INT:
+                return None
+        return op(left, right)
+    # Normalize to array-op-scalar.
+    if not left_arr:
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+        return _compare_vector(
+            flipped[op_name],
+            _VECTOR_COMPARISON_OPS[flipped[op_name]],
+            right,
+            left,
+            np,
+        )
+    arr, value = left, right
+    if arr.dtype.kind == "i" and isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            # Orderings against ±inf/nan survive the int→float cast.
+            return op(arr, value)
+        if value != int(value):
+            # Exact integer rewrite of a fractional bound.
+            floor = math.floor(value)
+            if op_name == "=":
+                return np.zeros(arr.shape, dtype=bool)
+            if op_name == "!=":
+                return np.ones(arr.shape, dtype=bool)
+            if op_name in ("<", "<="):
+                return arr <= floor
+            return arr >= floor + 1
+        value = int(value)
+    if arr.dtype.kind == "f" and isinstance(value, int):
+        if abs(value) > _FLOAT_EXACT_INT:
+            return None
+        value = float(value)
+    return op(arr, value)
 
 
 def _extract_ranges(condition: ast.Scalar) -> dict[str, tuple[float, float]]:

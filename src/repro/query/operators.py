@@ -8,12 +8,21 @@ tree. Operators hold no cost logic themselves: the planner
 (:mod:`repro.query.planner`) annotates them after lowering.
 
 The leaf is :class:`TableScanOp`, a thin adapter over
-:meth:`Table.scan_batches` — predicate/projection/order/limit pushdown,
-grid-cell pruning, column-group selection, and the index-vs-scan choice all
-happen inside the access method. Above it sit :class:`FilterOp` (residual
-predicates), :class:`ProjectOp`, :class:`HashJoinOp` (equi-join, hash the
-estimated-smaller side), :class:`GroupByOp` (scalar accumulators, no
-member-row buffering), :class:`SortOp`, and :class:`LimitOp`.
+:meth:`Table.scan_column_batches` — predicate/projection/order/limit
+pushdown, grid-cell pruning, column-group selection, and the
+index-vs-scan choice all happen inside the access method. Above it sit
+:class:`FilterOp` (residual predicates), :class:`ProjectOp`,
+:class:`HashJoinOp` (equi-join, hash the estimated-smaller side),
+:class:`GroupByOp` (scalar accumulators, no member-row buffering),
+:class:`SortOp`, and :class:`LimitOp`.
+
+When the store's vectorized mode is on, columnar batches flow through the
+tree untransposed: filters evaluate selection bitmaps
+(:meth:`Predicate.filter_vector`) and defer the gather, projections
+reorder column vectors, joins extract keys from packed column slices, and
+group-by reduces typed buffers with numpy when it is importable. Every
+vector path bails to the row-at-a-time code on anything it cannot
+reproduce bit-for-bit, so results are identical either way.
 
 Null semantics follow SQL: join keys containing ``None`` never match, and
 ``count(field)`` / ``sum`` / ``avg`` / ``min`` / ``max`` skip ``None``
@@ -31,6 +40,7 @@ from collections import defaultdict, deque
 from concurrent.futures import wait as _wait_futures
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
+from repro import vector
 from repro.engine.cost import CostEstimate
 from repro.errors import QueryError, StorageError
 from repro.layout.renderer import DEFAULT_BATCH_ROWS, ColumnBatch
@@ -184,14 +194,27 @@ class TableScanOp(Operator):
 
     def batches(self) -> Iterator[ColumnBatch]:
         actual = 0
-        for rows in self.table.scan_batches(
-            fieldlist=self.fieldlist,
-            predicate=self.predicate,
-            order=self.order,
-            limit=self.limit,
-        ):
-            actual += len(rows)
-            yield ColumnBatch.from_rows(self.fields, rows)
+        if getattr(self.table.store, "vectorized", True):
+            # Consume the access method's native ColumnBatch stream:
+            # columnar layouts arrive as typed vectors (plus any pending
+            # selection bitmap) and stay columnar through the plan tree.
+            for batch in self.table.scan_column_batches(
+                fieldlist=self.fieldlist,
+                predicate=self.predicate,
+                order=self.order,
+                limit=self.limit,
+            ):
+                actual += batch.n_rows
+                yield batch
+        else:
+            for rows in self.table.scan_batches(
+                fieldlist=self.fieldlist,
+                predicate=self.predicate,
+                order=self.order,
+                limit=self.limit,
+            ):
+                actual += len(rows)
+                yield ColumnBatch.from_rows(self.fields, rows)
         # Completed scans report actual-vs-estimated cardinality into the
         # table's workload monitor (abandoned scans would compare a full
         # estimate against a partial count, so they stay silent).
@@ -295,13 +318,25 @@ class FilterOp(Operator):
         return repr(self.predicate)
 
     def batches(self) -> Iterator[ColumnBatch]:
-        # Upstream operators emit row-backed batches, so the compiled
-        # closure is the right evaluation shape here; columnar mask
-        # evaluation stays inside Table.scan_batches where columnar
-        # batches actually occur.
+        # Columnar batches (vectorized scans flowing up through joins are
+        # still per-table; residual predicates see them directly above a
+        # scan) take the bitmap path: evaluate the whole-column predicate
+        # into a selection mask and defer the gather. Row-backed batches —
+        # and any predicate that declines to vectorize — fall back to the
+        # compiled per-row closure.
         positions = {name: i for i, name in enumerate(self.fields)}
         row_filter = self.predicate.compile(positions)
+        predicate = self.predicate
         for batch in self.child.batches():
+            if batch.is_columnar:
+                bitmap = predicate.filter_vector(
+                    batch.column_map(), batch.n_rows
+                )
+                if bitmap is not None:
+                    selected = batch.select(bitmap)
+                    if selected.n_rows:
+                        yield selected
+                    continue
             kept = list(filter(row_filter, batch.rows()))
             if kept:
                 yield ColumnBatch.from_rows(self.fields, kept)
@@ -339,6 +374,11 @@ class ProjectOp(Operator):
             getter = _operator.itemgetter(*idx)
             project = lambda rows: list(map(getter, rows))
         for batch in self.child.batches():
+            if batch.is_columnar:
+                # Reorder column vectors in place of transposing; any
+                # pending selection bitmap rides along unresolved.
+                yield batch.project_columns(idx, self.fields)
+                continue
             yield ColumnBatch.from_rows(self.fields, project(batch.rows()))
 
 
@@ -396,21 +436,37 @@ class HashJoinOp(Operator):
     def _null_key(key: Any, composite: bool) -> bool:
         return (None in key) if composite else (key is None)
 
+    @staticmethod
+    def _batch_keys(batch: ColumnBatch, idx: Sequence[int]) -> list:
+        """Per-row join keys, sliced from packed columns when available.
+
+        Columnar batches yield their key columns as whole vectors — one
+        bulk ``tolist`` per key instead of an itemgetter call per row.
+        Single keys stay scalar, composites become tuples, matching
+        :func:`_key_fn` exactly.
+        """
+        if batch.is_columnar:
+            cols = batch.columns()
+            key_cols = [vector.to_list(cols[i]) for i in idx]
+            if len(key_cols) == 1:
+                return key_cols[0]
+            return list(zip(*key_cols))
+        key_of = _key_fn(idx)
+        return [key_of(row) for row in batch.rows()]
+
     def batches(self) -> Iterator[ColumnBatch]:
         composite = len(self.left_keys) > 1
         null_key = self._null_key
         if self.build_left:
             build, probe = self.left, self.right
-            build_key = _key_fn(self._left_idx)
-            probe_key = _key_fn(self._right_idx)
+            build_idx, probe_idx = self._left_idx, self._right_idx
         else:
             build, probe = self.right, self.left
-            build_key = _key_fn(self._right_idx)
-            probe_key = _key_fn(self._left_idx)
+            build_idx, probe_idx = self._right_idx, self._left_idx
         table: dict[Any, list[tuple]] = defaultdict(list)
         for batch in build.batches():
-            for row in batch.rows():
-                key = build_key(row)
+            keys = self._batch_keys(batch, build_idx)
+            for key, row in zip(keys, batch.rows()):
                 if null_key(key, composite):
                     continue
                 table[key].append(row)
@@ -421,8 +477,8 @@ class HashJoinOp(Operator):
         for batch in probe.batches():
             out: list[tuple] = []
             extend = out.extend
-            for row in batch.rows():
-                key = probe_key(row)
+            keys = self._batch_keys(batch, probe_idx)
+            for key, row in zip(keys, batch.rows()):
                 if null_key(key, composite):
                     continue
                 matches = get(key)
@@ -434,6 +490,11 @@ class HashJoinOp(Operator):
                     extend(row + b for b in matches)
             if out:
                 yield ColumnBatch.from_rows(self.fields, out)
+
+
+#: Int sums stay exact in int64 as long as ``max(|value|) * n_rows`` is
+#: below this; anything bigger bails to arbitrary-precision python ints.
+_INT64_SAFE = 2**62
 
 
 #: min/max slots treat ``None`` as "unset"; safe because None *values* are
@@ -522,6 +583,12 @@ class GroupByOp(Operator):
         single_key = len(key_idx) == 1
         states: dict[tuple, _AggState] = {}
         for batch in self.child.batches():
+            if (
+                batch.is_columnar
+                and batch.n_rows
+                and self._fold_vectorized(batch, states)
+            ):
+                continue
             for row in batch.rows():
                 if key_of is None:
                     key = ()
@@ -562,6 +629,138 @@ class GroupByOp(Operator):
             out.append(tuple(result))
         if out:
             yield ColumnBatch.from_rows(self.fields, out)
+
+    def _fold_vectorized(self, batch: ColumnBatch, states: dict) -> bool:
+        """Fold one columnar batch into ``states`` with numpy reductions.
+
+        Groups come from a stable argsort over combined key codes, so each
+        sorted slice preserves the batch's original row order, and groups
+        commit to ``states`` in first-seen order (``argsort`` of each
+        group's first row position) — the dict ends up identical to the
+        row loop's. Int sums reduce with ``np.add.reduceat`` (exact below
+        the int64 guard); float sums accumulate sequentially in python over
+        the sorted slices so rounding matches the row loop bit-for-bit.
+
+        Returns False, leaving ``states`` untouched, whenever any piece
+        can't be reproduced exactly: numpy unavailable, a needed column
+        that isn't a typed numeric vector (typed vectors also guarantee
+        no ``None``s, which is what lets counts equal group sizes), NaNs
+        anywhere (their comparison semantics differ from the row loop's
+        min/max and dict-key behavior), or an int sum that could overflow.
+        """
+        np = vector.numpy_module()
+        if np is None or not vector.numpy_enabled():
+            return False
+        n = batch.n_rows
+        cols = batch.columns()
+
+        def ndarray(i):
+            arr = vector.as_ndarray(cols[i])
+            if (
+                arr is not None
+                and arr.dtype.kind == "f"
+                and np.isnan(arr).any()
+            ):
+                return None
+            return arr
+
+        key_arrays = [ndarray(i) for i in self._key_idx]
+        count_arrays = [ndarray(i) for i in self._count_idx]
+        sum_arrays = [ndarray(i) for i in self._sum_idx]
+        minmax_arrays = [ndarray(i) for i in self._minmax_idx]
+        if any(
+            a is None
+            for group in (key_arrays, count_arrays, sum_arrays, minmax_arrays)
+            for a in group
+        ):
+            return False
+
+        if key_arrays:
+            codes = None
+            cardinality = 1
+            for arr in key_arrays:
+                uniques, inverse = np.unique(arr, return_inverse=True)
+                k = len(uniques)
+                if codes is None:
+                    codes = inverse.astype(np.int64, copy=False)
+                else:
+                    if cardinality * k >= _INT64_SAFE:
+                        return False
+                    codes = codes * k + inverse
+                cardinality *= k
+            order = np.argsort(codes, kind="stable")
+            sorted_codes = codes[order]
+            change = np.flatnonzero(sorted_codes[1:] != sorted_codes[:-1]) + 1
+            starts = np.concatenate([np.zeros(1, dtype=np.intp), change])
+            firsts = order[starts]
+            group_keys = list(
+                zip(*(arr[firsts].tolist() for arr in key_arrays))
+            )
+            group_order = np.argsort(firsts, kind="stable").tolist()
+        else:
+            order = np.arange(n)
+            starts = np.zeros(1, dtype=np.intp)
+            group_keys = [()]
+            group_order = [0]
+        starts_list = [int(s) for s in starts.tolist()]
+        stops_list = starts_list[1:] + [n]
+        sizes = [hi - lo for lo, hi in zip(starts_list, stops_list)]
+
+        int_sums: dict[int, list] = {}
+        float_sums: dict[int, list] = {}
+        for slot, arr in enumerate(sum_arrays):
+            vals = arr[order]
+            if arr.dtype.kind == "f":
+                float_sums[slot] = vals.tolist()
+            else:
+                bound = max(abs(int(vals.min())), abs(int(vals.max())))
+                if bound * n >= _INT64_SAFE:
+                    return False
+                int_sums[slot] = np.add.reduceat(vals, starts).tolist()
+        minmax_segs = []
+        for slot, arr in enumerate(minmax_arrays):
+            vals = arr[order]
+            reducer = (
+                np.minimum
+                if self._minmax_specs[slot][0] == "min"
+                else np.maximum
+            )
+            minmax_segs.append(reducer.reduceat(vals, starts).tolist())
+
+        n_counts = len(count_arrays)
+        n_sums = len(sum_arrays)
+        for g in group_order:
+            key = group_keys[g]
+            state = states.get(key)
+            if state is None:
+                state = states[key] = _AggState(
+                    n_counts, n_sums, len(minmax_arrays)
+                )
+            size = sizes[g]
+            state.count += size
+            for slot in range(n_counts):
+                state.counts[slot] += size
+            for slot in range(n_sums):
+                seg = int_sums.get(slot)
+                if seg is not None:
+                    state.sums[slot] += seg[g]
+                else:
+                    lo, hi = starts_list[g], stops_list[g]
+                    state.sums[slot] = sum(
+                        float_sums[slot][lo:hi], state.sums[slot]
+                    )
+                state.sum_counts[slot] += size
+            for slot, seg in enumerate(minmax_segs):
+                value = seg[g]
+                if self._minmax_specs[slot][0] == "min":
+                    current = state.mins[slot]
+                    if current is None or value < current:
+                        state.mins[slot] = value
+                else:
+                    current = state.maxs[slot]
+                    if current is None or value > current:
+                        state.maxs[slot] = value
+        return True
 
     def _finalize(self, agg: "Aggregate", state: _AggState) -> Any:
         if agg.source is None:  # count(*)
@@ -641,9 +840,7 @@ class LimitOp(Operator):
             return
         for batch in self.child.batches():
             if batch.n_rows >= remaining:
-                yield ColumnBatch.from_rows(
-                    self.fields, batch.rows()[:remaining]
-                )
+                yield batch.head(remaining)
                 return
             remaining -= batch.n_rows
             yield batch

@@ -20,6 +20,7 @@ from __future__ import annotations
 import struct
 from typing import Any, Sequence
 
+from repro import vector
 from repro.errors import SerializationError
 from repro.types.schema import Schema
 from repro.types.types import DataType
@@ -211,6 +212,23 @@ class VectorSerializer:
             raise SerializationError("truncated fixed-size vector")
         fmt = self.dtype.struct_format
         return list(struct.unpack_from(f"<{count}{fmt}", data, 4))
+
+    def decode_buffer(self, data: bytes | memoryview):
+        """Decode into a contiguous typed vector (numpy ``ndarray`` or
+        stdlib ``array``) for 8-byte numeric element types, falling back
+        to :meth:`decode_bulk`'s list for everything else. Same values
+        either way — callers treat both shapes uniformly via
+        :mod:`repro.vector`."""
+        code = vector.typecode_for(self.dtype)
+        if code is None:
+            return self.decode_bulk(data)
+        data = bytes(data)
+        if len(data) < 4:
+            raise SerializationError("vector buffer too short")
+        (count,) = _U32.unpack_from(data, 0)
+        if len(data) < 4 + count * self._elem.size:
+            raise SerializationError("truncated fixed-size vector")
+        return vector.from_bytes(data, 4, count, code)
 
     def encoded_size(self, values: Sequence[Any]) -> int:
         if self._elem is not None:

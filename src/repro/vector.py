@@ -1,0 +1,173 @@
+"""Typed-vector support for the vectorized execution core.
+
+Columns travel through the batch layer as one of three physical shapes,
+uniformly called a *vector*:
+
+* a ``numpy.ndarray`` (``int64``/``float64``) when numpy is importable —
+  the fast path;
+* a stdlib ``array.array`` (typecode ``"q"``/``"d"``) — the pure-Python
+  fallback, still contiguous and bulk-decodable;
+* a plain ``list`` — the graceful-degradation shape for strings, bools,
+  mixed/null data, and any codec that has no typed decode.
+
+Every helper here accepts all three shapes so callers never branch on
+numpy availability; behavior is identical either way, only speed differs.
+``set_numpy_enabled(False)`` (or ``REPRO_NO_NUMPY=1``) forces the
+fallback even when numpy is installed, which is how tests assert parity.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from array import array
+from typing import Any, Iterable, Sequence
+
+try:  # pragma: no cover - exercised via both CI legs
+    import numpy as _numpy_mod
+except ImportError:  # pragma: no cover
+    _numpy_mod = None
+
+#: The active numpy module, or None when absent/disabled at runtime.
+_np = None if os.environ.get("REPRO_NO_NUMPY") else _numpy_mod
+
+#: struct typecodes we promote to contiguous buffers. Bools stay lists:
+#: ``array`` has no ``"?"`` typecode and masks of three-ish distinct
+#: values vectorize poorly anyway.
+_NUMERIC_TYPECODES = frozenset("qd")
+
+_NP_DTYPES = {"q": "<i8", "d": "<f8"}
+
+
+def numpy_module():
+    """The numpy module if importable, regardless of the runtime toggle."""
+    return _numpy_mod
+
+
+def numpy_enabled() -> bool:
+    return _np is not None
+
+
+def set_numpy_enabled(enabled: bool) -> bool:
+    """Toggle the numpy fast path at runtime (testing/benchmarking hook).
+
+    Only affects vectors built *after* the call — typed vectors already
+    cached inside live stores keep their shape. Parity tests therefore
+    always build fresh stores after toggling. Returns the previous state.
+    """
+    global _np
+    previous = _np is not None
+    _np = _numpy_mod if (enabled and _numpy_mod is not None) else None
+    return previous
+
+
+def typecode_for(dtype) -> str | None:
+    """``"q"``/``"d"`` for fixed 8-byte numeric types, else None.
+
+    Accepts NamedType wrappers (unwraps ``.base``). STRING/BYTES have no
+    struct format and BOOL ("?") is deliberately excluded — both decode
+    to plain lists.
+    """
+    base = getattr(dtype, "base", dtype)
+    fmt = getattr(base, "struct_format", None)
+    return fmt if fmt in _NUMERIC_TYPECODES else None
+
+
+def from_bytes(data, offset: int, count: int, code: str):
+    """Wrap ``count`` packed little-endian elements starting at ``offset``
+    into a typed vector — zero-copy under numpy, one bulk copy under the
+    ``array`` fallback."""
+    if count <= 0:
+        return _np.empty(0, dtype=_NP_DTYPES[code]) if _np is not None else array(code)
+    if _np is not None:
+        return _np.frombuffer(data, dtype=_NP_DTYPES[code], count=count, offset=offset)
+    vec = array(code)
+    end = offset + count * vec.itemsize
+    vec.frombytes(bytes(data[offset:end]))
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts
+        vec.byteswap()
+    return vec
+
+
+def from_values(values: Sequence, code: str):
+    """A typed vector from already-decoded python scalars, or None when
+    the values don't fit the typecode (e.g. a None snuck in)."""
+    try:
+        if _np is not None:
+            out = _np.asarray(values, dtype=_NP_DTYPES[code])
+            if len(out) != len(values):  # pragma: no cover - defensive
+                return None
+            return out
+        return array(code, values)
+    except (TypeError, ValueError, OverflowError):
+        return None
+
+
+def is_typed(vec) -> bool:
+    """True when the vector is a contiguous typed buffer (not a list)."""
+    return not isinstance(vec, list)
+
+
+def to_list(vec) -> list:
+    """Materialize native python scalars. Lists pass through unchanged;
+    ndarray/array use their bulk ``tolist`` (never ``list(ndarray)``,
+    which would leak numpy scalars into row tuples)."""
+    if isinstance(vec, list):
+        return vec
+    return vec.tolist()
+
+
+def concat(parts: list):
+    """Concatenate column fragments, preserving the typed shape when all
+    fragments share it; degrades to a plain list otherwise."""
+    if len(parts) == 1:
+        return parts[0]
+    if _np is not None and all(isinstance(p, _np.ndarray) for p in parts):
+        return _np.concatenate(parts)
+    if (
+        all(isinstance(p, array) for p in parts)
+        and len({p.typecode for p in parts}) == 1
+    ):
+        out = array(parts[0].typecode)
+        for p in parts:
+            out.extend(p)
+        return out
+    out = []
+    for p in parts:
+        out.extend(to_list(p))
+    return out
+
+
+def mask_count(mask) -> int:
+    """Number of selected rows in a boolean selection mask."""
+    if _numpy_mod is not None and isinstance(mask, _numpy_mod.ndarray):
+        return int(mask.sum())
+    return sum(mask)
+
+
+def apply_mask(vec, mask) -> list | Any:
+    """Rows of ``vec`` where ``mask`` is true. ndarray×ndarray uses fancy
+    indexing (stays typed); every other combination compresses to a list."""
+    np_mod = _numpy_mod
+    if np_mod is not None and isinstance(mask, np_mod.ndarray):
+        if isinstance(vec, np_mod.ndarray):
+            return vec[mask]
+        mask = mask.tolist()
+    if not isinstance(vec, list):
+        vec = vec.tolist()
+    return [v for v, keep in zip(vec, mask) if keep]
+
+
+def as_ndarray(vec):
+    """A numpy view of a typed vector, or None when numpy is disabled or
+    the vector is a plain list. ``array`` fallback vectors get a
+    zero-copy ``frombuffer`` view."""
+    if _np is None:
+        return None
+    if isinstance(vec, _np.ndarray):
+        return vec if vec.dtype.kind in "if" else None
+    if isinstance(vec, array) and vec.typecode in _NUMERIC_TYPECODES and len(vec):
+        return _np.frombuffer(vec, dtype=_NP_DTYPES[vec.typecode])
+    if isinstance(vec, array):
+        return _np.empty(0, dtype=_NP_DTYPES.get(vec.typecode, "<i8"))
+    return None

@@ -183,9 +183,18 @@ def random_query(rng: random.Random, scan_names: list[str]) -> dict:
 # ---------------------------------------------------------------------------
 
 
-def run_query_all_paths(store: RodentStore, query: dict, predicate) -> None:
+def run_query_all_paths(
+    store: RodentStore, query: dict, predicate, vector_flip: bool = False
+) -> None:
     """Assert batch ≡ reference ≡ compiled pipeline across the pruning
-    (zone-map + partition) and parallel-executor toggles."""
+    (zone-map + partition), vectorized-execution, and parallel-executor
+    toggles.
+
+    ``store.vectorized`` rides the pruning loop so both engines —
+    selection bitmaps / typed-buffer operators vs the per-row closures —
+    run in every call; ``vector_flip`` (alternated per fuzz iteration)
+    inverts the pairing so all four pruning x vectorized combinations get
+    exercised across iterations without doubling the run count."""
     table = store.table("T")
     # Parallelism only has a distinct code path on partitioned tables;
     # skip the redundant re-run otherwise.
@@ -194,6 +203,7 @@ def run_query_all_paths(store: RodentStore, query: dict, predicate) -> None:
     for pruning in (True, False):
         store.zone_pruning = pruning
         store.partition_pruning = pruning
+        store.vectorized = pruning != vector_flip
         for workers in worker_settings:
             store.scan_workers = workers
             batch = [
@@ -241,10 +251,11 @@ def run_query_all_paths(store: RodentStore, query: dict, predicate) -> None:
     store.zone_pruning = True
     store.partition_pruning = True
     store.scan_workers = 0
+    store.vectorized = True
     baseline = next(iter(results.values()))
     assert all(
         r == baseline for r in results.values()
-    ), "pruning/parallel toggles changed query answers"
+    ), "pruning/vectorized/parallel toggles changed query answers"
 
 
 def check_ground_truth(store: RodentStore, expected: list[tuple]) -> None:
@@ -292,8 +303,9 @@ def test_fuzz_differential_equivalence(iteration: int):
         (random_query(rng, scan_names), random_predicate(rng, names, domains))
         for _ in range(QUERIES_PER_SCENARIO)
     ]
+    vector_flip = bool(iteration % 2)
     for query, predicate in queries:
-        run_query_all_paths(store, query, predicate)
+        run_query_all_paths(store, query, predicate, vector_flip)
 
     # Mid-stream reorganization #1: an explicit relayout to a different
     # random design. Pending + overflow must be folded in, never lost.
@@ -304,7 +316,7 @@ def test_fuzz_differential_equivalence(iteration: int):
     scan_names = list(store.table("T").scan_schema().names())
     for query, predicate in queries:
         if _query_valid(query, predicate, scan_names):
-            run_query_all_paths(store, query, predicate)
+            run_query_all_paths(store, query, predicate, vector_flip)
 
     # Mid-stream reorganization #2: the adaptive loop itself (forced check
     # against the workload the queries above were observed into).
@@ -313,7 +325,7 @@ def test_fuzz_differential_equivalence(iteration: int):
     scan_names = list(store.table("T").scan_schema().names())
     for query, predicate in queries:
         if _query_valid(query, predicate, scan_names):
-            run_query_all_paths(store, query, predicate)
+            run_query_all_paths(store, query, predicate, vector_flip)
 
     # Deterministic teardown: joins any parallel-scan workers the
     # iteration spawned so threads never accumulate across fuzz cases.
