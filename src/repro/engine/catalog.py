@@ -102,6 +102,10 @@ class CatalogEntry:
     # rebuilt lazily whenever it disagrees with ``partitions`` (never
     # persisted).
     region_index: dict = field(default_factory=dict, repr=False)
+    # Corrupt units the most recent degraded-read scan skipped (event
+    # dicts); surfaced as ``corruption_skipped`` in explain(). Never
+    # persisted.
+    last_corruption_skipped: list = field(default_factory=list, repr=False)
     # Snapshot machinery: version counter, scan pins, deferred page frees.
     # ``mvcc.lock`` guards every mutation of the layout-bearing fields
     # above (plan/layout/overflow/pending/indexes/partitions).

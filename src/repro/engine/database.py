@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Sequence
 
@@ -29,7 +30,13 @@ from repro.engine.catalog import Catalog, CatalogEntry, PartitionRegion
 from repro.engine.cost import CostModel
 from repro.engine.stats import TableStats
 from repro.engine.table import Table, _scan_schema, structural_residual
-from repro.errors import CatalogError, StorageError
+from repro.errors import (
+    CatalogError,
+    CorruptPageError,
+    RodentStoreError,
+    StorageError,
+    WALError,
+)
 from repro.layout.partitioning import Locator, PartitionRouter
 from repro.layout.renderer import (
     DEFAULT_BATCH_ROWS,
@@ -43,6 +50,7 @@ from repro.storage.transactions import TransactionManager
 from repro.storage.wal import (
     KIND_CATALOG,
     KIND_CHECKPOINT,
+    KIND_COMMIT,
     KIND_ROWS,
     KIND_UPDATE,
     WriteAheadLog,
@@ -180,6 +188,8 @@ class RodentStore:
         group_commit_window: float = 0.0,
         batch_rows: int = DEFAULT_BATCH_ROWS,
         vectorized: bool = True,
+        checksums: bool = True,
+        degraded_reads: bool = False,
     ):
         from repro.engine.adaptive import AdaptiveController
 
@@ -195,10 +205,26 @@ class RodentStore:
                 catalog_path = path + ".catalog.json"
         self.catalog_path = catalog_path
         self.disk = DiskManager(
-            path, page_size=page_size, read_latency_s=read_latency_s
+            path,
+            page_size=page_size,
+            read_latency_s=read_latency_s,
+            verify_checksums=checksums,
         )
         self.pool = BufferPool(self.disk, capacity=pool_capacity, policy=eviction)
         self.wal = WriteAheadLog(wal_path)
+        #: Shared corruption ledger (verifications, failures, repairs,
+        #: quarantined pages) — surfaced via storage_stats()["integrity"].
+        self.integrity = self.disk.integrity
+        self.wal.integrity = self.integrity
+        #: A checksum mismatch on a pool miss tries the WAL repair ladder
+        #: before surfacing as CorruptPageError.
+        self.pool.repair_handler = self._repair_page
+        #: Degraded reads: scans skip corrupt, unrepairable units and
+        #: report them (per-scan ``corruption_skipped`` in explain() and
+        #: the integrity registry) instead of failing the query. Off by
+        #: default — corruption fails loudly.
+        self.degraded_reads = bool(degraded_reads)
+        self._io_faults = None
         self.locks = LockManager()
         # Non-durable stores run in locking-only mode (log=False): an
         # in-memory WAL would grow without bound under a write workload.
@@ -351,6 +377,265 @@ class RodentStore:
         and page-file write paths (pass ``None`` to disarm)."""
         self.disk.faults = injector
         self.wal.faults = injector
+
+    def inject_io_faults(self, injector) -> None:
+        """Arm an :class:`~repro.storage.faults.IoFaultInjector` on the
+        page, WAL, and catalog read/write paths (pass ``None`` to disarm)."""
+        self.disk.io_faults = injector
+        self.wal.io_faults = injector
+        self._io_faults = injector
+
+    @property
+    def checksums(self) -> bool:
+        """Whether ``read_page`` verifies frame checksums (settable)."""
+        return self.disk.verify_checksums
+
+    @checksums.setter
+    def checksums(self, value: bool) -> None:
+        self.disk.verify_checksums = bool(value)
+
+    # -- integrity ---------------------------------------------------------
+
+    def _repair_page(self, page_id: int) -> bytearray | None:
+        """Repair a corrupt page from its latest committed WAL after-image.
+
+        The renderer logs *full-page* after-images at commit, so any page
+        whose transaction is still in the (un-truncated) WAL can be
+        rewritten bit-for-bit. Pages folded into the page file by an
+        earlier checkpoint have no WAL copy left — the checkpoint protocol
+        fsynced them as the authoritative replica — so those stay
+        quarantined and ``None`` is returned.
+        """
+        try:
+            records = list(self.wal.records())
+        except WALError:
+            return None  # the log itself is damaged: no trusted source
+        committed = {
+            r.txn_id for r in records if r.kind == KIND_COMMIT
+        }
+        image = None
+        for r in records:
+            if (
+                r.kind == KIND_UPDATE
+                and r.page_id == page_id
+                and r.offset == 0
+                and len(r.after) == self.disk.page_size
+                and r.txn_id in committed
+            ):
+                image = r.after  # keep the *latest* committed image
+        if image is None:
+            return None
+        self.disk.write_page(page_id, image)
+        self.integrity.record_page_repair(page_id)
+        return bytearray(image)
+
+    def scrub(self, repair: bool = True) -> dict:
+        """Verify every referenced page, WAL record, and the catalog file.
+
+        Walks the store end to end: checksum-verifies each page referenced
+        by a catalog layout (attempting WAL repair for failures when
+        ``repair=True``), iterates the WAL (record CRCs + LSN continuity),
+        re-verifies the catalog file checksum, and checks cross-structure
+        invariants — zone synopses against actual page contents and the
+        partition map against each region's rows. Returns a report dict
+        (also kept as ``storage_stats()["integrity"]["last_scrub"]``);
+        ``report["clean"]`` is True when nothing failed.
+        """
+        start = time.perf_counter()
+        report: dict[str, Any] = {
+            "pages_checked": 0,
+            "pages_failed": 0,
+            "pages_repaired": 0,
+            "unrepairable": [],
+            "wal_records_checked": 0,
+            "wal_ok": True,
+            "wal_error": None,
+            "catalog_ok": True,
+            "catalog_error": None,
+            "synopsis_mismatches": [],
+            "partition_mismatches": [],
+            "row_count_mismatches": [],
+        }
+        self.pool.flush_all()
+        referenced: set[int] = set()
+        for entry in self.catalog:
+            for layout in self._entry_layouts(entry):
+                referenced.update(layout.page_ids())
+        report["pages_referenced"] = len(referenced)
+        report["pages_allocated"] = self.disk.num_pages
+        report["pages_free"] = len(self.disk.free_page_ids())
+        for page_id in sorted(referenced):
+            report["pages_checked"] += 1
+            try:
+                self.disk.read_page(page_id)
+            except (CorruptPageError, StorageError) as exc:
+                report["pages_failed"] += 1
+                repaired = (
+                    self._repair_page(page_id)
+                    if repair and isinstance(exc, CorruptPageError)
+                    else None
+                )
+                if repaired is not None:
+                    report["pages_repaired"] += 1
+                else:
+                    report["unrepairable"].append(
+                        {"page_id": page_id, "error": str(exc)}
+                    )
+        try:
+            for _ in self.wal.records():
+                report["wal_records_checked"] += 1
+        except WALError as exc:
+            report["wal_ok"] = False
+            report["wal_error"] = str(exc)
+        if self.catalog_path is not None and os.path.exists(self.catalog_path):
+            from repro.engine.persistence import read_catalog_payload
+
+            try:
+                read_catalog_payload(self, self.catalog_path)
+            except CatalogError as exc:
+                report["catalog_ok"] = False
+                report["catalog_error"] = str(exc)
+        with self.adaptivity.pause():
+            for entry in self.catalog:
+                self._scrub_entry(entry, report)
+        report["elapsed_s"] = time.perf_counter() - start
+        report["clean"] = (
+            report["pages_failed"] == report["pages_repaired"]
+            and not report["unrepairable"]
+            and report["wal_ok"]
+            and report["catalog_ok"]
+            and not report["synopsis_mismatches"]
+            and not report["partition_mismatches"]
+            and not report["row_count_mismatches"]
+        )
+        self.integrity.record_scrub(report)
+        return report
+
+    def _entry_layouts(self, entry: CatalogEntry) -> list[StoredLayout]:
+        layouts = []
+        if entry.layout is not None:
+            layouts.append(entry.layout)
+        layouts.extend(entry.overflow)
+        for region in entry.partitions:
+            if region.layout is not None:
+                layouts.append(region.layout)
+            layouts.extend(region.overflow)
+        return layouts
+
+    def _scrub_entry(self, entry: CatalogEntry, report: dict) -> None:
+        """Cross-structure invariants for one table (best effort).
+
+        Skips tables whose pages are already reported corrupt — the scan
+        would just re-raise what the page walk recorded.
+        """
+        if entry.plan is None:
+            return
+        table = Table(self, entry)
+        try:
+            rows = list(table.scan_reference())
+        except RodentStoreError:
+            return  # unreadable data: the page/WAL walk already said why
+        if len(rows) != table.row_count:
+            report["row_count_mismatches"].append(
+                {
+                    "table": entry.name,
+                    "stored": table.row_count,
+                    "scanned": len(rows),
+                }
+            )
+        self._scrub_synopses(entry, rows, report)
+        self._scrub_partitions(entry, table, report)
+
+    def _scrub_synopses(
+        self, entry: CatalogEntry, rows: list[tuple], report: dict
+    ) -> None:
+        """Zone synopses must *contain* the actual data: a zone claiming
+        tighter bounds than reality would let pruning skip live rows."""
+        zones = []
+        for layout in self._entry_layouts(entry):
+            s = layout.synopsis
+            if s is None:
+                continue
+            zones.extend(s.page_zones)
+            for group in s.group_zones:
+                zones.extend(group)
+            zones.extend(s.cell_zones)
+            zones.extend(s.folded_zones)
+        for region in entry.partitions:
+            if region.pending_zone is not None:
+                zones.append(region.pending_zone)
+        if entry.pending_zone is not None:
+            zones.append(entry.pending_zone)
+        if not zones or not rows:
+            return
+        names = _scan_schema(entry.plan).names()
+        for i, name in enumerate(names):
+            union_min = union_max = None
+            covered = False
+            for zone in zones:
+                fz = zone.fields.get(name)
+                if fz is None or fz.min_value is None:
+                    continue
+                covered = True
+                try:
+                    if union_min is None or fz.min_value < union_min:
+                        union_min = fz.min_value
+                    if union_max is None or fz.max_value > union_max:
+                        union_max = fz.max_value
+                except TypeError:
+                    return  # mixed types: containment is undefined
+            if not covered:
+                continue
+            values = [r[i] for r in rows if i < len(r) and r[i] is not None]
+            if not values:
+                continue
+            try:
+                actual_min, actual_max = min(values), max(values)
+                out_of_bounds = (
+                    actual_min < union_min or actual_max > union_max
+                )
+            except TypeError:
+                continue
+            if out_of_bounds:
+                report["synopsis_mismatches"].append(
+                    {
+                        "table": entry.name,
+                        "field": name,
+                        "zone_bounds": [union_min, union_max],
+                        "actual_bounds": [actual_min, actual_max],
+                    }
+                )
+
+    def _scrub_partitions(
+        self, entry: CatalogEntry, table: Table, report: dict
+    ) -> None:
+        """Every row stored in a region must route back to that region."""
+        if not entry.partitions or entry.plan is None:
+            return
+        try:
+            router = self.router_for(entry)
+        except RodentStoreError:
+            return
+        for region in entry.partitions:
+            try:
+                region_rows = table._region_rows(region)
+            except RodentStoreError:
+                continue  # unreadable region: already reported
+            for row in region_rows:
+                try:
+                    locator = router.locate(row)
+                except RodentStoreError:
+                    break
+                if locator.key != region.key:
+                    report["partition_mismatches"].append(
+                        {
+                            "table": entry.name,
+                            "pid": region.pid,
+                            "expected_key": region.key,
+                            "routed_key": locator.key,
+                        }
+                    )
+                    break
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -1038,6 +1323,11 @@ class RodentStore:
                 "recoveries_run": self.recoveries_run,
                 "checkpoints": self.checkpoints,
                 "last_recovery": self.recovery_summary,
+            },
+            "integrity": {
+                "checksums": self.disk.verify_checksums,
+                "degraded_reads": self.degraded_reads,
+                **self.integrity.snapshot(),
             },
         }
 

@@ -14,12 +14,13 @@ derived data; `Table.create_index` reconstructs them from the base layout).
 from __future__ import annotations
 
 import json
+import zlib
 from typing import TYPE_CHECKING, Any
 
 from repro.algebra.physical import PhysicalPlan
 from repro.engine.stats import FieldStats, TableStats
 from repro.engine.synopsis import FieldZone, LayoutSynopsis, ZoneSynopsis
-from repro.errors import CatalogError
+from repro.errors import CatalogError, CorruptCatalogError
 from repro.layout.renderer import (
     CellEntry,
     ColumnGroupStore,
@@ -33,6 +34,20 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.database import RodentStore
 
 FORMAT_VERSION = 1
+
+#: JSON key holding the catalog checksum (absent in pre-integrity files).
+CATALOG_CRC_KEY = "crc32"
+
+
+def _catalog_crc(payload: dict) -> int:
+    """CRC32 over the canonical JSON serialization of ``payload``.
+
+    The canonical form (sorted keys, no whitespace) survives the
+    pretty-printed round trip through :func:`save_catalog` /
+    :func:`load_catalog`, so the checksum verifies content, not formatting.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF
 
 
 # -- layout (de)serialization -------------------------------------------------
@@ -257,8 +272,64 @@ def save_catalog(store: "RodentStore", path: str) -> None:
         "num_pages": store.disk.num_pages,
         "tables": tables,
     }
+    payload[CATALOG_CRC_KEY] = _catalog_crc(payload)
     with open(path, "w", encoding="utf-8") as f:
         json.dump(payload, f, indent=1)
+
+
+def read_catalog_payload(store: "RodentStore", path: str) -> dict:
+    """Read and checksum-verify the catalog file, returning its payload.
+
+    Raises :class:`~repro.errors.CorruptCatalogError` when the file cannot
+    be parsed or its checksum does not match; files written before the
+    integrity layer (no checksum key) are accepted as-is. Injected catalog
+    read faults (``store.inject_io_faults``) are applied here, with bounded
+    retries for transient errors.
+    """
+    with open(path, "rb") as f:
+        raw = f.read()
+    io_faults = getattr(store, "_io_faults", None)
+    if io_faults is not None:
+        attempts = 0
+        while True:
+            try:
+                raw = io_faults.apply_read("catalog", raw)
+                break
+            except OSError as exc:
+                attempts += 1
+                if attempts <= 3:
+                    continue
+                raise CatalogError(
+                    f"I/O error reading catalog {path}: {exc}"
+                ) from exc
+    registry = getattr(store, "integrity", None)
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        if registry is not None:
+            registry.record_catalog_failure()
+        raise CorruptCatalogError(
+            f"catalog file {path} is unreadable: {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        if registry is not None:
+            registry.record_catalog_failure()
+        raise CorruptCatalogError(
+            f"catalog file {path} does not contain a JSON object"
+        )
+    stored = payload.pop(CATALOG_CRC_KEY, None)
+    if stored is not None:
+        actual = _catalog_crc(payload)
+        if actual != stored:
+            if registry is not None:
+                registry.record_catalog_failure()
+            raise CorruptCatalogError(
+                f"catalog checksum mismatch for {path} "
+                f"(stored {stored:#010x}, computed {actual:#010x})"
+            )
+        if registry is not None:
+            registry.count_catalog_verification()
+    return payload
 
 
 def load_catalog(store: "RodentStore", path: str) -> None:
@@ -271,8 +342,7 @@ def load_catalog(store: "RodentStore", path: str) -> None:
     from repro.algebra.physical import LAYOUT_ROWS, PhysicalPlan
     from repro.algebra import ast
 
-    with open(path, "r", encoding="utf-8") as f:
-        payload = json.load(f)
+    payload = read_catalog_payload(store, path)
     if payload.get("version") != FORMAT_VERSION:
         raise CatalogError(
             f"unsupported catalog version {payload.get('version')!r}"

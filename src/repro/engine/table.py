@@ -62,7 +62,7 @@ from repro.algebra.transforms import (
 from repro.engine import synopsis as zonemaps
 from repro.engine.catalog import CatalogEntry
 from repro.engine.cost import CostEstimate, CostModel, estimate
-from repro.errors import QueryError, StorageError
+from repro.errors import CorruptPageError, QueryError, StorageError
 from repro.layout.renderer import (
     DEFAULT_BATCH_ROWS,
     ColumnBatch,
@@ -467,6 +467,35 @@ class Table:
             raise
         return batches, mvcc, snap
 
+    def _corruption_guard(
+        self, source: Iterator[ColumnBatch], unit: str
+    ) -> Iterator[ColumnBatch]:
+        """Stream ``source``; contain an unrepairable corrupt page.
+
+        Default behavior re-raises :class:`~repro.errors.CorruptPageError`
+        (the query fails loudly). Under ``store.degraded_reads = True`` the
+        remaining batches of the affected *unit* (main layout, one overflow
+        region, or one partition) are skipped instead, and the skip is
+        recorded both on the per-scan report (``corruption_skipped`` in
+        explain()) and in the store's integrity registry — degraded results
+        are never silently complete.
+        """
+        try:
+            yield from source
+        except CorruptPageError as exc:
+            if not getattr(self._db, "degraded_reads", False):
+                raise
+            event = {
+                "table": self.name,
+                "unit": unit,
+                "page_id": exc.page_id,
+                "error": str(exc),
+            }
+            report = getattr(self, "_corruption_report", None)
+            if report is not None:
+                report.append(event)
+            self._db.integrity.record_skip(dict(event))
+
     def _scan_batches_pinned(
         self,
         fieldlist: Sequence[str] | None,
@@ -481,6 +510,11 @@ class Table:
         Yields :class:`ColumnBatch` objects — filtered, projected, and
         limit-trimmed — that columnar sources keep as typed vectors plus a
         selection bitmap all the way out."""
+        # Per-scan degraded-read ledger: corrupt units this scan skipped.
+        # Published on the (shared) catalog entry so explain() can report
+        # the most recent scan's skips.
+        self._corruption_report = []
+        self._entry.last_corruption_skipped = self._corruption_report
         needed = self._needed_fields(fieldlist, predicate, order_keys)
         batch_rows = getattr(self._db, "batch_rows", DEFAULT_BATCH_ROWS)
         index_rows = self._index_path(predicate)
@@ -758,21 +792,26 @@ class Table:
         ):
             pending = []
 
+        def overflow_batches(overflow) -> Iterator[ColumnBatch]:
+            skip = (
+                zonemaps.rows_page_skip(overflow, intervals)
+                if intervals
+                else None
+            )
+            for batch in renderer.iter_row_batches(overflow, skip=skip):
+                if projector is None:
+                    yield batch
+                else:
+                    yield ColumnBatch.from_rows(
+                        fields, projector(batch.rows())
+                    )
+
         def chained() -> Iterator[ColumnBatch]:
-            yield from main_batches
-            for overflow in overflow_layouts:
-                skip = (
-                    zonemaps.rows_page_skip(overflow, intervals)
-                    if intervals
-                    else None
+            yield from self._corruption_guard(main_batches, "main")
+            for i, overflow in enumerate(overflow_layouts):
+                yield from self._corruption_guard(
+                    overflow_batches(overflow), f"overflow[{i}]"
                 )
-                for batch in renderer.iter_row_batches(overflow, skip=skip):
-                    if projector is None:
-                        yield batch
-                    else:
-                        yield ColumnBatch.from_rows(
-                            fields, projector(batch.rows())
-                        )
             if pending:
                 rows = pending if projector is None else projector(pending)
                 yield ColumnBatch.from_rows(fields, rows)
@@ -904,7 +943,8 @@ class Table:
                 )
                 yield ColumnBatch.from_rows(fields, rows)
 
-        return generate
+        unit = f"partition[{region.pid}]"
+        return lambda: self._corruption_guard(generate(), unit)
 
     def _partition_batches(
         self,

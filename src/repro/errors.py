@@ -50,6 +50,39 @@ class WALError(StorageError):
     """The write-ahead log is corrupt or used incorrectly."""
 
 
+class CorruptionError(StorageError):
+    """Checksummed data failed verification (bit rot, truncation, torn write).
+
+    Base class for the three corruption sites — pages, WAL records, and the
+    catalog file — so callers can handle "the bytes are wrong" uniformly
+    while still distinguishing where they were wrong.
+    """
+
+
+class CorruptPageError(CorruptionError):
+    """A data page failed its checksum/trailer verification.
+
+    Carries the ``page_id`` and a human-readable ``reason`` so the repair
+    ladder (WAL after-image replay) and degraded-read accounting can act on
+    the specific page without re-parsing the message.
+    """
+
+    def __init__(self, page_id: int, reason: str):
+        self.page_id = page_id
+        self.reason = reason
+        super().__init__(f"page {page_id} is corrupt: {reason}")
+
+
+class CorruptWALError(CorruptionError, WALError):
+    """A WAL record failed its CRC, or undecodable bytes sit mid-log.
+
+    Distinct from the torn-tail case (a crash artifact, silently dropped):
+    this means records *below* decodable data are damaged, so recovery
+    cannot trust the log and must fail loudly. Inherits :class:`WALError`
+    so existing WAL error handling still classifies it correctly.
+    """
+
+
 class CrashError(StorageError):
     """An injected fault hard-stopped the store (fault-injection harness).
 
@@ -73,6 +106,10 @@ class SerializationError(RodentStoreError):
 
 class CatalogError(RodentStoreError):
     """Catalog misuse: duplicate table names, unknown tables, etc."""
+
+
+class CorruptCatalogError(CorruptionError, CatalogError):
+    """The catalog file failed its checksum or cannot be parsed."""
 
 
 class IndexError_(RodentStoreError):

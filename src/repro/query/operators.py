@@ -190,6 +190,11 @@ class TableScanOp(Operator):
             )
         if self.limit is not None:
             parts.append(f"limit={self.limit}")
+        if getattr(self.table.store, "degraded_reads", False):
+            skipped = getattr(
+                self.table._entry, "last_corruption_skipped", []
+            )
+            parts.append(f"corruption_skipped={len(skipped)}")
         return " ".join(parts)
 
     def batches(self) -> Iterator[ColumnBatch]:

@@ -2,6 +2,14 @@
 
 from repro.storage.buffer import BufferPool, BufferPoolStats, Frame
 from repro.storage.disk import DEFAULT_PAGE_SIZE, DiskManager, IOStats
+from repro.storage.faults import FaultInjector, IoFault, IoFaultInjector
+from repro.storage.integrity import (
+    PAGE_TRAILER_SIZE,
+    IntegrityRegistry,
+    checksum,
+    make_trailer,
+    verify_frame,
+)
 from repro.storage.locks import LockManager, LockMode
 from repro.storage.page import (
     NO_PAGE,
@@ -30,12 +38,20 @@ __all__ = [
     "KIND_CHECKPOINT",
     "KIND_COMMIT",
     "KIND_UPDATE",
+    "PAGE_TRAILER_SIZE",
     "BufferPool",
     "BufferPoolStats",
     "BytePage",
     "DiskManager",
+    "FaultInjector",
     "Frame",
     "IOStats",
+    "IntegrityRegistry",
+    "IoFault",
+    "IoFaultInjector",
+    "checksum",
+    "make_trailer",
+    "verify_frame",
     "LockManager",
     "LockMode",
     "LogRecord",

@@ -22,7 +22,7 @@ import threading
 from collections import OrderedDict
 from typing import Iterator
 
-from repro.errors import BufferPoolError
+from repro.errors import BufferPoolError, CorruptPageError
 from repro.storage.disk import DiskManager
 
 
@@ -80,6 +80,11 @@ class BufferPool:
         self.capacity = capacity
         self.policy = policy
         self.stats = BufferPoolStats()
+        #: Optional callable ``page_id -> bytearray | None`` tried when a
+        #: disk read raises :class:`~repro.errors.CorruptPageError`; the
+        #: store wires its WAL after-image repair ladder here. Returning
+        #: ``None`` (or being unset) re-raises the corruption.
+        self.repair_handler = None
         self._frames: OrderedDict[int, Frame] = OrderedDict()
         self._clock_hand = 0
         self._lock = threading.RLock()
@@ -99,7 +104,14 @@ class BufferPool:
                 return frame
             self.stats.misses += 1
         # Read outside the lock so concurrent misses overlap their I/O.
-        data = self.disk.read_page(page_id)
+        try:
+            data = self.disk.read_page(page_id)
+        except CorruptPageError:
+            if self.repair_handler is None:
+                raise
+            data = self.repair_handler(page_id)
+            if data is None:
+                raise
         with self._lock:
             frame = self._frames.get(page_id)
             if frame is not None:

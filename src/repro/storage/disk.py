@@ -1,4 +1,4 @@
-"""Disk manager: a page store with I/O accounting.
+"""Disk manager: a page store with I/O accounting and end-to-end checksums.
 
 The paper's headline metric (Figure 2) is *pages read per query*; the second
 claim is that z-ordering "reduces the number of disk seeks". The disk manager
@@ -8,9 +8,21 @@ therefore counts:
 * ``read_seeks`` / ``write_seeks`` — accesses whose page id is not physically
   adjacent to the previously accessed page (a simple single-head disk model).
 
-Two backends share the same interface: a real file (pages at
-``page_id * page_size`` offsets) and an in-memory dict (fast, used by tests
-and benchmarks — the counters behave identically).
+Two backends share the same interface: a real file and an in-memory dict
+(fast, used by tests and benchmarks — the counters behave identically).
+
+**On-medium format (v2).** Each logical page is stored as a *frame*: the
+``page_size`` bytes of page data followed by a 16-byte trailer (magic,
+format version, CRC32 of the data — see :mod:`repro.storage.integrity`).
+Frames live at ``page_id * frame_size`` offsets. Upper layers never see the
+trailer; ``read_page`` verifies it and raises
+:class:`~repro.errors.CorruptPageError` on mismatch, short read, or bad
+magic. Pre-checksum (v1) files — pages packed back to back with no trailer
+— are migrated in place the first time they are opened.
+
+``read_page_unchecked`` is the explicit allow-path for recovery: replaying a
+WAL image must be able to read a page it is about to overwrite even when
+that page is torn or truncated (it zero-pads short reads like v1 did).
 """
 
 from __future__ import annotations
@@ -21,7 +33,19 @@ import time
 from contextlib import contextmanager
 from typing import Iterator
 
-from repro.errors import StorageError
+from repro.errors import CorruptPageError, StorageError
+from binascii import crc32
+
+from repro.storage.integrity import (
+    _CRC_FIELD,
+    _TRAILER_PREFIX,
+    PAGE_TRAILER_SIZE,
+    TRAILER,
+    TRAILER_MAGIC,
+    IntegrityRegistry,
+    make_trailer,
+    verify_frame,
+)
 
 DEFAULT_PAGE_SIZE = 8192
 
@@ -103,6 +127,13 @@ class DiskManager:
         read_latency_s: optional simulated seconds per page read (0 =
             off); used by the parallel-scan benchmark to model a device
             where I/O waits dominate.
+        verify_checksums: verify the frame trailer on every ``read_page``
+            (on by default; turning it off restores the v1 trust-on-faith
+            read path — used by the integrity benchmark to price the CRC).
+        max_read_retries: bounded retries for transient read errors
+            (``OSError`` from the medium, e.g. an injected EIO).
+        retry_backoff_s: base backoff between transient-read retries;
+            attempt *n* waits ``n * retry_backoff_s``.
     """
 
     def __init__(
@@ -110,18 +141,31 @@ class DiskManager:
         path: str | None = None,
         page_size: int = DEFAULT_PAGE_SIZE,
         read_latency_s: float = 0.0,
+        verify_checksums: bool = True,
+        max_read_retries: int = 3,
+        retry_backoff_s: float = 0.0005,
     ):
         if page_size < 64:
             raise StorageError(f"page size {page_size} is too small")
         self.page_size = page_size
+        self.frame_size = page_size + PAGE_TRAILER_SIZE
         self.path = path
         self.read_latency_s = read_latency_s
+        self.verify_checksums = verify_checksums
+        self.max_read_retries = max_read_retries
+        self.retry_backoff_s = retry_backoff_s
         self.stats = IOStats()
+        self.integrity = IntegrityRegistry()
         #: Optional FaultInjector observing page writes and fsyncs.
         self.faults = None
+        #: Optional IoFaultInjector damaging reads / dropping writes.
+        self.io_faults = None
+        #: Pages rewritten by the one-shot v1 -> v2 migration at open.
+        self.migrated_pages = 0
         self._lock = threading.Lock()
         self._last_page: int | None = None  # disk head position
         self._free_list: list[int] = []
+        self._free_set: set[int] = set()
         if path is None:
             self._pages: dict[int, bytearray] | None = {}
             self._file = None
@@ -132,17 +176,74 @@ class DiskManager:
             self._file = open(path, "r+b" if exists else "w+b")
             self._file.seek(0, os.SEEK_END)
             size = self._file.tell()
-            if size % page_size != 0:
-                raise StorageError(
-                    f"file size {size} is not a multiple of page size "
-                    f"{page_size}"
-                )
-            self._num_pages = size // page_size
+            self._num_pages = self._detect_format(size)
+
+    def _detect_format(self, size: int) -> int:
+        """Classify an existing file as v2 (framed) or v1 (legacy).
+
+        v1 files are migrated in place; a size matching neither format is
+        rejected. When the size divides both frame and page size the
+        trailer magic of frame 0 breaks the tie.
+        """
+        if size == 0:
+            return 0
+        framed = size % self.frame_size == 0
+        legacy = size % self.page_size == 0
+        if framed and legacy:
+            framed = self._frame_magic_ok(0)
+            legacy = not framed
+        if framed:
+            return size // self.frame_size
+        if legacy:
+            return self._migrate_legacy(size)
+        raise StorageError(
+            f"file size {size} matches neither the checksummed frame size "
+            f"{self.frame_size} nor the legacy page size {self.page_size}"
+        )
+
+    def _frame_magic_ok(self, page_id: int) -> bool:
+        assert self._file is not None
+        self._file.seek(page_id * self.frame_size + self.page_size)
+        raw = self._file.read(TRAILER.size)
+        if len(raw) < TRAILER.size:
+            return False
+        magic = TRAILER.unpack(raw)[0]
+        return magic == TRAILER_MAGIC
+
+    def _migrate_legacy(self, size: int) -> int:
+        """One-shot in-place rewrite of a v1 file into checksummed frames."""
+        assert self._file is not None
+        count = size // self.page_size
+        pages = []
+        for page_id in range(count):
+            self._file.seek(page_id * self.page_size)
+            pages.append(self._file.read(self.page_size))
+        self._file.seek(0)
+        self._file.truncate()
+        for page_id, data in enumerate(pages):
+            self._file.seek(page_id * self.frame_size)
+            self._file.write(data + make_trailer(data))
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self.migrated_pages = count
+        return count
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
         if self._file is not None:
+            # Push dirty OS buffers to the medium: a non-checkpoint close
+            # must not be a silent durability hole. Skipped when a fault
+            # injector simulates fsync lies or an already-crashed store.
+            skip_sync = self.faults is not None and (
+                self.faults.fail_fsync or self.faults.fired
+            )
+            if not skip_sync:
+                try:
+                    self._file.flush()
+                    os.fsync(self._file.fileno())
+                except (OSError, ValueError):
+                    pass
             self._file.close()
             self._file = None
 
@@ -164,10 +265,11 @@ class DiskManager:
         with self._lock:
             if self._free_list:
                 page_id = self._free_list.pop()
+                self._free_set.discard(page_id)
             else:
                 page_id = self._num_pages
                 self._num_pages += 1
-            self._write_raw(page_id, bytearray(self.page_size), count=False)
+            self._write_raw(page_id, bytearray(self.page_size))
             return page_id
 
     def allocate_contiguous(self, count: int) -> list[int]:
@@ -178,46 +280,129 @@ class DiskManager:
             start = self._num_pages
             self._num_pages += count
             for page_id in range(start, start + count):
-                self._write_raw(
-                    page_id, bytearray(self.page_size), count=False
-                )
+                self._write_raw(page_id, bytearray(self.page_size))
             return list(range(start, start + count))
 
     def free_page(self, page_id: int) -> None:
         with self._lock:
             self._check(page_id)
+            if page_id in self._free_set:
+                raise StorageError(
+                    f"double free of page {page_id}: already on the free list"
+                )
             self._free_list.append(page_id)
+            self._free_set.add(page_id)
+
+    def free_page_ids(self) -> set[int]:
+        """Page ids currently on the free list (scrub skips these)."""
+        with self._lock:
+            return set(self._free_set)
 
     # -- I/O -----------------------------------------------------------------
 
     def read_page(self, page_id: int) -> bytearray:
-        """Read one page, updating read and seek counters."""
+        """Read and verify one page, updating read and seek counters.
+
+        Raises :class:`~repro.errors.CorruptPageError` when the frame fails
+        checksum verification (and quarantines the page in the integrity
+        registry); transient ``OSError`` reads are retried with backoff up
+        to ``max_read_retries`` times.
+        """
         with self._lock:
             self._check(page_id)
             self.stats.page_reads += 1
-            if self._last_page is not None and page_id != self._last_page + 1:
-                self.stats.read_seeks += 1
-            elif self._last_page is None:
+            if self._last_page is None or page_id != self._last_page + 1:
                 self.stats.read_seeks += 1
             self._last_page = page_id
-            if self._pages is not None:
-                data = bytearray(
-                    self._pages.get(page_id, bytearray(self.page_size))
-                )
-            else:
-                assert self._file is not None
-                self._file.seek(page_id * self.page_size)
-                raw = self._file.read(self.page_size)
-                if len(raw) < self.page_size:
-                    raw = raw.ljust(self.page_size, b"\x00")
-                data = bytearray(raw)
+            data = self._read_verified(page_id)
         if self.read_latency_s:
             # Outside the lock: concurrent readers overlap their waits.
             time.sleep(self.read_latency_s)
         return data
 
+    def read_page_unchecked(self, page_id: int) -> bytearray:
+        """Allow-path read: no checksum verification, short reads zero-pad.
+
+        Recovery replays WAL images over pages it is about to overwrite —
+        including torn or truncated ones — so it must bypass verification.
+        Every other caller should use :meth:`read_page`.
+        """
+        with self._lock:
+            self._check(page_id)
+            self.stats.page_reads += 1
+            if self._last_page is None or page_id != self._last_page + 1:
+                self.stats.read_seeks += 1
+            self._last_page = page_id
+            frame = self._read_frame_raw(page_id)
+        if self.read_latency_s:
+            time.sleep(self.read_latency_s)
+        if frame is None:
+            return bytearray(self.page_size)
+        data = bytes(frame[: self.page_size])
+        if len(data) < self.page_size:
+            data = data.ljust(self.page_size, b"\x00")
+        return bytearray(data)
+
+    def _read_verified(self, page_id: int) -> bytearray:
+        """Read one frame with transient-retry and checksum verification.
+
+        Caller holds the lock. A checksum mismatch earns exactly one clean
+        re-read (in-flight corruption on the wire heals; at-rest corruption
+        does not) before the page is quarantined and the error raised.
+        Every read pays the CRC — rot appearing between any two reads is
+        caught on the next one; there is deliberately no memoization.
+        """
+        io_attempts = 0
+        rereads = 0
+        while True:
+            try:
+                frame = self._read_frame_raw(page_id)
+                if self.io_faults is not None and frame is not None:
+                    frame = self.io_faults.apply_read(
+                        "page", bytes(frame), page_id
+                    )
+            except OSError as exc:
+                io_attempts += 1
+                self.integrity.record_transient_retry()
+                if io_attempts <= self.max_read_retries:
+                    time.sleep(self.retry_backoff_s * io_attempts)
+                    continue
+                raise StorageError(
+                    f"I/O error reading page {page_id} after "
+                    f"{io_attempts} attempts: {exc}"
+                ) from exc
+            if frame is None:
+                # In-memory page that was never written: all zeros.
+                return bytearray(self.page_size)
+            if not self.verify_checksums:
+                data = bytes(frame[: self.page_size])
+                if len(data) < self.page_size:
+                    data = data.ljust(self.page_size, b"\x00")
+                return bytearray(data)
+            # Inlined fast path of verify_frame() — this runs on every
+            # page read, so the call + reason plumbing is skipped when
+            # the frame is intact; verify_frame() names the failure.
+            ps = self.page_size
+            if (
+                len(frame) == self.frame_size
+                and frame[ps : ps + 8] == _TRAILER_PREFIX
+            ):
+                view = memoryview(frame)
+                (stored,) = _CRC_FIELD.unpack_from(frame, ps + 8)
+                if crc32(view[:ps]) & 0xFFFFFFFF == stored:
+                    if rereads:
+                        self.integrity.record_reread_recovery()
+                    self.integrity.page_verifications += 1
+                    return bytearray(view[:ps])
+            _, reason = verify_frame(frame, ps)
+            rereads += 1
+            if rereads <= 1:
+                continue
+            self.integrity.record_page_failure(page_id, reason)
+            raise CorruptPageError(page_id, reason)
+
     def write_page(self, page_id: int, data: bytes | bytearray) -> None:
-        """Write one page, updating write and seek counters."""
+        """Write one page (framing it with a fresh trailer), with counters."""
         with self._lock:
             self._check(page_id)
             if len(data) != self.page_size:
@@ -228,17 +413,29 @@ class DiskManager:
             action = None
             if self.faults is not None:
                 action = self.faults.check("page")
-                if action == "torn":
-                    # A torn page: only the first half reaches the medium,
-                    # the rest keeps whatever bytes were there before.
-                    half = self.page_size // 2
-                    old = self._read_raw(page_id)
-                    data = bytes(data[:half]) + bytes(old[half:])
+            lost = False
+            if self.io_faults is not None:
+                try:
+                    lost = self.io_faults.check_write("page", page_id) == "lost"
+                except OSError as exc:
+                    raise StorageError(
+                        f"page {page_id} write failed: {exc}"
+                    ) from exc
             self.stats.page_writes += 1
             if self._last_page is None or page_id != self._last_page + 1:
                 self.stats.write_seeks += 1
             self._last_page = page_id
-            self._write_raw(page_id, data, count=False)
+            if action == "torn":
+                # A torn frame: only the first half reaches the medium, the
+                # rest — including the trailer — keeps whatever bytes were
+                # there before. The checksum catches this on the next read.
+                half = self.page_size // 2
+                old = self._read_frame_raw(page_id) or b""
+                old = bytes(old).ljust(self.frame_size, b"\x00")
+                torn = bytes(data[:half]) + old[half:]
+                self._write_frame_raw(page_id, torn)
+            elif not lost:
+                self._write_raw(page_id, data)
         if action is not None:
             assert self.faults is not None
             self.faults.crash("page", action)
@@ -251,24 +448,31 @@ class DiskManager:
             self._file.flush()
             os.fsync(self._file.fileno())
 
-    def _read_raw(self, page_id: int) -> bytes:
-        """Uncounted raw read; caller must hold the lock."""
-        if self._pages is not None:
-            return bytes(self._pages.get(page_id, bytearray(self.page_size)))
-        assert self._file is not None
-        self._file.seek(page_id * self.page_size)
-        raw = self._file.read(self.page_size)
-        if len(raw) < self.page_size:
-            raw = raw.ljust(self.page_size, b"\x00")
-        return raw
+    def _read_frame_raw(self, page_id: int) -> bytes | None:
+        """Uncounted raw frame read; caller must hold the lock.
 
-    def _write_raw(self, page_id: int, data: bytes | bytearray, count: bool) -> None:
+        Returns ``None`` for an in-memory page that was never written, and
+        possibly *short* bytes for a truncated file — verification decides
+        what that means.
+        """
         if self._pages is not None:
-            self._pages[page_id] = bytearray(data)
+            frame = self._pages.get(page_id)
+            return bytes(frame) if frame is not None else None
+        assert self._file is not None
+        self._file.seek(page_id * self.frame_size)
+        return self._file.read(self.frame_size)
+
+    def _write_raw(self, page_id: int, data: bytes | bytearray) -> None:
+        """Frame ``data`` with a fresh trailer and write it (lock held)."""
+        self._write_frame_raw(page_id, bytes(data) + make_trailer(data))
+
+    def _write_frame_raw(self, page_id: int, frame: bytes) -> None:
+        if self._pages is not None:
+            self._pages[page_id] = bytearray(frame)
             return
         assert self._file is not None
-        self._file.seek(page_id * self.page_size)
-        self._file.write(bytes(data))
+        self._file.seek(page_id * self.frame_size)
+        self._file.write(frame)
 
     def _check(self, page_id: int) -> None:
         if not 0 <= page_id < self._num_pages:

@@ -25,6 +25,7 @@ destroying every record that was only buffered.
 
 from __future__ import annotations
 
+import errno
 import threading
 
 from repro.errors import CrashError
@@ -93,6 +94,151 @@ class FaultInjector:
         raise CrashError(
             f"injected crash ({action}) at {kind} write #{self.writes}"
         )
+
+
+#: Which I/O direction each read-path fault kind applies to.
+_READ_KINDS = ("bitflip", "short_read", "eio")
+_WRITE_KINDS = ("stale", "enospc")
+
+
+class IoFault:
+    """One read/write fault in an :class:`IoFaultInjector` plan.
+
+    Unlike :class:`FaultInjector` (which simulates *power loss* at a write
+    boundary), these model *media and transport* faults: the process keeps
+    running and the storage stack must detect, retry, or contain the damage.
+
+    Args:
+        kind: ``"bitflip"`` (flip one bit of the returned bytes),
+            ``"short_read"`` (return a truncated buffer), ``"eio"`` (raise
+            ``OSError(EIO)`` on read), ``"stale"`` (silently drop a write —
+            the "lost write", leaving the old bytes on the medium), or
+            ``"enospc"`` (raise ``OSError(ENOSPC)`` on write).
+        target: apply to ``"page"``, ``"wal"``, or ``"catalog"`` I/O.
+        after: number of matching operations allowed through before the
+            fault arms (``after=0`` fires on the first matching op).
+        count: how many times the fault fires before disarming; a transient
+            ``eio`` with ``count=2`` fails twice then succeeds, so the disk
+            manager's bounded retry recovers.
+        page_id: restrict a ``page``-target fault to one page id.
+        bit: for ``bitflip``, the absolute bit index to flip; ``None``
+            derives a deterministic in-range position from the fire count.
+    """
+
+    __slots__ = ("kind", "target", "after", "count", "page_id", "bit", "fired")
+
+    def __init__(
+        self,
+        kind: str,
+        target: str = "page",
+        after: int = 0,
+        count: int = 1,
+        page_id: int | None = None,
+        bit: int | None = None,
+    ):
+        if kind not in _READ_KINDS + _WRITE_KINDS:
+            raise ValueError(f"unknown I/O fault kind {kind!r}")
+        if target not in ("page", "wal", "catalog"):
+            raise ValueError(f"unknown I/O fault target {target!r}")
+        self.kind = kind
+        self.target = target
+        self.after = after
+        self.count = count
+        self.page_id = page_id
+        self.bit = bit
+        self.fired = 0
+
+    @property
+    def op(self) -> str:
+        return "read" if self.kind in _READ_KINDS else "write"
+
+
+class IoFaultInjector:
+    """Deterministic read/write fault plan, targetable by site and count.
+
+    Armed on a store via ``store.inject_io_faults(...)``, which hangs the
+    injector on the disk manager (page I/O), the WAL (record reads and
+    appends), and the engine's catalog loader. Each fault fires after its
+    ``after``-th matching operation and at most ``count`` times, so tests
+    can script exact sequences: "the 3rd page read returns flipped bits,
+    twice, then the medium heals".
+    """
+
+    def __init__(self, *faults: IoFault):
+        self.faults = list(faults)
+        self._ops: dict[tuple[str, str], int] = {}
+        self._lock = threading.Lock()
+        #: (op, target, kind, page_id) tuples, in fire order.
+        self.log: list[tuple[str, str, str, int | None]] = []
+
+    def add(self, fault: IoFault) -> None:
+        with self._lock:
+            self.faults.append(fault)
+
+    def _fire(self, op: str, target: str, page_id: int | None) -> IoFault | None:
+        with self._lock:
+            key = (op, target)
+            seen = self._ops.get(key, 0) + 1
+            self._ops[key] = seen
+            for fault in self.faults:
+                if fault.target != target or fault.op != op:
+                    continue
+                if (
+                    fault.page_id is not None
+                    and page_id is not None
+                    and fault.page_id != page_id
+                ):
+                    continue
+                if seen <= fault.after or fault.fired >= fault.count:
+                    continue
+                fault.fired += 1
+                self.log.append((op, target, fault.kind, page_id))
+                return fault
+            return None
+
+    def apply_read(
+        self, target: str, data: bytes, page_id: int | None = None
+    ) -> bytes:
+        """Pass ``data`` through the fault plan for one read of ``target``.
+
+        Returns the (possibly damaged) bytes, or raises ``OSError(EIO)``.
+        Each call counts as one operation, so a retried read re-rolls the
+        plan — which is exactly how transient faults heal.
+        """
+        fault = self._fire("read", target, page_id)
+        if fault is None:
+            return data
+        if fault.kind == "eio":
+            raise OSError(errno.EIO, f"injected EIO on {target} read")
+        if fault.kind == "short_read":
+            return data[: len(data) // 3]
+        # bitflip: deterministic position from the fire sequence.
+        if not data:
+            return data
+        nbits = len(data) * 8
+        bit = fault.bit if fault.bit is not None else (
+            (2654435761 * (fault.after + fault.fired)) % nbits
+        )
+        bit %= nbits
+        damaged = bytearray(data)
+        damaged[bit // 8] ^= 1 << (bit % 8)
+        return bytes(damaged)
+
+    def check_write(self, target: str, page_id: int | None = None) -> str | None:
+        """Roll the fault plan for one write; return ``"lost"`` or ``None``.
+
+        ``"lost"`` tells the caller to acknowledge the write without
+        touching the medium (the stale-page / lost-write fault);
+        ``enospc`` raises ``OSError(ENOSPC)`` here.
+        """
+        fault = self._fire("write", target, page_id)
+        if fault is None:
+            return None
+        if fault.kind == "enospc":
+            raise OSError(
+                errno.ENOSPC, f"injected ENOSPC on {target} write"
+            )
+        return "lost"
 
 
 def count_writes(fn) -> int:

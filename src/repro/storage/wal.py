@@ -8,12 +8,25 @@ with no COMMIT record). Two *logical* record kinds ride on the same format:
 serialized catalog entry) — the engine-level recovery in
 :mod:`repro.engine.recovery` replays those on top of the page images.
 
-Record wire format::
+Record wire format (v2, written since the integrity layer)::
 
-    u32 total_len | u8 kind | u64 lsn | u64 txn_id | payload | u32 total_len
+    u32 total_len | u8 kind|0x80 | u64 lsn | u64 txn_id | payload | u32 crc32 | u32 total_len
+
+The high bit of the kind byte marks a checksummed record; the CRC32 covers
+everything from the header through the payload, so bit rot *anywhere* in a
+record is detected — not just torn tails. Legacy (v1) records without the
+flag still decode (trailer-only check), giving an in-band migration path:
+old logs replay, new appends are checksummed.
 
 The trailing length makes backward scans possible and doubles as a torn-write
-check: a record whose trailer does not match is treated as the end of the log.
+check. :meth:`WriteAheadLog.records` distinguishes two failure shapes:
+
+* a *torn tail* — undecodable bytes with no valid record after them — is a
+  crash artifact and silently ends the log (the recovery contract);
+* *mid-log corruption* — undecodable bytes **followed by** decodable
+  records, a CRC mismatch, or a gap in the (strictly sequential) LSN
+  sequence — raises :class:`~repro.errors.CorruptWALError`, because the log
+  can no longer be trusted for replay.
 
 Durability is tracked at two levels: :meth:`WriteAheadLog.sync` fsyncs up to
 a target LSN with *piggybacking* (a commit whose LSN an earlier fsync already
@@ -29,9 +42,10 @@ import os
 import struct
 import threading
 import time
+import zlib
 from typing import Iterator
 
-from repro.errors import WALError
+from repro.errors import CorruptWALError, WALError
 from repro.storage.disk import DiskManager
 
 KIND_BEGIN = 1
@@ -43,11 +57,20 @@ KIND_CHECKPOINT = 5
 KIND_ROWS = 6
 KIND_CATALOG = 7
 
+#: High bit of the kind byte: this record carries a CRC32 (v2 format).
+KIND_CRC_FLAG = 0x80
+
 _HEADER = struct.Struct("<IBQQ")
 _TRAILER = struct.Struct("<I")
+_CRC = struct.Struct("<I")
 _UPDATE_META = struct.Struct("<qII")  # page_id, offset, image_len
 
 _PAYLOAD_KINDS = (KIND_ROWS, KIND_CATALOG)
+_KNOWN_KINDS = frozenset(range(KIND_BEGIN, KIND_CATALOG + 1))
+
+#: How far past an undecodable point records() searches for a valid record
+#: before classifying the damage as a torn tail rather than mid-log rot.
+_RESYNC_WINDOW = 1 << 16
 
 
 class LogRecord:
@@ -88,36 +111,63 @@ class LogRecord:
             payload = self.payload
         else:
             payload = b""
-        total = _HEADER.size + len(payload) + _TRAILER.size
-        return (
-            _HEADER.pack(total, self.kind, self.lsn, self.txn_id)
+        total = _HEADER.size + len(payload) + _CRC.size + _TRAILER.size
+        body = (
+            _HEADER.pack(total, self.kind | KIND_CRC_FLAG, self.lsn, self.txn_id)
             + payload
-            + _TRAILER.pack(total)
         )
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        return body + _CRC.pack(crc) + _TRAILER.pack(total)
 
     @classmethod
     def decode(cls, data: bytes, start: int) -> tuple["LogRecord", int]:
-        """Decode one record at ``start``; returns (record, next_offset)."""
+        """Decode one record at ``start``; returns (record, next_offset).
+
+        Structural damage (truncation, trailer mismatch, unknown kind)
+        raises :class:`WALError`; a failed CRC on a v2 record raises
+        :class:`~repro.errors.CorruptWALError` — the record is intact in
+        shape but rotten in content.
+        """
         if start + _HEADER.size > len(data):
             raise WALError("truncated log header")
-        total, kind, lsn, txn_id = _HEADER.unpack_from(data, start)
+        total, kind_byte, lsn, txn_id = _HEADER.unpack_from(data, start)
+        has_crc = bool(kind_byte & KIND_CRC_FLAG)
+        kind = kind_byte & ~KIND_CRC_FLAG
+        overhead = _HEADER.size + _TRAILER.size + (_CRC.size if has_crc else 0)
         end = start + total
-        if total < _HEADER.size + _TRAILER.size or end > len(data):
+        if total < overhead or end > len(data):
             raise WALError("truncated log record")
         (trailer,) = _TRAILER.unpack_from(data, end - _TRAILER.size)
         if trailer != total:
             raise WALError("torn log record (trailer mismatch)")
+        if kind not in _KNOWN_KINDS:
+            raise WALError(f"unknown log record kind {kind}")
+        payload_end = end - _TRAILER.size
+        if has_crc:
+            payload_end -= _CRC.size
+            (stored,) = _CRC.unpack_from(data, payload_end)
+            actual = zlib.crc32(data[start:payload_end]) & 0xFFFFFFFF
+            if actual != stored:
+                raise CorruptWALError(
+                    f"WAL record checksum mismatch at byte {start} "
+                    f"(lsn {lsn}, stored {stored:#010x}, "
+                    f"computed {actual:#010x})"
+                )
         record = cls(kind, lsn, txn_id)
         if kind == KIND_UPDATE:
             meta_at = start + _HEADER.size
+            if meta_at + _UPDATE_META.size > payload_end:
+                raise WALError("truncated update metadata")
             page_id, offset, image_len = _UPDATE_META.unpack_from(data, meta_at)
             images_at = meta_at + _UPDATE_META.size
+            if images_at + 2 * image_len > payload_end:
+                raise WALError("truncated update images")
             record.page_id = page_id
             record.offset = offset
             record.before = data[images_at : images_at + image_len]
             record.after = data[images_at + image_len : images_at + 2 * image_len]
         elif kind in _PAYLOAD_KINDS:
-            record.payload = data[start + _HEADER.size : end - _TRAILER.size]
+            record.payload = data[start + _HEADER.size : payload_end]
         return record, end
 
 
@@ -147,6 +197,10 @@ class WriteAheadLog:
         self.appends = 0
         #: Optional FaultInjector observing appends and fsyncs.
         self.faults = None
+        #: Optional IoFaultInjector damaging record reads / dropping appends.
+        self.io_faults = None
+        #: Optional IntegrityRegistry counting record verifications.
+        self.integrity = None
         if path is None:
             self._buffer = bytearray()
             self._file = None
@@ -190,11 +244,18 @@ class WriteAheadLog:
                     # A torn append: only a strict prefix of the record
                     # reaches the log. The trailer check must discard it.
                     encoded = encoded[: max(1, len(encoded) // 2)]
-            if self._file is not None:
-                self._file.seek(0, os.SEEK_END)
-                self._file.write(encoded)
-            else:
-                self._buffer.extend(encoded)
+            lost = False
+            if self.io_faults is not None:
+                try:
+                    lost = self.io_faults.check_write("wal") == "lost"
+                except OSError as exc:
+                    raise WALError(f"WAL append failed: {exc}") from exc
+            if not lost:
+                if self._file is not None:
+                    self._file.seek(0, os.SEEK_END)
+                    self._file.write(encoded)
+                else:
+                    self._buffer.extend(encoded)
             self.appends += 1
         if action is not None:
             assert self.faults is not None
@@ -265,18 +326,62 @@ class WriteAheadLog:
         with self._lock:
             if self._file is not None:
                 self._file.seek(0)
-                return self._file.read()
-            return bytes(self._buffer)
+                data = self._file.read()
+            else:
+                data = bytes(self._buffer)
+        if self.io_faults is not None:
+            attempts = 0
+            while True:
+                try:
+                    return self.io_faults.apply_read("wal", data)
+                except OSError as exc:
+                    attempts += 1
+                    if attempts <= 3:
+                        time.sleep(0.0005 * attempts)
+                        continue
+                    raise WALError(
+                        f"I/O error reading WAL after {attempts} "
+                        f"attempts: {exc}"
+                    ) from exc
+        return data
 
     def records(self) -> Iterator[LogRecord]:
-        """Iterate all records in append order, stopping at torn tails."""
+        """Iterate all records in append order, stopping at torn tails.
+
+        Raises :class:`~repro.errors.CorruptWALError` for damage that a
+        crash cannot explain: a CRC mismatch, undecodable bytes *followed
+        by* decodable records (a torn write only ever truncates the tail),
+        or a gap in the strictly sequential LSN sequence (a lost append).
+        """
         data = self._raw()
         offset = 0
+        prev_lsn: int | None = None
         while offset < len(data):
             try:
                 record, offset = LogRecord.decode(data, offset)
+            except CorruptWALError:
+                if self.integrity is not None:
+                    self.integrity.record_wal_failure()
+                raise
             except WALError:
+                if _resync_offset(data, offset) is not None:
+                    if self.integrity is not None:
+                        self.integrity.record_wal_failure()
+                    raise CorruptWALError(
+                        f"mid-log corruption at byte {offset}: valid "
+                        "records follow an undecodable region"
+                    )
                 return  # torn tail: everything after is discarded
+            if prev_lsn is not None and record.lsn != prev_lsn + 1:
+                if self.integrity is not None:
+                    self.integrity.record_wal_failure()
+                raise CorruptWALError(
+                    f"WAL LSN gap: record {record.lsn} follows {prev_lsn} "
+                    "(a lost or reordered append)"
+                )
+            prev_lsn = record.lsn
+            if self.integrity is not None:
+                self.integrity.count_wal_record()
             yield record
 
     def truncate(self) -> None:
@@ -345,9 +450,27 @@ def recover(wal: WriteAheadLog, disk: DiskManager) -> dict[str, int]:
     }
 
 
+def _resync_offset(data: bytes, start: int) -> int | None:
+    """Scan forward from a decode failure looking for a valid record.
+
+    Returns the offset of the next decodable record within the resync
+    window, or ``None`` when nothing decodes — the torn-tail case.
+    """
+    end = min(len(data), start + _RESYNC_WINDOW)
+    for offset in range(start + 1, end):
+        try:
+            LogRecord.decode(data, offset)
+        except WALError:
+            continue
+        return offset
+    return None
+
+
 def _apply_image(disk: DiskManager, page_id: int, offset: int, image: bytes) -> None:
+    # The unchecked read is deliberate: recovery overwrites pages that may
+    # be torn or truncated, so verification must not block the replay.
     while page_id >= disk.num_pages:
         disk.allocate_page()
-    page = disk.read_page(page_id)
+    page = disk.read_page_unchecked(page_id)
     page[offset : offset + len(image)] = image
     disk.write_page(page_id, page)
