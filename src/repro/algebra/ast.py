@@ -390,6 +390,46 @@ class Partition(_Unary):
 
 
 @dataclass(frozen=True)
+class Levels(_Unary):
+    """``levels[k; ratio](N)`` — log-structured (LSM) levelled storage.
+
+    The child expression is the design of each *run*: the engine renders
+    inserted batches as immutable L0 runs of that design and merges runs
+    size-tiered into exponentially larger levels, so ingest never rewrites
+    existing data. ``k`` is the fan-out — a level holding ``k`` runs is
+    merged into one run of the next level; ``ratio`` is the size ratio
+    between consecutive levels (it scales each level's run-size class and
+    thereby the merge cadence).
+
+    An optional merge ``key`` gives upsert semantics: scans resolve runs
+    newest-first and a newer row shadows older rows with the same key
+    (last-writer-wins), written ``levels[k; ratio; r.id](N)``. Without a
+    key the table is an append-only multiset. Deletes become tombstones
+    either way, resolved at scan and merge time.
+    """
+
+    child: Node
+    k: int = 4
+    ratio: int = 4
+    key: Scalar | None = None
+    op_name = "levels"
+
+    def __post_init__(self):
+        if self.k != int(self.k) or not 2 <= int(self.k) <= 64:
+            raise AlgebraError("levels fan-out k must be in [2, 64]")
+        if self.ratio != int(self.ratio) or not 2 <= int(self.ratio) <= 64:
+            raise AlgebraError("levels size ratio must be in [2, 64]")
+
+    def to_text(self) -> str:
+        if self.key is not None:
+            return (
+                f"levels[{self.k}; {self.ratio}; {self.key.to_text()}]"
+                f"({self.child.to_text()})"
+            )
+        return f"levels[{self.k}; {self.ratio}]({self.child.to_text()})"
+
+
+@dataclass(frozen=True)
 class Fold(_Unary):
     """``fold_{B,A}(N)`` — nest B values co-occurring with each A value
     (paper §3.5.2)."""
@@ -697,6 +737,17 @@ def partition(
     if isinstance(key, str):
         key = FieldRef(key)
     return Partition(child, key, method, tuple(args))
+
+
+def levels(
+    child: Node,
+    k: int = 4,
+    ratio: int = 4,
+    key: Scalar | str | None = None,
+) -> Levels:
+    if isinstance(key, str):
+        key = FieldRef(key)
+    return Levels(child, int(k), int(ratio), key)
 
 
 def fold(

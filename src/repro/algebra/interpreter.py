@@ -18,10 +18,12 @@ from repro.algebra.physical import (
     LAYOUT_COLUMNS,
     LAYOUT_FOLDED,
     LAYOUT_GRID,
+    LAYOUT_LEVELLED,
     LAYOUT_MIRROR,
     LAYOUT_PARTITIONED,
     LAYOUT_ROWS,
     GridSpec,
+    LevelSpec,
     PartitionSpec,
     PhysicalPlan,
 )
@@ -38,6 +40,7 @@ _KIND_TO_LAYOUT = {
     validation.KIND_NESTING: LAYOUT_ARRAY,
     validation.KIND_MIRROR: LAYOUT_MIRROR,
     validation.KIND_PARTITIONED: LAYOUT_PARTITIONED,
+    validation.KIND_LEVELLED: LAYOUT_LEVELLED,
 }
 
 
@@ -67,6 +70,12 @@ class AlgebraInterpreter:
                     "partition must be the outermost operator: the engine "
                     "renders one region per partition, so nothing can wrap "
                     "the partitioned result"
+                )
+            if isinstance(node, ast.Levels) and node is not normalized:
+                raise AlgebraError(
+                    "levels must be the outermost operator: the engine "
+                    "renders one region per run, so nothing can wrap the "
+                    "levelled result"
                 )
         checked = validation.check(normalized, self.catalog)
         return self._plan_from_checked(normalized, checked)
@@ -115,6 +124,29 @@ class AlgebraInterpreter:
                 sort_keys=tuple(sort_keys),
                 partition=spec,
                 partition_plans=(inner,),
+            )
+
+        if layout == LAYOUT_LEVELLED:
+            if not isinstance(expr, ast.Levels):
+                raise AlgebraError(
+                    "levelled plans require a levels expression"
+                )
+            inner = self._plan_from_checked(
+                expr.child, checked.meta["child"]
+            )
+            if inner.kind == LAYOUT_ARRAY:
+                raise AlgebraError(
+                    "levels require record-shaped runs, not arrays"
+                )
+            spec = LevelSpec(k=expr.k, ratio=expr.ratio, key=expr.key)
+            # Runs resolve newest-first at scan time, so no table-level
+            # stored order survives the run concatenation.
+            return PhysicalPlan(
+                expr=expr,
+                kind=LAYOUT_LEVELLED,
+                schema=inner.schema,
+                levels=spec,
+                level_plans=(inner,),
             )
 
         if layout == LAYOUT_MIRROR:

@@ -35,6 +35,7 @@ _OPERATORS = {
     "append",
     "select",
     "partition",
+    "levels",
     "fold",
     "unfold",
     "prejoin",
@@ -275,6 +276,23 @@ class _Parser:
         self.expect("punct", "]")
         (child,) = self._children(1)
         return ast.Partition(child, key, method, tuple(args))
+
+    # levels[k; ratio](E) | levels[k; ratio; key](E)
+    def _call_levels(self) -> ast.Node:
+        self.expect("punct", "[")
+        k = self.expect("number").value
+        self.expect("punct", ";")
+        ratio = self.expect("number").value
+        if not isinstance(k, int) or not isinstance(ratio, int):
+            raise ParseError(
+                "levels takes integer k and ratio", self.peek().pos
+            )
+        key: ast.Scalar | None = None
+        if self.accept("punct", ";"):
+            key = self.parse_condition()
+        self.expect("punct", "]")
+        (child,) = self._children(1)
+        return ast.Levels(child, k, ratio, key)
 
     # fold[b1, b2; a1, a2](E)
     def _call_fold(self) -> ast.Node:

@@ -27,6 +27,46 @@ LAYOUT_FOLDED = "folded"
 LAYOUT_ARRAY = "array"
 LAYOUT_MIRROR = "mirror"
 LAYOUT_PARTITIONED = "partitioned"
+LAYOUT_LEVELLED = "levelled"
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """Levelled (LSM) storage parameters.
+
+    Attributes:
+        k: fan-out — a level holding ``k`` runs merges into one run of
+            the next level.
+        ratio: size ratio between consecutive levels; a run with ``n``
+            rows belongs to the deepest level whose size class
+            (``seal_rows * ratio**level``) still covers it.
+        key: optional merge key (last-writer-wins upserts); ``None``
+            means append-only multiset semantics.
+    """
+
+    k: int = 4
+    ratio: int = 4
+    key: "ast.Scalar | None" = None
+
+    @property
+    def key_field(self) -> str | None:
+        """The merge key's field name when it is a plain field reference."""
+        if isinstance(self.key, ast.FieldRef):
+            return self.key.name
+        return None
+
+    def level_of(self, rows: int, seal_rows: int) -> int:
+        """Size class of a run with ``rows`` rows (level 0 = freshest)."""
+        level = 0
+        capacity = max(1, seal_rows)
+        while rows > capacity and level < 32:
+            capacity *= self.ratio
+            level += 1
+        return level
+
+    def describe(self) -> str:
+        keyed = f"; key={self.key.to_text()}" if self.key is not None else ""
+        return f"levels(k={self.k}, ratio={self.ratio}{keyed})"
 
 
 @dataclass(frozen=True)
@@ -127,6 +167,8 @@ class PhysicalPlan:
     mirror_plans: tuple["PhysicalPlan", ...] = ()
     partition: PartitionSpec | None = None
     partition_plans: tuple["PhysicalPlan", ...] = ()
+    levels: LevelSpec | None = None
+    level_plans: tuple["PhysicalPlan", ...] = ()
 
     def codec_for(self, field_name: str) -> str:
         """Codec assigned to ``field_name`` (field-specific beats ``"*"``)."""
@@ -145,6 +187,10 @@ class PhysicalPlan:
             parts.append(self.partition.describe())
             if self.partition_plans:
                 parts.append(f"each=[{self.partition_plans[0].describe()}]")
+        if self.levels is not None:
+            parts.append(self.levels.describe())
+            if self.level_plans:
+                parts.append(f"run=[{self.level_plans[0].describe()}]")
         if self.grid is not None:
             parts.append(self.grid.describe())
         if self.column_groups:

@@ -40,6 +40,8 @@ KIND_NESTING = "nesting"
 KIND_MIRROR = "mirror"
 # Horizontal partitioning: per-partition regions of the child design.
 KIND_PARTITIONED = "partitioned"
+# Log-structured levelled storage: immutable runs of the child design.
+KIND_LEVELLED = "levelled"
 
 
 @dataclass
@@ -201,6 +203,8 @@ class _Checker:
         child = self.check(node.child)
         if child.kind == KIND_PARTITIONED:
             raise TypeCheckError("partitions cannot nest")
+        if child.kind == KIND_LEVELLED:
+            raise TypeCheckError("partition cannot wrap a levelled design")
         schema = child.require_schema("partition")
         # The key is evaluated on the records a scan of the child design
         # produces; folded designs un-nest, so the key may reference both
@@ -220,6 +224,27 @@ class _Checker:
                 f"{key_type.name} in {node.key.to_text()}"
             )
         return Checked(KIND_PARTITIONED, schema, {"child": child})
+
+    def _check_levels(self, node: ast.Levels) -> Checked:
+        child = self.check(node.child)
+        if child.kind in (KIND_LEVELLED, KIND_PARTITIONED, KIND_MIRROR):
+            raise TypeCheckError(
+                f"levels cannot wrap a {child.kind} design"
+            )
+        schema = child.require_schema("levels")
+        if node.key is not None:
+            # The merge key is evaluated on the records a scan of the run
+            # design produces (same record shape as partition keys).
+            if child.kind == KIND_FOLDED:
+                nest_schema: Schema = child.meta["nest_schema"]
+                key_schema = Schema(
+                    [schema.field(f) for f in child.meta["group_fields"]]
+                    + list(nest_schema.fields)
+                )
+            else:
+                key_schema = schema
+            infer_scalar_type(node.key, key_schema)
+        return Checked(KIND_LEVELLED, schema, {"child": child})
 
     def _check_groupby(self, node: ast.GroupBy) -> Checked:
         child = self.check(node.child)

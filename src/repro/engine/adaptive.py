@@ -39,7 +39,7 @@ from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.algebra import ast
 from repro.algebra.interpreter import AlgebraInterpreter
-from repro.algebra.physical import LAYOUT_PARTITIONED
+from repro.algebra.physical import LAYOUT_LEVELLED, LAYOUT_PARTITIONED
 from repro.algebra.rewriter import structurally_equal
 from repro.engine.stats import TableStats
 from repro.optimizer.monitor import DEFAULT_DECAY, WorkloadMonitor
@@ -100,6 +100,12 @@ class AdaptiveController:
         #: Last decision per table (what ``adaptivity_report`` surfaces).
         self.decisions: dict[str, dict] = {}
         self._since_check: dict[str, int] = {}
+        #: Decayed ingest load per levelled table (rows, bumped by every
+        #: insert and decayed by every observed scan): while it is high
+        #: the table is write-hot and the levelled check leaves run
+        #: fragmentation to the background merge cadence; once reads
+        #: dominate, a full compaction becomes eligible.
+        self._write_load: dict[str, float] = {}
         self._suspended = 0
         #: Scans currently being iterated. Automatic reorganization frees
         #: the old layout's pages, so it must never fire while another
@@ -149,6 +155,8 @@ class AdaptiveController:
             return None
         monitor = self.monitor(table.name)
         key = monitor.observe(fieldlist, predicate, order_keys)
+        if table.name in self._write_load:
+            self._write_load[table.name] *= self.decay
         # Reorganization swaps the layout and frees its pages: defer both
         # the lazy-policy rewrite and the periodic check while any other
         # scan is mid-iteration (the observing scan itself has not started).
@@ -207,6 +215,15 @@ class AdaptiveController:
 
         return generate()
 
+    def note_write(self, name: str, rows: int) -> None:
+        """Ingest signal from levelled inserts: bump the table's decayed
+        write load (scans decay it back down; see ``_write_load``)."""
+        if self._suspended:
+            return
+        self._write_load[name] = (
+            self._write_load.get(name, 0.0) * self.decay + float(rows)
+        )
+
     def record_estimate(
         self, name: str, estimated: float, actual: float
     ) -> None:
@@ -262,6 +279,11 @@ class AdaptiveController:
             entry.plan is not None
             and entry.plan.kind == LAYOUT_PARTITIONED
             and entry.partitions_loaded
+        ) or (
+            # A levelled table is born scannable: runs + pending ARE the
+            # representation, no bulk load required.
+            entry.plan is not None
+            and entry.plan.kind == LAYOUT_LEVELLED
         )
         if entry.plan is None or not loaded:
             decision["reason"] = "table not loaded"
@@ -289,11 +311,15 @@ class AdaptiveController:
             decision["reason"] = "no live patterns"
             return decision
         partitioned = entry.plan.kind == LAYOUT_PARTITIONED
-        incumbent_expr = (
-            self._hottest_region_expr(entry)
-            if partitioned
-            else entry.plan.expr
-        )
+        levelled = entry.plan.kind == LAYOUT_LEVELLED
+        if partitioned:
+            incumbent_expr = self._hottest_region_expr(entry)
+        elif levelled:
+            # The incumbent a levelled check argues against is the run
+            # template — the design every future seal/merge renders.
+            incumbent_expr = entry.plan.level_plans[0].expr
+        else:
+            incumbent_expr = entry.plan.expr
         with self.pause():
             stats = self._fresh_stats(entry)
             if stats is None:
@@ -312,13 +338,17 @@ class AdaptiveController:
         decision["incumbent"] = incumbent_text
         decision["incumbent_ms"] = recommendation.incumbent_ms
         chosen = self._choose_non_lossy(
-            entry, recommendation, region_design=partitioned
+            entry, recommendation, region_design=partitioned or levelled
         )
         if chosen is None:
             decision["reason"] = "no non-lossy improvement"
             return decision
         if partitioned:
             return self._check_partitioned(
+                entry, decision, chosen, recommendation, workload, force
+            )
+        if levelled:
+            return self._check_levelled(
                 entry, decision, chosen, recommendation, workload, force
             )
         expr, predicted_ms, storage_pages = chosen
@@ -544,6 +574,119 @@ class AdaptiveController:
         )
         return decision
 
+    # -- levelled tables: run-design re-choice + read-heavy merges ---------
+
+    #: Below this decayed write load (rows) a levelled table counts as
+    #: read-mostly: the check may full-compact its runs for scan locality.
+    LEVELLED_WRITE_LOAD_FLOOR = 1.0
+
+    def _check_levelled(
+        self,
+        entry: "CatalogEntry",
+        decision: dict,
+        chosen: tuple[ast.Node, float, int],
+        recommendation,
+        workload: "Workload",
+        force: bool,
+    ) -> dict:
+        """Levelled adaptation, two triggers in priority order.
+
+        1. **Run-design re-choice**: when the advisor's non-lossy pick
+           beats the run template past hysteresis and the full-compaction
+           rewrite amortizes, every run merges into one re-rendered under
+           the new design (future seals render it too) — compaction is
+           exactly when re-choosing a hot run's layout is free-ish.
+        2. **Read-heavy merge**: a fragmented manifest costs one extra
+           seek per run per scan. Once the decayed ingest load has
+           drained (reads dominate) and the saved seeks amortize the
+           merge, the runs fold into one. While ingest is hot the check
+           leaves fan-out to the background merge cadence instead of
+           fighting it.
+        """
+        from repro.engine.cost import estimate
+
+        name = entry.name
+        expr, predicted_ms, storage_pages = chosen
+        decision["recommended"] = expr.to_text()
+        decision["predicted_ms"] = round(predicted_ms, 3)
+        decision["run_count"] = len(entry.runs)
+        write_load = self._write_load.get(name, 0.0)
+        decision["write_load"] = round(write_load, 3)
+        assert entry.plan is not None and entry.plan.levels is not None
+        incumbent_expr = entry.plan.level_plans[0].expr
+        incumbent_ms = recommendation.incumbent_ms
+
+        if (
+            incumbent_ms is not None
+            and not structurally_equal(expr, incumbent_expr)
+        ):
+            benefit = incumbent_ms - predicted_ms
+            margin = self.hysteresis * incumbent_ms
+            if benefit > margin:
+                rewrite_ms = self.reorganizer.estimated_rewrite_ms(
+                    name, storage_pages
+                )
+                per_execution = benefit / max(1.0, workload.total_weight)
+                amortized = per_execution * self.amortization_queries
+                decision["rewrite_ms"] = round(rewrite_ms, 3)
+                decision["amortized_benefit_ms"] = round(amortized, 3)
+                if force or amortized >= rewrite_ms:
+                    with self.pause():
+                        self.store.compact_levels(name, inner=expr)
+                    self._since_check[name] = 0
+                    self.adaptations += 1
+                    decision["adapted"] = True
+                    decision["relayout_runs"] = True
+                    decision["reason"] = (
+                        f"re-chose run design {expr.to_text()} via full "
+                        f"compaction (predicted {benefit:.2f} ms/workload "
+                        f"benefit)"
+                    )
+                    return decision
+                decision["reason"] = (
+                    f"rewrite cost not amortized ({amortized:.2f} ms "
+                    f"benefit < {rewrite_ms:.2f} ms rewrite)"
+                )
+                return decision
+
+        n_runs = len(entry.runs)
+        if n_runs > 1:
+            if not force and write_load > self.LEVELLED_WRITE_LOAD_FLOOR:
+                decision["reason"] = (
+                    f"ingest-hot (write load {write_load:.1f} rows): run "
+                    f"merges stay with the background compaction cadence"
+                )
+                return decision
+            model = self.store.cost_model
+            pages = sum(r.total_pages() for r in entry.runs)
+            per_scan = (
+                estimate(model, pages, n_runs).ms
+                - estimate(model, pages, 1).ms
+            )
+            rewrite_ms = self.reorganizer.estimated_rewrite_ms(name, pages)
+            amortized = per_scan * self.amortization_queries
+            decision["merge_benefit_ms_per_scan"] = round(per_scan, 3)
+            decision["rewrite_ms"] = round(rewrite_ms, 3)
+            if per_scan > 0 and (force or amortized >= rewrite_ms):
+                with self.pause():
+                    report = self.store.compact_levels(name, full=True)
+                self._since_check[name] = 0
+                self.adaptations += 1
+                decision["adapted"] = True
+                decision["merged_runs"] = report["runs_merged"]
+                decision["reason"] = (
+                    f"read-mostly: merged {report['runs_merged']} runs "
+                    f"into one (saves {per_scan:.2f} ms/scan in seeks)"
+                )
+                return decision
+            decision["reason"] = (
+                f"run merge not amortized ({amortized:.2f} ms benefit "
+                f"< {rewrite_ms:.2f} ms merge)"
+            )
+            return decision
+        decision["reason"] = "levelled structure already optimal"
+        return decision
+
     def check_all(self, force: bool = False) -> dict[str, dict]:
         return {
             name: self.check(name, force=force)
@@ -624,7 +767,9 @@ class AdaptiveController:
             except Exception:
                 continue
             if region_design:
-                if plan.kind == LAYOUT_PARTITIONED:
+                # The design becomes one region's/run's layout: it cannot
+                # itself split into regions or runs.
+                if plan.kind in (LAYOUT_PARTITIONED, LAYOUT_LEVELLED):
                     continue
                 if produced != required:
                     continue

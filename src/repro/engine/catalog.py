@@ -61,6 +61,33 @@ class PartitionRegion:
 
 
 @dataclass
+class LevelRun:
+    """One immutable sorted-run of a levelled (LSM) table.
+
+    A run is an independently rendered region of the table's ``inner``
+    design: rendered once when the pending buffer seals (level 0) or when
+    a level merges (level > 0), never modified afterwards. ``min_seq`` /
+    ``max_seq`` are the creation-sequence range the run covers — scans
+    resolve runs newest-first by ``max_seq``, and a tombstone with
+    sequence ``s`` suppresses matching rows in runs with ``max_seq < s``.
+    """
+
+    rid: int
+    level: int
+    min_seq: int
+    max_seq: int
+    plan: PhysicalPlan | None = None
+    layout: "StoredLayout | None" = None
+
+    @property
+    def row_count(self) -> int:
+        return self.layout.row_count if self.layout is not None else 0
+
+    def total_pages(self) -> int:
+        return self.layout.total_pages() if self.layout is not None else 0
+
+
+@dataclass
 class CatalogEntry:
     """Everything the engine knows about one table."""
 
@@ -98,6 +125,23 @@ class CatalogEntry:
     # Cumulative partition-pruning counters (exposed by storage_stats).
     partition_scans: int = 0
     partitions_pruned_total: int = 0
+    # Immutable runs of a levelled table (plan.kind == LAYOUT_LEVELLED),
+    # kept sorted by max_seq ascending (oldest first); scans walk them in
+    # reverse. ``level_tombstones`` are (seq, value) pairs — value is the
+    # merge key for keyed tables, the full stored row otherwise — each
+    # suppressing matching rows in runs older than its seq.
+    runs: "list[LevelRun]" = field(default_factory=list)
+    level_tombstones: list = field(default_factory=list)
+    # Monotonic run-id / sequence allocators for this table.
+    next_run_id: int = 0
+    next_run_seq: int = 0
+    # Write-amplification accounting (exposed by storage_stats): logical
+    # bytes first rendered for inserted rows vs total bytes rendered
+    # including compaction/rewrite passes.
+    wa_bytes_ingested: int = 0
+    wa_bytes_written: int = 0
+    wa_pages_compacted: int = 0
+    wa_compactions: int = 0
     # Transient key -> PartitionRegion index for O(1) insert routing;
     # rebuilt lazily whenever it disagrees with ``partitions`` (never
     # persisted).

@@ -21,15 +21,21 @@ from repro.algebra import ast
 from repro.algebra.interpreter import AlgebraInterpreter
 from repro.algebra.parser import parse
 from repro.algebra.physical import (
+    LAYOUT_LEVELLED,
     LAYOUT_PARTITIONED,
     LAYOUT_ROWS,
     PhysicalPlan,
 )
 from repro.algebra.transforms import Evaluated, Evaluator
-from repro.engine.catalog import Catalog, CatalogEntry, PartitionRegion
+from repro.engine.catalog import Catalog, CatalogEntry, LevelRun, PartitionRegion
 from repro.engine.cost import CostModel
 from repro.engine.stats import TableStats
-from repro.engine.table import Table, _scan_schema, structural_residual
+from repro.engine.table import (
+    Table,
+    _LevelResolver,
+    _scan_schema,
+    structural_residual,
+)
 from repro.errors import (
     CatalogError,
     CorruptPageError,
@@ -190,6 +196,7 @@ class RodentStore:
         vectorized: bool = True,
         checksums: bool = True,
         degraded_reads: bool = False,
+        level_seal_rows: int = 2048,
     ):
         from repro.engine.adaptive import AdaptiveController
 
@@ -268,6 +275,16 @@ class RodentStore:
         #: flips it per iteration); off = the per-row closure pipeline.
         #: Answers are identical either way.
         self.vectorized = bool(vectorized)
+        #: Rows a levelled table's pending buffer accumulates before it
+        #: seals into an immutable level-0 run. Settable at runtime (the
+        #: ingest benchmark sweeps it).
+        self.level_seal_rows = int(level_seal_rows)
+        if self.level_seal_rows < 1:
+            raise StorageError("level_seal_rows must be >= 1")
+        #: Tables with a background level-merge in flight, guarded by
+        #: ``_level_lock`` — at most one merge per table is scheduled.
+        self._level_lock = threading.Lock()
+        self._compacting: set[str] = set()
         self._scan_executor = None
         self._closed = False
         #: The adaptive loop (monitor → advise → reorganize). Scans are
@@ -516,6 +533,9 @@ class RodentStore:
         if entry.layout is not None:
             layouts.append(entry.layout)
         layouts.extend(entry.overflow)
+        for run in entry.runs:
+            if run.layout is not None:
+                layouts.append(run.layout)
         for region in entry.partitions:
             if region.layout is not None:
                 layouts.append(region.layout)
@@ -732,6 +752,7 @@ class RodentStore:
             with entry.mvcc.lock:
                 layouts: list[StoredLayout | None] = [entry.layout]
                 layouts.extend(entry.overflow)
+                layouts.extend(r.layout for r in entry.runs)
                 for region in entry.partitions:
                     layouts.append(region.layout)
                     layouts.extend(region.overflow)
@@ -814,10 +835,15 @@ class RodentStore:
                     entry, plan, coerced, stats, m, reset_overflow
                 )
                 return table
+            if plan.kind == LAYOUT_LEVELLED:
+                return self._load_levelled(
+                    entry, plan, coerced, stats, m, reset_overflow
+                )
             evaluated = self._evaluate(plan, {name: (coerced, schema)})
             new_layout = self.renderer.render(plan, evaluated)
             with entry.mvcc.lock:
                 retire: list[StoredLayout | None] = [entry.layout]
+                retire.extend(r.layout for r in entry.runs)
                 for region in entry.partitions:
                     retire.append(region.layout)
                     retire.extend(region.overflow)
@@ -840,7 +866,10 @@ class RodentStore:
                 entry.region_index.clear()
                 entry.partitions_loaded = False
                 entry.next_partition_id = 0
+                entry.runs = []
+                entry.level_tombstones = []
                 entry.mvcc.retire(self._layout_freer(*retire))
+                self._wa_note(entry, new_layout, ingest=True)
             if entry.monitor is not None:
                 entry.monitor.forget_partitions([])
             m.log_layout(new_layout)
@@ -897,6 +926,7 @@ class RodentStore:
             )
         with entry.mvcc.lock:
             retire: list[StoredLayout | None] = [entry.layout]
+            retire.extend(r.layout for r in entry.runs)
             for region in entry.partitions:
                 retire.append(region.layout)
                 retire.extend(region.overflow)
@@ -914,7 +944,11 @@ class RodentStore:
             entry.spatial_indexes.clear()
             entry.pending.clear()
             entry.pending_zone = None
+            entry.runs = []
+            entry.level_tombstones = []
             entry.mvcc.retire(self._layout_freer(*retire))
+            for region in new_regions:
+                self._wa_note(entry, region.layout, ingest=True)
         if entry.monitor is not None:
             # A reload rebuilds the partition map from scratch and restarts
             # pid allocation at 0, so skew recorded against the old regions
@@ -923,6 +957,80 @@ class RodentStore:
             entry.monitor.forget_partitions([])
         for region in new_regions:
             m.log_layout(region.layout)
+        m.touch(entry.name)
+        return Table(self, entry)
+
+    def _load_levelled(
+        self,
+        entry: CatalogEntry,
+        plan: PhysicalPlan,
+        coerced: list[tuple],
+        stats: TableStats,
+        m: _Mutation,
+        reset_overflow: bool = False,
+    ) -> Table:
+        """Bulk-load a levelled table: render the records as ONE run.
+
+        A bulk load is already "fully compacted" — the run lands at its
+        size class directly and the pending buffer starts empty. Keyed
+        tables dedup to last-writer-wins first, exactly like a seal. The
+        sequence space restarts (no tombstones survive a reload).
+        """
+        assert plan.levels is not None
+        spec = plan.levels
+        table = Table(self, entry)
+        rows = table._apply_record_pipeline(coerced, plan=plan)
+        if spec.key is not None and rows:
+            resolver = _LevelResolver(spec, _scan_schema(plan).names(), [])
+            rows = resolver.resolve_pending([tuple(r) for r in rows])
+        run_plan = plan.level_plans[0]
+        new_layout = (
+            self._render_region(plan, run_plan, rows) if rows else None
+        )
+        with entry.mvcc.lock:
+            retire: list[StoredLayout | None] = [entry.layout]
+            retire.extend(r.layout for r in entry.runs)
+            for region in entry.partitions:
+                retire.append(region.layout)
+                retire.extend(region.overflow)
+            if reset_overflow:
+                retire.extend(entry.overflow)
+                entry.overflow = []
+            entry.plan = plan
+            entry.layout = None
+            entry.stats = stats
+            entry.indexes.clear()
+            entry.spatial_indexes.clear()
+            entry.pending.clear()
+            entry.pending_zone = None
+            entry.partitions = []
+            entry.region_index.clear()
+            entry.partitions_loaded = False
+            entry.next_partition_id = 0
+            entry.level_tombstones = []
+            entry.next_run_id = 0
+            entry.next_run_seq = 1
+            entry.runs = []
+            if new_layout is not None:
+                entry.runs.append(
+                    LevelRun(
+                        rid=entry.next_run_id,
+                        level=spec.level_of(
+                            len(rows), self.level_seal_rows
+                        ),
+                        min_seq=0,
+                        max_seq=0,
+                        plan=run_plan,
+                        layout=new_layout,
+                    )
+                )
+                entry.next_run_id += 1
+            entry.mvcc.retire(self._layout_freer(*retire))
+            self._wa_note(entry, new_layout, ingest=True)
+        if entry.monitor is not None:
+            entry.monitor.forget_partitions([])
+        if new_layout is not None:
+            m.log_layout(new_layout)
         m.touch(entry.name)
         return Table(self, entry)
 
@@ -1030,6 +1138,7 @@ class RodentStore:
                 entry.mvcc.retire(
                     self._layout_freer(old_layout, *old_overflow)
                 )
+                self._wa_note(entry, new_layout)
             m.log_layout(new_layout)
             m.touch(name)
         return table
@@ -1099,6 +1208,11 @@ class RodentStore:
         the rest are untouched.
         """
         entry = self.catalog.entry(name)
+        if entry.plan is not None and entry.plan.kind == LAYOUT_LEVELLED:
+            # Levelled tables compact by merging every run (+ pending)
+            # into one — the LSM equivalent of folding overflow back in.
+            self.compact_levels(name, full=True)
+            return
         if entry.plan is not None and entry.plan.kind == LAYOUT_PARTITIONED:
             if not entry.partitions_loaded:
                 raise StorageError(f"table {name!r} is not loaded")
@@ -1126,6 +1240,7 @@ class RodentStore:
                         entry.mvcc.retire(
                             self._layout_freer(old_layout, *old_overflow)
                         )
+                        self._wa_note(entry, new_layout, compaction=True)
                     m.log_layout(new_layout)
                     compacted = True
                 if compacted:
@@ -1137,7 +1252,10 @@ class RodentStore:
         with self.mutate(name) as m:
             with self.adaptivity.pause():  # maintenance scan, not workload
                 stored = list(table.scan())
-            self._rewrite_stored(entry, stored, m)
+            new_layout = self._rewrite_stored(entry, stored, m)
+            with entry.mvcc.lock:
+                entry.wa_pages_compacted += new_layout.total_pages()
+                entry.wa_compactions += 1
 
     def _rewrite_stored(
         self,
@@ -1174,9 +1292,335 @@ class RodentStore:
             entry.mvcc.retire(
                 self._layout_freer(old_layout, *old_overflow)
             )
+            self._wa_note(entry, new_layout)
         m.log_layout(new_layout)
         m.touch(entry.name)
         return new_layout
+
+    # -- levelled (LSM) storage ---------------------------------------------
+
+    def maintain_levels(self, name: str) -> None:
+        """Post-insert maintenance for a levelled table.
+
+        Seals the pending buffer into a level-0 run once it reaches
+        :attr:`level_seal_rows`, then kicks a merge when any level's
+        fan-out reached the design's ``k`` — in the background on the
+        shared worker pool when ``scan_workers > 1``, synchronously
+        otherwise (deterministic for tests and single-threaded stores).
+        """
+        entry = self.catalog.entry(name)
+        plan = entry.plan
+        if plan is None or plan.kind != LAYOUT_LEVELLED or self._closed:
+            return
+        if len(entry.pending) >= self.level_seal_rows:
+            self.seal_level_run(name)
+        assert plan.levels is not None
+        counts: dict[int, int] = {}
+        for run in entry.runs:
+            counts[run.level] = counts.get(run.level, 0) + 1
+        if any(c >= plan.levels.k for c in counts.values()):
+            self._schedule_level_compaction(name)
+
+    def _schedule_level_compaction(self, name: str) -> None:
+        if self.scan_workers > 1 and not self._closed:
+            with self._level_lock:
+                if name in self._compacting:
+                    return  # one in-flight merge per table
+                self._compacting.add(name)
+
+            def job() -> None:
+                try:
+                    self.compact_levels(name)
+                except RodentStoreError:
+                    # Lost a race (drop/close/fault); the next insert's
+                    # maintain_levels retries if the fan-out still holds.
+                    pass
+                finally:
+                    with self._level_lock:
+                        self._compacting.discard(name)
+
+            self.scan_executor().submit(job)
+        else:
+            self.compact_levels(name)
+
+    def seal_level_run(self, name: str) -> StoredLayout | None:
+        """Seal the pending buffer into an immutable level-0 run.
+
+        Rendering happens before any shared state changes; the run then
+        joins the manifest under the MVCC lock while the pending buffer
+        clears — one transaction, so recovery sees the rows either as
+        pending (the insert's WAL row records) or as the sealed run (the
+        seal's catalog image), never both and never neither. Returns the
+        new run's layout, or ``None`` when nothing was pending.
+        """
+        entry = self.catalog.entry(name)
+        plan = entry.plan
+        if plan is None or plan.kind != LAYOUT_LEVELLED:
+            raise StorageError(f"table {name!r} is not levelled")
+        assert plan.levels is not None
+        with self.mutate(name) as m:
+            rows = [tuple(r) for r in entry.pending]
+            if not rows:
+                return None
+            if plan.levels.key is not None:
+                resolver = _LevelResolver(
+                    plan.levels, _scan_schema(plan).names(), []
+                )
+                rows = resolver.resolve_pending(rows)
+            run_plan = plan.level_plans[0]
+            layout = self._render_region(plan, run_plan, rows)
+            with entry.mvcc.lock:
+                seq = entry.next_run_seq
+                entry.next_run_seq += 1
+                entry.runs.append(
+                    LevelRun(
+                        rid=entry.next_run_id,
+                        level=0,
+                        min_seq=seq,
+                        max_seq=seq,
+                        plan=run_plan,
+                        layout=layout,
+                    )
+                )
+                entry.next_run_id += 1
+                entry.pending.clear()
+                entry.pending_zone = None
+                self._wa_note(entry, layout, ingest=True)
+            m.log_layout(layout)
+            m.touch(name)
+            return layout
+
+    def compact_levels(
+        self,
+        name: str,
+        inner: str | ast.Node | None = None,
+        full: bool = False,
+    ) -> dict:
+        """Merge levelled runs (the LSM compaction).
+
+        Partial mode (the default) repeatedly merges the shallowest level
+        whose fan-out reached ``k`` into one run of the next level,
+        cascading until no level is over fan-out. ``full=True`` folds
+        *every* run plus the pending buffer into a single run — and with
+        ``inner`` re-renders it under a new run design (the adaptive
+        loop's levelled re-organization; the design must keep the stored
+        fields). Returns ``{"merges", "runs_merged", "relayout"}``.
+        """
+        entry = self.catalog.entry(name)
+        if entry.plan is None or entry.plan.kind != LAYOUT_LEVELLED:
+            raise StorageError(f"table {name!r} is not levelled")
+        report = {"merges": 0, "runs_merged": 0, "relayout": False}
+        with self.mutate(name) as m:
+            plan = entry.plan
+            assert plan is not None and plan.levels is not None
+            if inner is not None:
+                plan = self._relevel_plan(entry, inner)
+                full = True
+                report["relayout"] = True
+            if full:
+                sources = list(entry.runs)
+                if sources or entry.pending:
+                    self._merge_runs_once(
+                        entry, plan, sources, m,
+                        target_level=None, include_pending=True,
+                    )
+                    report["merges"] = 1
+                    report["runs_merged"] = len(sources)
+                elif entry.plan is not plan:
+                    # Nothing to merge: still swap in the new design so
+                    # future seals render under it.
+                    with entry.mvcc.lock:
+                        entry.plan = plan
+                m.touch(name)
+                return report
+            spec = plan.levels
+            while True:
+                counts: dict[int, int] = {}
+                for run in entry.runs:
+                    counts[run.level] = counts.get(run.level, 0) + 1
+                over = sorted(
+                    lvl for lvl, c in counts.items() if c >= spec.k
+                )
+                if not over:
+                    break
+                sources = [r for r in entry.runs if r.level == over[0]]
+                # Merges target exactly level+1: size-based promotion
+                # could interleave another level's sequence range inside
+                # the merged run's, breaking newest-first resolution.
+                self._merge_runs_once(
+                    entry, plan, sources, m, target_level=over[0] + 1
+                )
+                report["merges"] += 1
+                report["runs_merged"] += len(sources)
+            if report["merges"]:
+                m.touch(name)
+        return report
+
+    def _merge_runs_once(
+        self,
+        entry: CatalogEntry,
+        plan: PhysicalPlan,
+        sources: "list[LevelRun]",
+        m: _Mutation,
+        target_level: int | None,
+        include_pending: bool = False,
+    ) -> "LevelRun | None":
+        """Merge ``sources`` (plus optionally the pending buffer) into one
+        run, resolving tombstones and (keyed) duplicate keys exactly as a
+        scan would — the same :class:`_LevelResolver` drives both.
+
+        Resolution and row recovery happen under the *current* plan's
+        canonical field order (tombstone values were recorded under it);
+        the merged rows are then reordered for ``plan`` — the target
+        design, which differs only during a levelled re-layout. The swap
+        is atomic under the MVCC lock: sources out, merged run in, plan
+        updated, applicable tombstones collected, superseded pages
+        retired for the last pinned reader to free.
+        """
+        assert plan.levels is not None
+        spec = plan.levels
+        old_plan = entry.plan
+        assert old_plan is not None
+        old_names = list(_scan_schema(old_plan).names())
+        table = Table(self, entry)
+        resolver = _LevelResolver(spec, old_names, entry.level_tombstones)
+        pending_rows: list[tuple] = []
+        if include_pending:
+            # Pending is the freshest segment: resolve it first so (keyed)
+            # its keys shadow older copies in the sources. Tombstones never
+            # apply to pending rows — they postdate every tombstone.
+            pending_rows = resolver.resolve_pending(list(entry.pending))
+        survivors: list[list[tuple]] = []
+        for run in sorted(sources, key=lambda r: r.max_seq, reverse=True):
+            resolver.enter_run(run)
+            survivors.append(resolver.resolve(table._run_rows(run)))
+        merged_rows: list[tuple] = []
+        for rows in reversed(survivors):  # oldest source first
+            merged_rows.extend(rows)
+        merged_rows.extend(pending_rows)
+        new_names = list(_scan_schema(plan).names())
+        if new_names != old_names:
+            idx = {f: i for i, f in enumerate(old_names)}
+            order = [idx[f] for f in new_names]
+            merged_rows = [tuple(r[i] for i in order) for r in merged_rows]
+        run_plan = plan.level_plans[0]
+        new_layout = (
+            self._render_region(plan, run_plan, merged_rows)
+            if merged_rows
+            else None
+        )
+        if target_level is None:
+            # Full compaction: one resulting run cannot interleave any
+            # other run's range, so its size class is safe to use.
+            target_level = max(
+                [spec.level_of(len(merged_rows), self.level_seal_rows)]
+                + [r.level for r in sources]
+            )
+        with entry.mvcc.lock:
+            source_ids = {r.rid for r in sources}
+            remaining = [r for r in entry.runs if r.rid not in source_ids]
+            merged: LevelRun | None = None
+            if new_layout is not None:
+                if include_pending:
+                    # A full merge's output is the complete post-
+                    # resolution state: folded-in pending rows are newer
+                    # than every tombstone (an inherited seq would let a
+                    # surviving tombstone suppress them at scan), and
+                    # every tombstone has been applied to every source —
+                    # a fresh sequence lets the GC below drop them all.
+                    max_seq = entry.next_run_seq
+                    entry.next_run_seq += 1
+                elif sources:
+                    max_seq = max(r.max_seq for r in sources)
+                else:
+                    max_seq = entry.next_run_seq
+                    entry.next_run_seq += 1
+                min_seq = min(
+                    (r.min_seq for r in sources), default=max_seq
+                )
+                merged = LevelRun(
+                    rid=entry.next_run_id,
+                    level=target_level,
+                    min_seq=min_seq,
+                    max_seq=max_seq,
+                    plan=run_plan,
+                    layout=new_layout,
+                )
+                entry.next_run_id += 1
+                remaining.append(merged)
+            remaining.sort(key=lambda r: r.max_seq)
+            entry.runs = remaining
+            # A tombstone still applies only to runs older than its seq;
+            # with none left it is garbage (a full merge drops them all).
+            entry.level_tombstones = [
+                t for t in entry.level_tombstones
+                if any(r.max_seq < t[0] for r in remaining)
+            ]
+            if include_pending:
+                entry.pending.clear()
+                entry.pending_zone = None
+            entry.plan = plan
+            entry.mvcc.retire(
+                self._layout_freer(*(r.layout for r in sources))
+            )
+            self._wa_note(entry, new_layout, compaction=True)
+        if new_layout is not None:
+            m.log_layout(new_layout)
+        return merged
+
+    def _relevel_plan(
+        self, entry: CatalogEntry, inner: str | ast.Node
+    ) -> PhysicalPlan:
+        """Compile a new run design for a levelled table.
+
+        ``inner`` may be the run design alone (it is wrapped in the
+        table's current ``levels[k; ratio; key]`` parameters) or a full
+        ``levels(...)`` expression. The result must keep every stored
+        field — the same non-lossy rule as partition re-layouts.
+        """
+        assert entry.plan is not None and entry.plan.levels is not None
+        spec = entry.plan.levels
+        expr = self._resolve_expr(entry.name, inner)
+        if not isinstance(expr, ast.Levels):
+            expr = ast.Levels(expr, spec.k, spec.ratio, spec.key)
+        new_plan = self._interpreter().compile(expr)
+        if new_plan.kind != LAYOUT_LEVELLED:
+            raise StorageError(
+                f"table {entry.name!r}: levelled re-layout must stay "
+                f"levelled"
+            )
+        canonical = set(_scan_schema(entry.plan).names())
+        produced = set(_scan_schema(new_plan).names())
+        if canonical != produced:
+            raise StorageError(
+                f"run design must keep the stored fields "
+                f"{sorted(canonical)}; new design produces "
+                f"{sorted(produced)}"
+            )
+        return new_plan
+
+    def _wa_note(
+        self,
+        entry: CatalogEntry,
+        layout: StoredLayout | None,
+        ingest: bool = False,
+        compaction: bool = False,
+    ) -> None:
+        """Charge a rendered layout to the entry's write-amplification
+        ledger: every render adds to ``wa_bytes_written``; first-time
+        renders of freshly ingested rows also add to ``wa_bytes_ingested``;
+        compaction renders count their rewritten pages. The ratio is
+        surfaced by ``storage_stats()``."""
+        if layout is None:
+            return
+        pages = layout.total_pages()
+        nbytes = pages * self.disk.page_size
+        entry.wa_bytes_written += nbytes
+        if ingest:
+            entry.wa_bytes_ingested += nbytes
+        if compaction:
+            entry.wa_pages_compacted += pages
+            entry.wa_compactions += 1
 
     def render_overflow_region(
         self, schema: Schema, records: Sequence[tuple]
@@ -1265,28 +1709,76 @@ class RodentStore:
         disk = self.disk.stats
         tables: dict[str, dict] = {}
         for entry in self.catalog:
-            if entry.plan is None or entry.plan.kind != LAYOUT_PARTITIONED:
-                continue
-            tables[entry.name] = {
-                "partitioned": True,
-                "partition_count": len(entry.partitions),
-                "partition_scans": entry.partition_scans,
-                "partitions_pruned": entry.partitions_pruned_total,
-                "partitions": [
+            info: dict[str, Any] = {}
+            if entry.plan is not None and (
+                entry.plan.kind == LAYOUT_PARTITIONED
+            ):
+                info.update(
                     {
-                        "pid": region.pid,
-                        "key": region.describe_key(),
-                        "rows": region.row_count,
-                        "pages": region.total_pages(),
-                        "layout": region.plan.describe()
-                        if region.plan is not None
-                        else None,
-                        "overflow_regions": len(region.overflow),
-                        "pending_rows": len(region.pending),
+                        "partitioned": True,
+                        "partition_count": len(entry.partitions),
+                        "partition_scans": entry.partition_scans,
+                        "partitions_pruned": entry.partitions_pruned_total,
+                        "partitions": [
+                            {
+                                "pid": region.pid,
+                                "key": region.describe_key(),
+                                "rows": region.row_count,
+                                "pages": region.total_pages(),
+                                "layout": region.plan.describe()
+                                if region.plan is not None
+                                else None,
+                                "overflow_regions": len(region.overflow),
+                                "pending_rows": len(region.pending),
+                            }
+                            for region in entry.partitions
+                        ],
                     }
-                    for region in entry.partitions
-                ],
-            }
+                )
+            if entry.plan is not None and (
+                entry.plan.kind == LAYOUT_LEVELLED
+            ):
+                levels: dict[int, int] = {}
+                for run in entry.runs:
+                    levels[run.level] = levels.get(run.level, 0) + 1
+                info.update(
+                    {
+                        "levelled": True,
+                        "run_count": len(entry.runs),
+                        "levels": {
+                            str(lvl): levels[lvl] for lvl in sorted(levels)
+                        },
+                        "pending_rows": len(entry.pending),
+                        "tombstones": len(entry.level_tombstones),
+                        "runs": [
+                            {
+                                "rid": run.rid,
+                                "level": run.level,
+                                "rows": run.row_count,
+                                "pages": run.total_pages(),
+                                "seq": [run.min_seq, run.max_seq],
+                            }
+                            for run in entry.runs
+                        ],
+                    }
+                )
+            if entry.wa_bytes_written:
+                ingested = entry.wa_bytes_ingested
+                info["write_amplification"] = {
+                    "bytes_ingested": ingested,
+                    "bytes_written": entry.wa_bytes_written,
+                    "pages_rewritten_by_compaction": (
+                        entry.wa_pages_compacted
+                    ),
+                    "compactions": entry.wa_compactions,
+                    "factor": (
+                        entry.wa_bytes_written / ingested
+                        if ingested
+                        else None
+                    ),
+                }
+            if info:
+                tables[entry.name] = info
         return {
             "adaptivity": self.adaptivity.report(),
             "tables": tables,
@@ -1342,6 +1834,9 @@ class RodentStore:
         for entry in self.catalog:
             if entry.layout is not None:
                 entry.layout.clear_caches()
+            for run in entry.runs:
+                if run.layout is not None:
+                    run.layout.clear_caches()
             for region in entry.partitions:
                 if region.layout is not None:
                     region.layout.clear_caches()

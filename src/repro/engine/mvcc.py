@@ -79,7 +79,7 @@ class TableSnapshot:
     __slots__ = (
         "version", "plan", "layout", "overflow", "pending", "pending_zone",
         "indexes", "spatial_indexes", "partitions", "partitions_loaded",
-        "released",
+        "runs", "level_tombstones", "released",
     )
 
     def __init__(self, entry: "CatalogEntry", version: int):
@@ -93,6 +93,10 @@ class TableSnapshot:
         self.spatial_indexes = dict(entry.spatial_indexes)
         self.partitions = [RegionView(r) for r in entry.partitions]
         self.partitions_loaded = entry.partitions_loaded
+        # The pinned run manifest: runs are immutable, so freezing the
+        # list keeps a scan stable across concurrent seals/compactions.
+        self.runs = tuple(entry.runs)
+        self.level_tombstones = tuple(entry.level_tombstones)
         self.released = False
 
 

@@ -239,6 +239,17 @@ def _region_to_dict(region) -> dict:
     }
 
 
+def _run_to_dict(run) -> dict:
+    return {
+        "rid": run.rid,
+        "level": run.level,
+        "min_seq": run.min_seq,
+        "max_seq": run.max_seq,
+        "expr": run.plan.expr.to_text() if run.plan else None,
+        "layout": layout_to_dict(run.layout) if run.layout else None,
+    }
+
+
 def entry_to_dict(entry) -> dict:
     """Serialize one catalog entry (schema, design, layout metadata)."""
     return {
@@ -260,6 +271,17 @@ def entry_to_dict(entry) -> dict:
         "next_partition_id": entry.next_partition_id,
         "partition_scans": entry.partition_scans,
         "partitions_pruned": entry.partitions_pruned_total,
+        "runs": [_run_to_dict(r) for r in entry.runs],
+        "level_tombstones": [
+            [seq, list(value) if isinstance(value, tuple) else value]
+            for seq, value in entry.level_tombstones
+        ],
+        "next_run_id": entry.next_run_id,
+        "next_run_seq": entry.next_run_seq,
+        "wa_bytes_ingested": entry.wa_bytes_ingested,
+        "wa_bytes_written": entry.wa_bytes_written,
+        "wa_pages_compacted": entry.wa_pages_compacted,
+        "wa_compactions": entry.wa_compactions,
     }
 
 
@@ -454,6 +476,53 @@ def apply_entry_dict(store: "RodentStore", t: dict) -> None:
         entry.partitions = []
         entry.region_index = {}
         entry.partitions_loaded = False
+    from repro.engine.catalog import LevelRun
+
+    runs = []
+    for r in t.get("runs", []):
+        run_plan = (
+            interpreter.compile(r["expr"]) if r.get("expr") else None
+        )
+        runs.append(
+            LevelRun(
+                rid=r["rid"],
+                level=r["level"],
+                min_seq=r["min_seq"],
+                max_seq=r["max_seq"],
+                plan=run_plan,
+                layout=layout_from_dict(r["layout"], run_plan)
+                if r.get("layout")
+                else None,
+            )
+        )
+    entry.runs = runs
+    # Multiset tombstone values are full stored rows (JSON lists back to
+    # the tuples scan resolution compares against); keyed values are the
+    # merge-key scalar and pass through.
+    keyed = (
+        entry.plan is not None
+        and entry.plan.levels is not None
+        and entry.plan.levels.key is not None
+    )
+    entry.level_tombstones = [
+        (
+            seq,
+            tuple(value)
+            if not keyed and isinstance(value, list)
+            else value,
+        )
+        for seq, value in t.get("level_tombstones", [])
+    ]
+    entry.next_run_id = t.get(
+        "next_run_id", max((r.rid for r in runs), default=-1) + 1
+    )
+    entry.next_run_seq = t.get(
+        "next_run_seq", max((r.max_seq for r in runs), default=-1) + 1
+    )
+    entry.wa_bytes_ingested = t.get("wa_bytes_ingested", 0)
+    entry.wa_bytes_written = t.get("wa_bytes_written", 0)
+    entry.wa_pages_compacted = t.get("wa_pages_compacted", 0)
+    entry.wa_compactions = t.get("wa_compactions", 0)
 
 
 def _scan_schema_of(entry) -> Schema:

@@ -46,6 +46,7 @@ from repro.algebra.physical import (
     LAYOUT_COLUMNS,
     LAYOUT_FOLDED,
     LAYOUT_GRID,
+    LAYOUT_LEVELLED,
     LAYOUT_MIRROR,
     LAYOUT_PARTITIONED,
     LAYOUT_ROWS,
@@ -252,6 +253,11 @@ class Table:
             if self._snap is not None:
                 return self._snap.partitions_loaded
             return self._entry.partitions_loaded
+        if self.is_levelled:
+            # A levelled table is born scannable — create, insert, scan —
+            # with the first seal rendering run 0; there is no separate
+            # bulk-load gate.
+            return True
         if self._snap is not None:
             return self._snap.layout is not None
         return self._entry.layout is not None
@@ -288,10 +294,36 @@ class Table:
             )
         return self._entry.partitions
 
+    # -- levelled (LSM) runs -----------------------------------------------
+
+    @property
+    def is_levelled(self) -> bool:
+        plan = self._snap.plan if self._snap is not None else self._entry.plan
+        return plan is not None and plan.kind == LAYOUT_LEVELLED
+
+    @property
+    def _runs(self):
+        """The run manifest, oldest first (snapshot-pinned for scans)."""
+        if self._snap is not None:
+            return self._snap.runs
+        return self._entry.runs
+
+    @property
+    def _level_tombstones(self):
+        if self._snap is not None:
+            return self._snap.level_tombstones
+        return self._entry.level_tombstones
+
+    @property
+    def run_count(self) -> int:
+        return len(self._runs)
+
     @property
     def row_count(self) -> int:
         if self.is_partitioned:
             return sum(r.row_count for r in self.partitions)
+        if self.is_levelled:
+            return self._levelled_row_count()
         count = self.layout.row_count if self.is_loaded else 0
         count += sum(o.row_count for o in self._overflow)
         count += len(self._pending)
@@ -531,6 +563,8 @@ class Table:
             )
         elif self.is_partitioned:
             batches, avail = self._partition_batches(needed, predicate)
+        elif self.is_levelled:
+            batches, avail = self._levelled_batches(needed, predicate)
         else:
             batches, avail = self._batches_with_overflow(needed, predicate)
         positions = {name: i for i, name in enumerate(avail)}
@@ -688,6 +722,8 @@ class Table:
             rows, avail = index_rows, self.plan.schema.names()
         elif self.is_partitioned:
             rows, avail = self._partition_rows(needed, predicate)
+        elif self.is_levelled:
+            rows, avail = self._levelled_rows(needed, predicate)
         else:
             rows, avail = self._iter_with_overflow(needed, predicate)
         positions = {name: i for i, name in enumerate(avail)}
@@ -1027,6 +1063,166 @@ class Table:
         partition-granular rewrite."""
         target = list(self.scan_schema().names())
         return list(self._region_row_iter(region, None, None, target))
+
+    # ==================================================================
+    # levelled (LSM) scans: pending buffer, then runs newest-first
+    # ==================================================================
+
+    def _levelled_batches(
+        self,
+        needed: Sequence[str] | None,
+        predicate: Predicate | None,
+    ) -> tuple[Iterator[ColumnBatch], list[str]]:
+        """Batch source over a levelled table.
+
+        Segments stream newest-first — the pending buffer, then runs by
+        descending ``max_seq`` — through one shared :class:`_LevelResolver`
+        carrying last-writer-wins / tombstone state across segments.
+
+        Multiset tables keep every pruning lever (per-run zone and page
+        skips, the pending-zone skip): tombstone suppression is by row
+        value, independent of what pruning drops. Keyed tables scan
+        un-pruned and un-projected instead — a newer version must shadow
+        older versions of its key even when the newer row itself fails the
+        predicate — leaving selection entirely to the downstream filter.
+        """
+        spec = self.plan.levels
+        keyed = spec.key is not None
+        tombstones = self._level_tombstones
+        plain = not keyed and not tombstones
+        target = (
+            self._partition_target_fields(needed)
+            if plain
+            else list(self.scan_schema().names())
+        )
+        fields = tuple(target)
+        run_needed = needed if plain else None
+        run_pred = predicate if not keyed else None
+        resolver = _LevelResolver(spec, target, tombstones)
+        runs = list(reversed(self._runs))
+        pending = [tuple(r) for r in self._pending]
+        intervals = self._prune_intervals(run_pred)
+        if (
+            pending
+            and not keyed
+            and intervals
+            and self._pending_zone is not None
+            and not zonemaps.zone_may_match(self._pending_zone, intervals)
+        ):
+            pending = []
+        pending_projector = _fields_projector(
+            self.scan_schema().names(), target
+        )
+
+        def run_batches(run) -> Iterator[ColumnBatch]:
+            if run.layout is None or not run.layout.row_count:
+                return
+            active = resolver.enter_run(run)
+            source, avail = self._batch_stored(
+                run.layout, run_needed, run_pred
+            )
+            projector = _fields_projector(avail, target)
+            if not active and not keyed:
+                # Fast path (the ingest-heavy case): no suppression can
+                # apply, batches pass through the vectorized pipeline.
+                if projector is None:
+                    yield from source
+                    return
+                for batch in source:
+                    yield ColumnBatch.from_rows(
+                        fields, projector(batch.rows())
+                    )
+                return
+            for batch in source:
+                rows = batch.rows()
+                if projector is not None:
+                    rows = projector(rows)
+                kept = resolver.resolve(rows)
+                if kept:
+                    yield ColumnBatch.from_rows(fields, kept)
+
+        def chained() -> Iterator[ColumnBatch]:
+            rows = resolver.resolve_pending(pending)
+            if rows:
+                if pending_projector is not None:
+                    rows = pending_projector(rows)
+                yield ColumnBatch.from_rows(fields, rows)
+            for run in runs:
+                yield from self._corruption_guard(
+                    run_batches(run), f"run[{run.rid}]"
+                )
+
+        return chained(), target
+
+    def _levelled_rows(
+        self,
+        needed: Sequence[str] | None,
+        predicate: Predicate | None,
+    ) -> tuple[Iterator[tuple], list[str]]:
+        """Tuple-at-a-time counterpart of :meth:`_levelled_batches` — the
+        same newest-first resolution without zone maps (the reference
+        oracle both paths must match exactly)."""
+        spec = self.plan.levels
+        keyed = spec.key is not None
+        tombstones = self._level_tombstones
+        plain = not keyed and not tombstones
+        target = (
+            self._partition_target_fields(needed)
+            if plain
+            else list(self.scan_schema().names())
+        )
+        run_needed = needed if plain else None
+        run_pred = predicate if not keyed else None
+        resolver = _LevelResolver(spec, target, tombstones)
+        runs = list(reversed(self._runs))
+        pending = [tuple(r) for r in self._pending]
+        pending_projector = _row_fields_projector(
+            self.scan_schema().names(), target
+        )
+
+        def generate() -> Iterator[tuple]:
+            rows = resolver.resolve_pending(pending)
+            if pending_projector is not None:
+                rows = [pending_projector(r) for r in rows]
+            yield from rows
+            for run in runs:
+                if run.layout is None or not run.layout.row_count:
+                    continue
+                active = resolver.enter_run(run)
+                source, avail = self._iter_stored(
+                    run.layout, run_needed, run_pred
+                )
+                projector = _row_fields_projector(avail, target)
+                if projector is not None:
+                    source = map(projector, source)
+                if not active and not keyed:
+                    yield from source
+                    continue
+                for row in source:
+                    kept = resolver.resolve((row,))
+                    if kept:
+                        yield kept[0]
+
+        return generate(), target
+
+    def _run_rows(self, run) -> list[tuple]:
+        """Every stored row of one run, un-resolved, in stored order and
+        canonical scan-schema field order — the compaction merge input."""
+        if run.layout is None or not run.layout.row_count:
+            return []
+        target = list(self.scan_schema().names())
+        rows, avail = self._iter_stored(run.layout, None, None)
+        projector = _row_fields_projector(avail, target)
+        if projector is not None:
+            rows = map(projector, rows)
+        return [tuple(r) for r in rows]
+
+    def _levelled_row_count(self) -> int:
+        spec = self.plan.levels
+        if spec.key is None and not self._level_tombstones:
+            return len(self._pending) + sum(r.row_count for r in self._runs)
+        rows, _ = self._levelled_rows(None, None)
+        return sum(1 for _ in rows)
 
     def _batch_stored(
         self,
@@ -1479,11 +1675,11 @@ class Table:
         """Build (or rebuild) a B+Tree secondary index over ``field_name``."""
         from repro.engine.indexes import build_field_index
 
-        if self.is_partitioned:
+        if self.is_partitioned or self.is_levelled:
             raise StorageError(
                 "secondary indexes address flat storage positions; "
-                "partitioned tables prune by partition bounds and per-"
-                "region zone maps instead"
+                "partitioned and levelled tables prune by region bounds "
+                "and per-run zone maps instead"
             )
         index = build_field_index(self, field_name)
         self._entry.indexes[field_name] = index
@@ -1493,11 +1689,11 @@ class Table:
         """Build (or rebuild) an R-Tree over two numeric point fields."""
         from repro.engine.indexes import build_spatial_index
 
-        if self.is_partitioned:
+        if self.is_partitioned or self.is_levelled:
             raise StorageError(
                 "spatial indexes address flat storage positions; "
-                "partitioned tables prune by partition bounds and per-"
-                "region zone maps instead"
+                "partitioned and levelled tables prune by region bounds "
+                "and per-run zone maps instead"
             )
         index = build_spatial_index(self, x_field, y_field)
         self._entry.spatial_indexes[(x_field, y_field)] = index
@@ -1763,6 +1959,22 @@ class Table:
                         model, overflow.total_pages(), 1
                     )
             return total
+        if self.is_levelled:
+            # One independently costed pass per run (pending rows are
+            # memory-resident). Keyed tables scan un-pruned — see
+            # :meth:`_levelled_batches` — so their estimate must too.
+            keyed = self.plan.levels.key is not None
+            run_pred = None if keyed else predicate
+            run_needed = (
+                needed if not keyed and not self._level_tombstones else None
+            )
+            total = CostEstimate.zero()
+            for run in self._runs:
+                if run.layout is not None:
+                    total = total + self._layout_scan_cost(
+                        run.layout, run_needed, run_pred
+                    )
+            return total
         total = self._layout_scan_cost(self.layout, needed, predicate)
         for overflow in self._overflow:
             total = total + estimate(model, overflow.total_pages(), 1)
@@ -1827,6 +2039,17 @@ class Table:
                     skip = zonemaps.rows_page_skip(overflow, intervals)
                     if skip:
                         total += len(skip)
+            return total
+        if self.is_levelled:
+            if self.plan.levels.key is not None or not intervals:
+                return 0  # keyed scans never prune (shadowing soundness)
+            run_needed = None if self._level_tombstones else needed
+            total = 0
+            for run in self._runs:
+                if run.layout is not None:
+                    total += self._layout_pruned_pages(
+                        run.layout, run_needed, predicate
+                    )
             return total
         if not intervals:
             return 0
@@ -2035,8 +2258,8 @@ class Table:
         """Estimated cost of ``get_element`` (§4.1 method 5)."""
         model = self._db.cost_model
         plan = self.plan
-        if plan.kind == LAYOUT_PARTITIONED:
-            # Positional access walks the partitions in scan order.
+        if plan.kind in (LAYOUT_PARTITIONED, LAYOUT_LEVELLED):
+            # Positional access walks the regions/runs in scan order.
             return self._full_scan_estimate(None, None)
         if plan.kind == LAYOUT_ROWS:
             return estimate(model, 1, 1)
@@ -2117,6 +2340,16 @@ class Table:
                     self._mark_indexes_stale()
             if transformed:
                 m.log_rows(self.name, transformed)
+        if transformed and entry.plan is not None and (
+            entry.plan.kind == LAYOUT_LEVELLED
+        ):
+            # After the insert transaction commits: seal a full pending
+            # buffer into a level-0 run and kick compaction when a level
+            # reaches its fan-out (a crash in between simply leaves the
+            # rows in pending for the next seal — WAL replay restores
+            # them from the insert's KIND_ROWS record).
+            self._db.adaptivity.note_write(self.name, len(transformed))
+            self._db.maintain_levels(self.name)
         return len(transformed)
 
     def _route_pending(self, rows: list[tuple]) -> None:
@@ -2171,6 +2404,10 @@ class Table:
         pending.
         """
         entry = self._entry
+        if self.is_levelled:
+            # Levelled tables flush by sealing the pending buffer into a
+            # new level-0 run (the returned layout is the run's).
+            return self._db.seal_level_run(self.name)
         with self._db.mutate(self.name) as m:
             if self.is_partitioned:
                 flushed = []
@@ -2198,6 +2435,7 @@ class Table:
                 entry.overflow.append(overflow)
                 entry.pending = []
                 entry.pending_zone = None
+                self._db._wa_note(entry, overflow, ingest=True)
             m.log_layout(overflow)
             m.touch(self.name)
             return overflow
@@ -2214,7 +2452,15 @@ class Table:
         )
 
     def compact(self) -> None:
-        """Merge overflow regions back into the main representation."""
+        """Merge overflow regions back into the main representation.
+
+        For levelled tables this is a *full* compaction: every run plus
+        the pending buffer merges into a single run, applying tombstones
+        and last-writer-wins resolution physically.
+        """
+        if self.is_levelled:
+            self._db.compact_levels(self.name, full=True)
+            return
         self._db.compact_table(self.name)
 
     # ==================================================================
@@ -2272,6 +2518,10 @@ class Table:
                     "cannot update the partition key in place; "
                     "re-load or re-layout the table instead"
                 )
+        if self.is_levelled:
+            return self._rewrite_levelled(
+                predicate, assignments, names, positions
+            )
 
         def transform(rows: list[tuple]) -> tuple[list[tuple], int]:
             changed = 0
@@ -2328,6 +2578,116 @@ class Table:
             self._db._rewrite_stored(entry, new_rows, m)
             return changed
 
+    def _rewrite_levelled(
+        self,
+        predicate: Predicate | None,
+        assignments: dict | None,
+        names: list[str],
+        positions: dict[str, int],
+    ) -> int:
+        """Delete/update on a levelled table: no run is ever rewritten.
+
+        Matching *visible* rows are resolved once; pending rows are
+        filtered (and, for updates, re-appended transformed) in place, and
+        one tombstone per distinct victim — merge key when keyed, full row
+        value otherwise — suppresses matches in the immutable runs until a
+        merge physically drops them. The pending zone synopsis is rebuilt
+        incrementally from the surviving rows, never left stale.
+        """
+        entry = self._entry
+        spec = self.plan.levels
+        keyed = spec.key is not None
+        key_expr = spec.key
+        with self._db.mutate(self.name) as m:
+            with self._db.adaptivity.pause():
+                rows_iter, _ = self._levelled_rows(None, None)
+                visible = list(rows_iter)
+            if predicate is None:
+                matched = visible
+            else:
+                matched = [
+                    r for r in visible if predicate.matches(r, positions)
+                ]
+            if not matched:
+                return 0
+            new_rows: list[tuple] = []
+            if assignments is not None:
+                for row in matched:
+                    values = list(row)
+                    for field, value in assignments.items():
+                        if callable(value):
+                            value = value(dict(zip(names, row)))
+                        values[positions[field]] = value
+                    new_rows.append(tuple(values))
+            # Distinct victims in first-match order: the merge key kills
+            # every older version of that key; a row value kills every
+            # equal copy (predicates are value-deterministic, so equal
+            # copies always match together).
+            victims: list = []
+            victim_set: set = set()
+            for row in matched:
+                value = (
+                    eval_scalar(key_expr, row, positions)
+                    if keyed
+                    else tuple(row)
+                )
+                if value not in victim_set:
+                    victim_set.add(value)
+                    victims.append(value)
+            if keyed:
+                def drop(row: tuple) -> bool:
+                    return eval_scalar(key_expr, row, positions) in victim_set
+            else:
+                def drop(row: tuple) -> bool:
+                    return row in victim_set
+            with entry.mvcc.lock:
+                if predicate is None and assignments is None:
+                    # Delete-all: drop every run outright, no tombstones.
+                    old_layouts = [
+                        r.layout for r in entry.runs if r.layout is not None
+                    ]
+                    entry.runs = []
+                    entry.level_tombstones = []
+                    entry.pending = []
+                    entry.pending_zone = None
+                    if old_layouts:
+                        entry.mvcc.retire(
+                            self._db._layout_freer(*old_layouts)
+                        )
+                else:
+                    survivors = [
+                        tuple(r)
+                        for r in entry.pending
+                        if not drop(tuple(r))
+                    ]
+                    survivors.extend(new_rows)
+                    entry.pending = survivors
+                    if not survivors:
+                        entry.pending_zone = None
+                    else:
+                        # Incremental maintenance: the existing zone
+                        # already covers every survivor (survivors are a
+                        # subset of the rows it summarized), so only the
+                        # update-produced rows fold in — O(changes), not
+                        # O(pending). The bounds stay a sound
+                        # over-approximation until the next seal renders
+                        # an exact synopsis for the sealed run.
+                        if entry.pending_zone is None:
+                            zone = zonemaps.ZoneSynopsis()
+                            zone.update(names, survivors)
+                            entry.pending_zone = zone
+                        elif new_rows:
+                            entry.pending_zone.update(names, new_rows)
+                    if entry.runs:
+                        seq = entry.next_run_seq
+                        entry.next_run_seq += 1
+                        entry.level_tombstones.extend(
+                            (seq, v) for v in victims
+                        )
+                self._mark_indexes_stale()
+            m.touch(self.name)
+        return len(matched)
+
     # -- misc ---------------------------------------------------------------
 
     def __repr__(self) -> str:
@@ -2381,12 +2741,95 @@ def _release_when_done(source, mvcc, snap):
     return wrapped
 
 
+class _LevelResolver:
+    """Newest-first resolution state shared by every levelled read path.
+
+    Segments are fed newest-first: the pending buffer, then runs by
+    descending ``max_seq``. Keyed (last-writer-wins) tables suppress any
+    row whose merge key was already emitted by a newer segment; multiset
+    tables suppress rows equal to an applicable tombstone value.
+    Tombstones activate monotonically as the walk reaches older runs — a
+    tombstone with sequence ``s`` applies to runs with ``max_seq < s`` and
+    never to the pending buffer, whose rows postdate every tombstone (a
+    levelled delete physically filters pending rows instead).
+
+    The compaction merge drives the same object, so what a merge
+    physically drops is exactly what a scan would have suppressed.
+    """
+
+    __slots__ = ("keyed", "key_of", "seen", "dead", "_inactive")
+
+    def __init__(self, spec, names: Sequence[str], tombstones):
+        self.keyed = spec.key is not None
+        if self.keyed:
+            positions = {n: i for i, n in enumerate(names)}
+            key_expr = spec.key
+            self.key_of = lambda row: eval_scalar(key_expr, row, positions)
+        else:
+            self.key_of = None
+        self.seen: set = set()  # merge keys emitted or tombstoned (keyed)
+        self.dead: set = set()  # active tombstone row values (multiset)
+        # Ascending by seq; popped from the tail as the walk gets older.
+        self._inactive = sorted(tombstones, key=lambda t: t[0])
+
+    def resolve_pending(self, rows: Sequence[tuple]) -> list[tuple]:
+        """Pending-buffer rows, resolved. Keyed: last write wins, keeping
+        each key's final occurrence in its insertion slot order."""
+        rows = [tuple(r) for r in rows]
+        if not self.keyed:
+            return rows
+        kept: list[tuple] = []
+        for row in reversed(rows):
+            key = self.key_of(row)
+            if key in self.seen:
+                continue
+            self.seen.add(key)
+            kept.append(row)
+        kept.reverse()
+        return kept
+
+    def enter_run(self, run) -> bool:
+        """Activate tombstones newer than ``run``; True when suppression
+        can apply to its rows (keyed runs always resolve — the seen-set
+        must grow even when nothing is suppressed yet)."""
+        inactive = self._inactive
+        while inactive and inactive[-1][0] > run.max_seq:
+            _, value = inactive.pop()
+            if self.keyed:
+                self.seen.add(value)
+            else:
+                self.dead.add(value)
+        return bool(self.seen) if self.keyed else bool(self.dead)
+
+    def resolve(self, rows: Iterable[tuple]) -> list[tuple]:
+        """Surviving rows of one run segment, in stored order."""
+        if self.keyed:
+            seen = self.seen
+            key_of = self.key_of
+            out: list[tuple] = []
+            for row in rows:
+                key = key_of(row)
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append(row)
+            return out
+        dead = self.dead
+        if not dead:
+            return list(rows)
+        return [row for row in rows if tuple(row) not in dead]
+
+
 def _scan_schema(plan: PhysicalPlan) -> Schema:
     """Schema of scan results: folded layouts un-nest to group+nest fields."""
     if plan.kind == LAYOUT_PARTITIONED:
         # Every partition projects to the template's scan shape, even when
         # individual regions have diverged to other designs.
         return _scan_schema(plan.partition_plans[0])
+    if plan.kind == LAYOUT_LEVELLED:
+        # Every run projects to the run template's scan shape, even when
+        # individual runs carry diverged (re-chosen) designs.
+        return _scan_schema(plan.level_plans[0])
     if plan.kind != LAYOUT_FOLDED:
         return plan.schema
     from repro.layout.renderer import _nest_types

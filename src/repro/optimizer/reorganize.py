@@ -87,6 +87,8 @@ class ReorganizationManager:
             read_pages += entry.layout.total_pages()
         for overflow in entry.overflow:
             read_pages += overflow.total_pages()
+        for run in entry.runs:
+            read_pages += run.total_pages()
         return self.store.cost_model.cost_ms(
             read_pages + max(1, new_storage_pages), 2
         )

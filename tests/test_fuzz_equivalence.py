@@ -332,6 +332,116 @@ def test_fuzz_differential_equivalence(iteration: int):
     store.close()
 
 
+# ---------------------------------------------------------------------------
+# levelled (LSM) layouts: interleaved inserts/deletes/compactions
+# ---------------------------------------------------------------------------
+
+
+def random_run_design(
+    rng: random.Random, names: list[str], domains: list[int]
+) -> str:
+    """A random non-lossy *run* design for ``levels[...]`` to wrap —
+    any flat family (partitions cannot nest inside a levelled table)."""
+    inner = random_layout(rng, names, domains)
+    while inner.startswith("partition"):
+        inner = random_layout(rng, names, domains)
+    return inner
+
+
+@pytest.mark.parametrize("iteration", range(max(4, FUZZ_ITERATIONS // 2)))
+def test_fuzz_levelled_equivalence(iteration: int):
+    """Levelled layouts under an interleaved insert/delete/compact stream.
+
+    Random ``levels[k; ratio](inner)`` designs over random run designs;
+    after every mutation batch the multiset ground truth and the full
+    batch ≡ reference ≡ planner equivalence must hold — including while
+    the manifest holds many runs, straight after partial merges, and
+    before/after an explicit full ``compact()``.
+    """
+    rng = random.Random(FUZZ_SEED + 7_000 + iteration)
+    schema, domains = random_schema(rng)
+    names = list(schema.names())
+
+    k = rng.randint(2, 4)
+    ratio = rng.randint(2, 4)
+    inner = random_run_design(rng, names, domains)
+    layout = f"levels[{k}; {ratio}]({inner})"
+    store = RodentStore(
+        page_size=rng.choice([512, 1024, 4096]),
+        pool_capacity=64,
+        level_seal_rows=rng.choice([16, 32, 64]),
+    )
+    store.create_table("T", schema, layout=layout)
+
+    expected = random_records(rng, domains, rng.randint(60, 150))
+    store.load("T", expected)
+    vector_flip = bool(iteration % 2)
+
+    def reference_delete(predicate) -> list[tuple]:
+        """Apply ``predicate`` to the model the way the store sees rows:
+        projected to the scan schema's field order."""
+        table = store.table("T")
+        scan_names = table.scan_schema().names()
+        logical_names = table.logical_schema.names()
+        idx = [logical_names.index(n) for n in scan_names]
+        positions = {n: i for i, n in enumerate(scan_names)}
+        return [
+            rec
+            for rec in expected
+            if not predicate.matches(
+                tuple(rec[i] for i in idx), positions
+            )
+        ]
+
+    def check_round() -> None:
+        check_ground_truth(store, expected)
+        scan_names = list(store.table("T").scan_schema().names())
+        query = random_query(rng, scan_names)
+        predicate = random_predicate(rng, names, domains)
+        if _query_valid(query, predicate, scan_names):
+            run_query_all_paths(store, query, predicate, vector_flip)
+
+    for _ in range(rng.randint(4, 7)):
+        op = rng.random()
+        if op < 0.55:
+            batch = random_records(rng, domains, rng.randint(10, 80))
+            store.table("T").insert(batch)
+            expected = expected + batch
+        elif op < 0.75:
+            predicate = random_predicate(rng, names, domains)
+            if predicate is None:
+                continue
+            keep = reference_delete(predicate)
+            removed = store.table("T").delete(predicate)
+            assert removed == len(expected) - len(keep), (
+                f"delete removed {removed}, model expected "
+                f"{len(expected) - len(keep)} (layout={layout})"
+            )
+            expected = keep
+        elif op < 0.9:
+            store.table("T").flush_inserts()  # force a seal mid-stream
+        else:
+            store.table("T").compact()
+            assert store.table("T").run_count <= 1
+        check_round()
+
+    # The acceptance gate proper: full equivalence immediately before
+    # and after an explicit full compaction.
+    queries = [
+        (random_query(rng, list(store.table("T").scan_schema().names())),
+         random_predicate(rng, names, domains))
+        for _ in range(QUERIES_PER_SCENARIO)
+    ]
+    for query, predicate in queries:
+        run_query_all_paths(store, query, predicate, vector_flip)
+    store.table("T").compact()
+    assert store.table("T").run_count <= 1
+    check_ground_truth(store, expected)
+    for query, predicate in queries:
+        run_query_all_paths(store, query, predicate, vector_flip)
+    store.close()
+
+
 def _query_valid(
     query: dict, predicate, scan_names: list[str]
 ) -> bool:
